@@ -1,0 +1,95 @@
+// Command cccheck model-checks a protocol against a consensus problem: it
+// exhaustively explores every reachable configuration over every input
+// vector, injecting up to -maxfail fail-stop failures, and reports any
+// violation of the decision rule, the consistency constraint, or the
+// termination condition. With -safety it additionally runs the Theorem 2
+// safe-state analysis (concurrency sets, bias, Corollary 6).
+//
+// Usage:
+//
+//	cccheck -proto tree -n 3 -problem WT-TC
+//	cccheck -proto star -n 3 -problem WT-TC -trace
+//	cccheck -proto fullexchange -n 3 -problem WT-TC -safety -maxfail 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	consensus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protoName = flag.String("proto", "tree", "protocol: "+strings.Join(consensus.ProtocolNames(), ", "))
+		n         = flag.Int("n", 3, "number of processors (keep small: the exploration is exhaustive)")
+		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
+		maxFail   = flag.Int("maxfail", 2, "maximum injected failures per run")
+		maxNodes  = flag.Int("maxnodes", 0, "node budget (0 = default)")
+		trace     = flag.Bool("trace", false, "print the event trace to the first violation")
+		safety    = flag.Bool("safety", false, "run the Theorem 2 safe-state analysis")
+	)
+	flag.Parse()
+
+	proto, err := consensus.ProtocolByName(*protoName, *n)
+	if err != nil {
+		return err
+	}
+	prob, err := consensus.ParseProblem(*problem)
+	if err != nil {
+		return err
+	}
+
+	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, TrackTraces: *trace}
+	x, err := consensus.Check(proto, prob, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s vs %s: %d configurations, %d states, %d terminal\n",
+		proto.Name(), prob.Name(), x.NodeCount, len(x.States), x.Terminals)
+	if x.Conforms() {
+		fmt.Println("CONFORMS: no violation found")
+	} else {
+		fmt.Printf("VIOLATES: %d violation(s); first:\n  %s\n", len(x.Violations), x.Violations[0])
+		if *trace {
+			fmt.Println("trace to first violation:")
+			for _, line := range x.FirstTrace {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
+	if *safety {
+		rep := x.Safety()
+		fmt.Printf("\nsafe-state analysis: %d operational states, %d unsafe, %d Corollary 6 violation(s)\n",
+			rep.TotalStates, len(rep.Unsafe), len(rep.Corollary6))
+		for i, u := range rep.Unsafe {
+			if i >= 5 {
+				fmt.Printf("  … and %d more\n", len(rep.Unsafe)-5)
+				break
+			}
+			fmt.Printf("  unsafe: %s\n    reason: %s\n", u.Key, u.Reason)
+		}
+		for i, v := range rep.Corollary6 {
+			if i >= 3 {
+				fmt.Printf("  … and %d more\n", len(rep.Corollary6)-3)
+				break
+			}
+			fmt.Printf("  corollary 6: %s\n", v.Detail)
+		}
+	}
+
+	if !x.Conforms() {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command ccexp runs the reproduction experiments E1–E9, one per figure or
+// quantitative claim of the paper, printing the paper's claim next to what
+// the implementation measured. The output of a full run is recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ccexp               # all experiments, exhaustive
+//	ccexp -quick        # all experiments, skipping the exhaustive passes
+//	ccexp -e E4         # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	consensus "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which = flag.String("e", "all", "experiment to run: E1..E9 or all")
+		quick = flag.Bool("quick", false, "skip the exhaustive model-checking passes")
+	)
+	flag.Parse()
+
+	opts := consensus.ExperimentOptions{Quick: *quick}
+	runners := map[string]func(experiments.Options) experiments.Report{
+		"E1": experiments.E1Figure1Tree,
+		"E2": experiments.E2Figure2Star,
+		"E3": experiments.E3Figure3Chain,
+		"E4": experiments.E4Figure4Perverse,
+		"E5": experiments.E5Lattice,
+		"E6": experiments.E6Theorem7,
+		"E7": experiments.E7Theorem2,
+		"E8": experiments.E8MessageComplexity,
+		"E9": experiments.E9Transforms,
+	}
+
+	var reports []consensus.ExperimentReport
+	if strings.EqualFold(*which, "all") {
+		reports = consensus.Experiments(opts)
+	} else {
+		f, ok := runners[strings.ToUpper(*which)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *which)
+		}
+		reports = []consensus.ExperimentReport{f(opts)}
+	}
+
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r)
+		if !r.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	fmt.Printf("%d experiment(s) ok\n", len(reports))
+	return nil
+}

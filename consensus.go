@@ -1,0 +1,442 @@
+// Package consensus is a library reproduction of Cynthia Dwork and Dale
+// Skeen, "Patterns of Communication in Consensus Protocols" (PODC 1984,
+// Cornell TR 84-611).
+//
+// The library provides:
+//
+//   - the paper's model of computation: asynchronous message passing among
+//     fail-stop processors with detectable failures, configurations, events,
+//     schedules, and runs (package sim, surfaced here);
+//
+//   - communication patterns — the Lamport-style partial order <_I on the
+//     message triples (p, q, k) of an execution — and schemes, the sets of
+//     patterns of all failure-free executions of a protocol;
+//
+//   - the taxonomy of consensus problems: decision rules (broadcast,
+//     unanimity, threshold-k, set), consistency constraints (interactive and
+//     total), and termination conditions (weak, strong/amnesic, halting);
+//
+//   - the paper's protocols: the Figure 1 tree protocol (WT-TC), the
+//     Figure 2 star protocol (HT-IC), the Figure 3 chain protocol (WT-IC),
+//     the Figure 4 "perverse" protocol, the Appendix termination protocol,
+//     and companions (ack-commit, halting commit, reliable broadcast, naive
+//     full exchange);
+//
+//   - an exhaustive model checker with failure injection, concurrency sets,
+//     the safe-state analysis of Theorem 2, and a scenario-replay engine for
+//     the indistinguishability arguments of Theorems 8 and 13;
+//
+//   - the Section 3 transformations (total-communication padding and E̅
+//     elimination) and the six-problem lattice of Section 4, derived from
+//     machine-checked witnesses.
+//
+// Quick start:
+//
+//	proto := consensus.Tree(7)
+//	run, err := consensus.Run(proto, consensus.MustInputs("1111111"), 1)
+//	pat := consensus.PatternOf(run)
+//	fmt.Println(pat.RenderASCII())
+package consensus
+
+import (
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/protocols"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+	"repro/internal/transform"
+)
+
+// Model types (Section 3).
+type (
+	// Protocol is a consensus protocol over N deterministic processors.
+	Protocol = sim.Protocol
+	// State is a processor's local state.
+	State = sim.State
+	// ProcID identifies a processor p_i.
+	ProcID = sim.ProcID
+	// Bit is an initial value.
+	Bit = sim.Bit
+	// Decision is an irreversible outcome (abort or commit).
+	Decision = sim.Decision
+	// Message is an in-flight message.
+	Message = sim.Message
+	// MsgID is the paper's message triple (p, q, k).
+	MsgID = sim.MsgID
+	// Event is a schedule element: a delivery, a sending step, or a failure.
+	Event = sim.Event
+	// Schedule is a finite sequence of events.
+	Schedule = sim.Schedule
+	// Config is a configuration: local states plus buffer contents.
+	Config = sim.Config
+	// ExecutionRun is a schedule together with its configurations.
+	ExecutionRun = sim.Run
+	// RunnerOptions configures the fair random scheduler.
+	RunnerOptions = sim.RunnerOptions
+	// FailureAt schedules a fail-stop failure injection.
+	FailureAt = sim.FailureAt
+)
+
+// Pattern and scheme types (Section 3).
+type (
+	// Pattern is a communication pattern: message triples under <_I.
+	Pattern = pattern.Pattern
+	// PatternSet is a set of communication patterns; the scheme of a
+	// protocol is a PatternSet.
+	PatternSet = scheme.Set
+	// SchemeOptions bounds scheme enumeration.
+	SchemeOptions = scheme.Options
+	// SchemeComparison relates two schemes under inclusion.
+	SchemeComparison = scheme.Comparison
+)
+
+// Scheme comparison outcomes.
+const (
+	// SchemesEqual means the two protocols have exactly the same
+	// communication patterns: either can substitute for the other up to a
+	// renaming of states and padding of messages.
+	SchemesEqual = scheme.SchemesEqual
+	// SchemeSubset / SchemeSuperset are the strict inclusions.
+	SchemeSubset   = scheme.SchemeSubset
+	SchemeSuperset = scheme.SchemeSuperset
+	// SchemesIncomparable means neither inclusion holds.
+	SchemesIncomparable = scheme.SchemesIncomparable
+)
+
+// Taxonomy types (Section 2).
+type (
+	// Problem is a consensus problem: rule × consistency × termination.
+	Problem = taxonomy.Problem
+	// DecisionRule is a family of conditions for deciding a value.
+	DecisionRule = taxonomy.DecisionRule
+	// Consistency is IC or TC.
+	Consistency = taxonomy.Consistency
+	// Termination is WT, ST, or HT.
+	Termination = taxonomy.Termination
+	// Violation records one way a run failed a problem.
+	Violation = taxonomy.Violation
+)
+
+// Checker types.
+type (
+	// CheckOptions configures exhaustive exploration.
+	CheckOptions = checker.Options
+	// Exploration is the result of exploring a configuration space.
+	Exploration = checker.Exploration
+	// SafetyReport is the Theorem 2 safe-state analysis.
+	SafetyReport = checker.SafetyReport
+	// Driver builds specific adversarial executions step by step.
+	Driver = checker.Driver
+)
+
+// Core (Section 4) types.
+type (
+	// Lattice is the six-problem relation of the closing diagram.
+	Lattice = core.Lattice
+	// Evidence is one machine-checked fact behind the lattice.
+	Evidence = core.Evidence
+	// Relation classifies a problem pair.
+	Relation = core.Relation
+	// WitnessOptions scales lattice verification effort.
+	WitnessOptions = core.WitnessOptions
+	// ExperimentReport is the outcome of one reproduction experiment.
+	ExperimentReport = experiments.Report
+	// ExperimentOptions scales experiment effort.
+	ExperimentOptions = experiments.Options
+)
+
+// Values and constants.
+const (
+	// Zero and One are the two initial bits.
+	Zero = sim.Zero
+	One  = sim.One
+	// NoDecision, Abort, and Commit are the decision values.
+	NoDecision = sim.NoDecision
+	Abort      = sim.Abort
+	Commit     = sim.Commit
+	// IC and TC are the consistency constraints.
+	IC = taxonomy.IC
+	TC = taxonomy.TC
+	// WT, ST, and HT are the termination conditions.
+	WT = taxonomy.WT
+	ST = taxonomy.ST
+	HT = taxonomy.HT
+)
+
+// Protocol constructors.
+
+// Tree returns the Figure 1 WT-TC tree protocol over n processors in heap
+// layout (the paper's instance is n = 7).
+func Tree(n int) Protocol { return protocols.Tree{Procs: n} }
+
+// TreeST returns the Corollary 11 amnesic variant of the tree protocol,
+// which solves ST-TC.
+func TreeST(n int) Protocol { return protocols.Tree{Procs: n, ST: true} }
+
+// Star returns the Figure 2 HT-IC centralized protocol.
+func Star(n int) Protocol { return protocols.Star{Procs: n} }
+
+// Chain returns the Figure 3 WT-IC chain protocol.
+func Chain(n int) Protocol { return protocols.Chain{Procs: n} }
+
+// ChainST returns the deliberately incorrect amnesic chain variant used in
+// the proof of Theorem 13 (it violates ST-IC).
+func ChainST(n int) Protocol { return protocols.Chain{Procs: n, ST: true} }
+
+// Perverse returns the Figure 4 WT-TC protocol with exactly four
+// failure-free communication patterns per input vector.
+func Perverse() Protocol { return protocols.Perverse{} }
+
+// PerverseForgetful returns the amnesic-p0 variant realizing Theorem 13's
+// contradiction.
+func PerverseForgetful() Protocol { return protocols.Perverse{ForgetfulP0: true} }
+
+// TerminationProtocol returns the Appendix termination protocol run
+// standalone: inputs are biases, and WT-TC is established within O(N²)
+// steps per processor from safe starting biases (Theorem 7).
+func TerminationProtocol(n int) Protocol { return protocols.Termination{Procs: n} }
+
+// AckCommit returns the star-shaped safe commit protocol (WT-TC, arbitrary
+// N): the depth-one instance of Figure 1's scheme and the core of
+// nonblocking commit.
+func AckCommit(n int) Protocol { return protocols.AckCommit{Procs: n} }
+
+// HaltingCommit returns the HT-TC protocol: ack-commit plus decision
+// broadcasts before halting and the modified termination protocol.
+func HaltingCommit(n int) Protocol { return protocols.HaltingCommit{Procs: n} }
+
+// Broadcast returns fail-stop reliable broadcast (the weak broadcast rule)
+// with general p0.
+func Broadcast(n int) Protocol { return protocols.Broadcast{Procs: n} }
+
+// FullExchange returns the naive decentralized unanimity protocol — a WT-IC
+// baseline with deliberately unsafe states (a Theorem 2 counterexample).
+func FullExchange(n int) Protocol { return protocols.FullExchange{Procs: n} }
+
+// TwoPhaseCommit returns classic (blocking) two-phase commit: WT-IC only,
+// with the Theorem 2 unsafe uncertainty states that make it block.
+func TwoPhaseCommit(n int) Protocol { return protocols.TwoPhaseCommit{Procs: n} }
+
+// ThresholdCommit returns the safe two-phase protocol under the
+// threshold-k decision rule: commit iff at least k processors vote 1.
+func ThresholdCommit(n, k int) Protocol { return protocols.ThresholdCommit{Procs: n, K: k} }
+
+// TotalComm wraps a protocol into its total-communication form: every
+// message is padded with a copy of every causally prior message.
+func TotalComm(p Protocol) Protocol { return transform.TotalComm{Inner: p} }
+
+// EliminateEBar wraps a protocol in the Section 3 simulation that processes
+// every message as soon as its existence is known, eliminating E̅ states.
+func EliminateEBar(p Protocol) Protocol { return transform.EliminateEBar{Inner: p} }
+
+// Execution and analysis.
+
+// Run executes the protocol on the given inputs under the fair random
+// scheduler (seeded) until quiescence.
+func Run(p Protocol, inputs []Bit, seed int64) (*ExecutionRun, error) {
+	return sim.RandomRun(p, inputs, sim.RunnerOptions{Seed: seed})
+}
+
+// RunWithOptions executes the protocol with full scheduler control,
+// including failure injection.
+func RunWithOptions(p Protocol, inputs []Bit, opts RunnerOptions) (*ExecutionRun, error) {
+	return sim.RandomRun(p, inputs, opts)
+}
+
+// PatternOf extracts the communication pattern of a run.
+func PatternOf(r *ExecutionRun) *Pattern { return pattern.FromRun(r) }
+
+// SchemeOf computes the scheme of a protocol: the set of communication
+// patterns of all failure-free executions over every input vector.
+func SchemeOf(p Protocol, opts SchemeOptions) (*PatternSet, error) {
+	return scheme.Of(p, opts)
+}
+
+// EnumeratePatterns computes the failure-free patterns from one input
+// vector.
+func EnumeratePatterns(p Protocol, inputs []Bit, opts SchemeOptions) (*PatternSet, error) {
+	return scheme.Enumerate(p, inputs, opts)
+}
+
+// CompareSchemes computes and classifies the schemes of two protocols of
+// equal size — the paper's protocol-level reduction instrument.
+func CompareSchemes(a, b Protocol, opts SchemeOptions) (SchemeComparison, error) {
+	return scheme.Compare(a, b, opts)
+}
+
+// Check model-checks a protocol against a problem over every input vector
+// and failure pattern within the options' bounds.
+func Check(p Protocol, problem Problem, opts CheckOptions) (*Exploration, error) {
+	return checker.Check(p, problem, opts)
+}
+
+// Explore walks a protocol's reachable configuration space without
+// conformance checking (for safety analysis).
+func Explore(p Protocol, opts CheckOptions) (*Exploration, error) {
+	return checker.Explore(p, opts)
+}
+
+// NewDriver starts a step-by-step adversarial execution.
+func NewDriver(p Protocol, inputs []Bit) (*Driver, error) {
+	return checker.NewDriver(p, inputs)
+}
+
+// Problems and rules.
+
+// Unanimity returns the unanimity decision rule (transaction commitment).
+func Unanimity() DecisionRule { return taxonomy.UnanimityRule{} }
+
+// BroadcastRule returns the Byzantine Generals decision rule with the given
+// general; weak variants permit a default decision when the general fails.
+func BroadcastRule(general ProcID, weak bool, dflt Decision) DecisionRule {
+	return taxonomy.BroadcastRule{General: general, Weak: weak, Default: dflt}
+}
+
+// ThresholdRule returns the threshold-k decision rule.
+func ThresholdRule(k int) DecisionRule { return taxonomy.ThresholdRule{K: k} }
+
+// NewProblem assembles a consensus problem.
+func NewProblem(rule DecisionRule, t Termination, c Consistency) Problem {
+	return taxonomy.Problem{Rule: rule, Termination: t, Consistency: c}
+}
+
+// UnanimityProblem returns the Section 4 problem T-C under unanimity.
+func UnanimityProblem(t Termination, c Consistency) Problem {
+	return NewProblem(Unanimity(), t, c)
+}
+
+// SixProblems returns the six problems of the closing diagram.
+func SixProblems() []Problem { return taxonomy.SixProblems() }
+
+// ParseProblem parses the paper's "T-C" notation (e.g. "WT-TC", case
+// insensitive) into a unanimity problem.
+func ParseProblem(s string) (Problem, error) {
+	parts := strings.SplitN(strings.ToUpper(s), "-", 2)
+	if len(parts) != 2 {
+		return Problem{}, &BadProblemError{Input: s, Reason: "want the form T-C, e.g. WT-TC"}
+	}
+	var t Termination
+	switch parts[0] {
+	case "WT":
+		t = WT
+	case "ST":
+		t = ST
+	case "HT":
+		t = HT
+	default:
+		return Problem{}, &BadProblemError{Input: s, Reason: "termination must be WT, ST, or HT"}
+	}
+	var c Consistency
+	switch parts[1] {
+	case "IC":
+		c = IC
+	case "TC":
+		c = TC
+	default:
+		return Problem{}, &BadProblemError{Input: s, Reason: "consistency must be IC or TC"}
+	}
+	return UnanimityProblem(t, c), nil
+}
+
+// BadProblemError reports a malformed problem name.
+type BadProblemError struct {
+	Input  string
+	Reason string
+}
+
+func (e *BadProblemError) Error() string {
+	return "bad problem " + e.Input + ": " + e.Reason
+}
+
+// Lattice and experiments.
+
+// BuildLattice derives the closing diagram's relation from the paper's base
+// facts and logical closure.
+func BuildLattice() *Lattice { return core.BuildLattice() }
+
+// Witnesses runs the machine-checked evidence behind the lattice.
+func Witnesses(opts WitnessOptions) []Evidence { return core.Witnesses(opts) }
+
+// Experiments runs the reproduction experiments E1–E9.
+func Experiments(opts ExperimentOptions) []ExperimentReport {
+	return experiments.All(opts)
+}
+
+// Inputs helpers.
+
+// MustInputs parses a vector like "1011"; it panics on malformed input and
+// is intended for examples and tests.
+func MustInputs(s string) []Bit {
+	in, err := sim.InputsFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ParseInputs parses a vector like "1011".
+func ParseInputs(s string) ([]Bit, error) { return sim.InputsFromString(s) }
+
+// AllInputs enumerates every input vector of length n.
+func AllInputs(n int) [][]Bit { return sim.AllInputs(n) }
+
+// UnanimityOf computes the unanimity decision for an input vector.
+func UnanimityOf(inputs []Bit) Decision { return sim.Unanimity(inputs) }
+
+// ProtocolNames lists the names accepted by ProtocolByName.
+func ProtocolNames() []string {
+	return []string{
+		"tree", "tree-st", "star", "chain", "chain-st", "perverse",
+		"perverse-forgetful", "termination", "ackcommit", "haltingcommit",
+		"broadcast", "fullexchange", "2pc", "threshold",
+	}
+}
+
+// ProtocolByName resolves a protocol by CLI-friendly name and size. The
+// perverse protocols are fixed at four processors; n is ignored for them.
+func ProtocolByName(name string, n int) (Protocol, error) {
+	switch name {
+	case "tree":
+		return Tree(n), nil
+	case "tree-st":
+		return TreeST(n), nil
+	case "star":
+		return Star(n), nil
+	case "chain":
+		return Chain(n), nil
+	case "chain-st":
+		return ChainST(n), nil
+	case "perverse":
+		return Perverse(), nil
+	case "perverse-forgetful":
+		return PerverseForgetful(), nil
+	case "termination":
+		return TerminationProtocol(n), nil
+	case "ackcommit":
+		return AckCommit(n), nil
+	case "haltingcommit":
+		return HaltingCommit(n), nil
+	case "broadcast":
+		return Broadcast(n), nil
+	case "fullexchange":
+		return FullExchange(n), nil
+	case "2pc":
+		return TwoPhaseCommit(n), nil
+	case "threshold":
+		return ThresholdCommit(n, (n+1)/2), nil
+	default:
+		return nil, &UnknownProtocolError{Name: name}
+	}
+}
+
+// UnknownProtocolError reports an unrecognized protocol name.
+type UnknownProtocolError struct{ Name string }
+
+func (e *UnknownProtocolError) Error() string {
+	return "unknown protocol " + e.Name + " (want one of " + strings.Join(ProtocolNames(), ", ") + ")"
+}

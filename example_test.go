@@ -1,0 +1,93 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	consensus "repro"
+)
+
+// Example runs the paper's Figure 1 tree protocol and reports the decision.
+func Example() {
+	run, err := consensus.Run(consensus.Tree(7), consensus.MustInputs("1111111"), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, _ := run.DecisionOf(0)
+	fmt.Printf("decision: %s, messages: %d\n", d, run.MessagesSent())
+	// Output:
+	// decision: commit, messages: 24
+}
+
+// ExampleChain shows the Figure 3 chain protocol's single failure-free
+// communication pattern.
+func ExampleChain() {
+	set, err := consensus.SchemeOf(consensus.Chain(4), consensus.SchemeOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("patterns: %d\n", set.Len())
+	p := set.Patterns()[0]
+	fmt.Printf("messages: %d, depth: %d\n", p.Size(), p.Depth())
+	// Output:
+	// patterns: 1
+	// messages: 6, depth: 4
+}
+
+// ExamplePerverse enumerates Figure 4's four failure-free patterns.
+func ExamplePerverse() {
+	set, err := consensus.EnumeratePatterns(consensus.Perverse(), consensus.MustInputs("1111"),
+		consensus.SchemeOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("failure-free patterns: %d\n", set.Len())
+	// Output:
+	// failure-free patterns: 4
+}
+
+// ExampleCheck model-checks the star protocol against total consistency and
+// finds the Theorem 8 counterexample.
+func ExampleCheck() {
+	x, err := consensus.Check(consensus.Star(3),
+		consensus.UnanimityProblem(consensus.WT, consensus.TC),
+		consensus.CheckOptions{MaxFailures: 2, StopAtFirstViolation: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("conforms:", x.Conforms())
+	fmt.Println("violation kind:", x.Violations[0].Kind)
+	// Output:
+	// conforms: false
+	// violation kind: TC
+}
+
+// ExampleBuildLattice derives the paper's closing diagram and queries it.
+func ExampleBuildLattice() {
+	l := consensus.BuildLattice()
+	a := consensus.UnanimityProblem(consensus.HT, consensus.IC)
+	b := consensus.UnanimityProblem(consensus.WT, consensus.TC)
+	fmt.Println("HT-IC vs WT-TC:", l.Relation(a, b))
+	c := consensus.UnanimityProblem(consensus.WT, consensus.IC)
+	fmt.Println("WT-IC vs WT-TC:", l.Relation(c, b))
+	// Output:
+	// HT-IC vs WT-TC: incomparable
+	// WT-IC vs WT-TC: ≺
+}
+
+// ExampleCompareSchemes demonstrates Corollary 11's scheme fact: the amnesic
+// tree variant has exactly the tree's communication patterns.
+func ExampleCompareSchemes() {
+	cmp, err := consensus.CompareSchemes(consensus.Tree(3), consensus.TreeST(3),
+		consensus.SchemeOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("tree vs tree-st schemes:", cmp)
+	// Output:
+	// tree vs tree-st schemes: equal
+}

@@ -1,0 +1,85 @@
+// Reliable broadcast — the simplest guise of the consensus problem in the
+// paper's introduction: a general (p0) broadcasts an order, every processor
+// relays the first value it learns, and failure detection falls back to the
+// termination protocol with the weak broadcast rule's default. Under
+// fail-stop failures the nonfaulty processors always agree on the order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "repro"
+)
+
+const troops = 6
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	proto := consensus.Broadcast(troops)
+
+	// The general orders an attack (input 1). Everyone learns it.
+	attack := consensus.MustInputs("100000") // only p0's input matters
+	attack[0] = consensus.One
+	execution, err := consensus.Run(proto, attack, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== general orders attack, no failures ===")
+	for p := 0; p < troops; p++ {
+		d, _ := execution.DecisionOf(consensus.ProcID(p))
+		fmt.Printf("  %s decided %s\n", consensus.ProcID(p), verdict(d))
+	}
+	fmt.Printf("  %d messages (broadcast + relays)\n\n", execution.MessagesSent())
+
+	// The general fails immediately after reaching a single lieutenant:
+	// the relay discipline still spreads the order to everyone.
+	fmt.Println("=== general fails after its first send ===")
+	crashed, err := consensus.RunWithOptions(proto, attack,
+		consensus.RunnerOptions{Seed: 5, Failures: []consensus.FailureAt{{Proc: 0, AfterStep: 1}}})
+	if err != nil {
+		return err
+	}
+	agreed := consensus.NoDecision
+	for p := 1; p < troops; p++ {
+		pid := consensus.ProcID(p)
+		d, ok := crashed.DecisionOf(pid)
+		if !ok {
+			return fmt.Errorf("%s undecided", pid)
+		}
+		if agreed == consensus.NoDecision {
+			agreed = d
+		} else if agreed != d {
+			return fmt.Errorf("interactive consistency violated")
+		}
+		fmt.Printf("  %s decided %s\n", pid, verdict(d))
+	}
+
+	// Exhaustive check at N=3 against the weak broadcast rule: decide the
+	// general's value, with retreat (0) permitted once the general fails.
+	fmt.Println("\n=== model checking broadcast(3) against WT-IC under the broadcast rule ===")
+	problem := consensus.NewProblem(
+		consensus.BroadcastRule(0, true, consensus.Abort),
+		consensus.WT, consensus.IC)
+	x, err := consensus.Check(consensus.Broadcast(3), problem, consensus.CheckOptions{MaxFailures: 2})
+	if err != nil {
+		return err
+	}
+	if !x.Conforms() {
+		return fmt.Errorf("violation: %v", x.Violations[0])
+	}
+	fmt.Printf("  conforms over %d configurations (≤2 failures, all inputs)\n", x.NodeCount)
+	return nil
+}
+
+func verdict(d consensus.Decision) string {
+	if d == consensus.Commit {
+		return "ATTACK"
+	}
+	return "retreat"
+}

@@ -1,0 +1,34 @@
+// Lattice: regenerate the paper's closing diagram — the relation among the
+// six consensus problems {WT, ST, HT} × {IC, TC} under unanimity — together
+// with the quick machine-checked witnesses (scenario replays and scheme
+// facts) behind every strict edge and incomparability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "repro"
+)
+
+func main() {
+	l := consensus.BuildLattice()
+	l.Evidence = consensus.Witnesses(consensus.WitnessOptions{})
+	fmt.Print(l.Render())
+	for _, ev := range l.Evidence {
+		if !ev.OK {
+			log.Fatalf("witness failed: %s", ev.Name)
+		}
+	}
+
+	// Interrogate the relation programmatically.
+	fmt.Println("\nqueries:")
+	pairs := [][2]consensus.Problem{
+		{consensus.UnanimityProblem(consensus.WT, consensus.IC), consensus.UnanimityProblem(consensus.HT, consensus.TC)},
+		{consensus.UnanimityProblem(consensus.HT, consensus.IC), consensus.UnanimityProblem(consensus.WT, consensus.TC)},
+		{consensus.UnanimityProblem(consensus.ST, consensus.IC), consensus.UnanimityProblem(consensus.WT, consensus.TC)},
+	}
+	for _, pair := range pairs {
+		fmt.Printf("  %s vs %s: %s\n", pair[0].Name(), pair[1].Name(), l.Relation(pair[0], pair[1]))
+	}
+}

@@ -1,0 +1,89 @@
+// Taxonomy tour: walk the paper's three axes — decision rules, consistency
+// constraints, termination conditions — and, for each of the six problems of
+// Section 4, show a protocol from the library that solves it and one that
+// does not, verified by the model checker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== the three axes (Section 2) ===")
+	fmt.Println()
+	fmt.Println("decision rules: under what conditions may a value be decided?")
+	inputs := consensus.MustInputs("110")
+	for _, rule := range []consensus.DecisionRule{
+		consensus.Unanimity(),
+		consensus.BroadcastRule(0, false, consensus.Abort),
+		consensus.ThresholdRule(2),
+	} {
+		fmt.Printf("  %-16s inputs 110: commit allowed=%v, abort allowed (no failure)=%v\n",
+			rule.Name(),
+			rule.Permits(consensus.Commit, inputs, false),
+			rule.Permits(consensus.Abort, inputs, false))
+	}
+
+	fmt.Println()
+	fmt.Println("consistency: IC constrains co-nonfaulty processors; TC binds even the")
+	fmt.Println("decisions of processors that subsequently failed (dispensed money stays")
+	fmt.Println("dispensed). termination: WT decides, ST also forgets, HT also halts.")
+	fmt.Println()
+
+	// For each of the six problems: a solver and a non-solver.
+	type row struct {
+		problem consensus.Problem
+		solver  consensus.Protocol
+		failer  consensus.Protocol
+		maxFail int
+	}
+	rows := []row{
+		{consensus.UnanimityProblem(consensus.WT, consensus.IC), consensus.Chain(3), consensus.ChainST(3), 2},
+		{consensus.UnanimityProblem(consensus.WT, consensus.TC), consensus.AckCommit(3), consensus.TwoPhaseCommit(3), 2},
+		{consensus.UnanimityProblem(consensus.ST, consensus.IC), consensus.TreeST(3), consensus.ChainST(3), 2},
+		{consensus.UnanimityProblem(consensus.ST, consensus.TC), consensus.TreeST(3), consensus.Star(3), 2},
+		{consensus.UnanimityProblem(consensus.HT, consensus.IC), consensus.Star(3), consensus.Chain(3), 2},
+		{consensus.UnanimityProblem(consensus.HT, consensus.TC), consensus.HaltingCommit(3), consensus.Star(3), 2},
+	}
+	fmt.Println("=== the six problems (Section 4), each with a solver and a non-solver ===")
+	for _, r := range rows {
+		solves, err := verdict(r.solver, r.problem, r.maxFail)
+		if err != nil {
+			return err
+		}
+		fails, err := verdict(r.failer, r.problem, r.maxFail)
+		if err != nil {
+			return err
+		}
+		if !solves || fails {
+			return fmt.Errorf("%s: expectation violated (solver=%v failer-conforms=%v)",
+				r.problem.Name(), solves, fails)
+		}
+		fmt.Printf("  %-6s solved by %-18s not by %s\n", r.problem.Name(), r.solver.Name(), r.failer.Name())
+	}
+
+	fmt.Println()
+	fmt.Println("every claim above was verified exhaustively (all inputs, all delivery")
+	fmt.Println("orders, ≤2 failures at N=3); see cmd/cccheck to reproduce any row.")
+	return nil
+}
+
+func verdict(p consensus.Protocol, problem consensus.Problem, maxFail int) (bool, error) {
+	x, err := consensus.Check(p, problem, consensus.CheckOptions{
+		MaxFailures:          maxFail,
+		StopAtFirstViolation: true,
+	})
+	if err != nil {
+		return false, err
+	}
+	return x.Conforms(), nil
+}

@@ -1,0 +1,179 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+func problem(t taxonomy.Termination, c taxonomy.Consistency) taxonomy.Problem {
+	return taxonomy.Problem{Rule: taxonomy.UnanimityRule{}, Termination: t, Consistency: c}
+}
+
+func mustCheck(t *testing.T, proto sim.Protocol, p taxonomy.Problem, opts Options) *Exploration {
+	t.Helper()
+	x, err := Check(proto, p, opts)
+	if err != nil {
+		t.Fatalf("check %s against %s: %v", proto.Name(), p.Name(), err)
+	}
+	return x
+}
+
+func TestTreeSolvesWTTC(t *testing.T) {
+	x := mustCheck(t, protocols.Tree{Procs: 3}, problem(taxonomy.WT, taxonomy.TC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("tree(3) violates WT-TC: %v", x.Violations[0])
+	}
+	t.Logf("tree(3): %d nodes, %d states, %d terminals", x.NodeCount, len(x.States), x.Terminals)
+}
+
+func TestAckCommitSolvesWTTC(t *testing.T) {
+	x := mustCheck(t, protocols.AckCommit{Procs: 3}, problem(taxonomy.WT, taxonomy.TC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("ackcommit(3) violates WT-TC: %v", x.Violations[0])
+	}
+}
+
+func TestStarSolvesHTIC(t *testing.T) {
+	x := mustCheck(t, protocols.Star{Procs: 3}, problem(taxonomy.HT, taxonomy.IC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("star(3) violates HT-IC: %v", x.Violations[0])
+	}
+}
+
+func TestStarViolatesWTTC(t *testing.T) {
+	x := mustCheck(t, protocols.Star{Procs: 3}, problem(taxonomy.WT, taxonomy.TC),
+		Options{MaxFailures: 2, StopAtFirstViolation: true})
+	if x.Conforms() {
+		t.Fatal("star(3) unexpectedly satisfies WT-TC; it should violate total consistency")
+	}
+	found := false
+	for _, v := range x.Violations {
+		if v.Kind == "TC" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("expected a TC violation, got %v", x.Violations)
+	}
+}
+
+func TestChainSolvesWTIC(t *testing.T) {
+	x := mustCheck(t, protocols.Chain{Procs: 3}, problem(taxonomy.WT, taxonomy.IC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("chain(3) violates WT-IC: %v", x.Violations[0])
+	}
+}
+
+func TestChainViolatesWTTC(t *testing.T) {
+	x := mustCheck(t, protocols.Chain{Procs: 3}, problem(taxonomy.WT, taxonomy.TC),
+		Options{MaxFailures: 2, StopAtFirstViolation: true})
+	if x.Conforms() {
+		t.Fatal("chain(3) unexpectedly satisfies WT-TC")
+	}
+}
+
+func TestFullExchangeViolatesWTTC(t *testing.T) {
+	x := mustCheck(t, protocols.FullExchange{Procs: 3}, problem(taxonomy.WT, taxonomy.TC),
+		Options{MaxFailures: 2, StopAtFirstViolation: true})
+	if x.Conforms() {
+		t.Fatal("fullexchange(3) unexpectedly satisfies WT-TC")
+	}
+}
+
+func TestFullExchangeSolvesWTIC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full WT-IC exploration of fullexchange(3) takes ~1 minute")
+	}
+	x := mustCheck(t, protocols.FullExchange{Procs: 3}, problem(taxonomy.WT, taxonomy.IC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("fullexchange(3) violates WT-IC: %v", x.Violations[0])
+	}
+}
+
+func TestHaltingCommitSolvesHTTC(t *testing.T) {
+	x := mustCheck(t, protocols.HaltingCommit{Procs: 3}, problem(taxonomy.HT, taxonomy.TC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("haltingcommit(3) violates HT-TC: %v", x.Violations[0])
+	}
+	t.Logf("haltingcommit(3): %d nodes, %d states", x.NodeCount, len(x.States))
+}
+
+func TestTreeSTSolvesSTTC(t *testing.T) {
+	x := mustCheck(t, protocols.Tree{Procs: 3, ST: true}, problem(taxonomy.ST, taxonomy.TC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("tree-st(3) violates ST-TC: %v", x.Violations[0])
+	}
+}
+
+func TestChainSTViolatesSTIC(t *testing.T) {
+	x := mustCheck(t, protocols.Chain{Procs: 3, ST: true}, problem(taxonomy.ST, taxonomy.IC),
+		Options{MaxFailures: 2, StopAtFirstViolation: true})
+	if x.Conforms() {
+		t.Fatal("chain-st(3) unexpectedly satisfies ST-IC")
+	}
+}
+
+func TestTwoPhaseCommitSolvesWTIC(t *testing.T) {
+	x := mustCheck(t, protocols.TwoPhaseCommit{Procs: 3}, problem(taxonomy.WT, taxonomy.IC), Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("2pc(3) violates WT-IC: %v", x.Violations[0])
+	}
+}
+
+func TestTwoPhaseCommitViolatesWTTC(t *testing.T) {
+	// The classic blocking hazard: the coordinator commits and fails
+	// before the decision reaches anyone; the survivors abort.
+	x := mustCheck(t, protocols.TwoPhaseCommit{Procs: 3}, problem(taxonomy.WT, taxonomy.TC),
+		Options{MaxFailures: 2, StopAtFirstViolation: true})
+	if x.Conforms() {
+		t.Fatal("2pc(3) unexpectedly satisfies WT-TC")
+	}
+}
+
+func TestThresholdCommitSolvesWTTC(t *testing.T) {
+	p := taxonomy.Problem{Rule: taxonomy.ThresholdRule{K: 2}, Termination: taxonomy.WT, Consistency: taxonomy.TC}
+	x := mustCheck(t, protocols.ThresholdCommit{Procs: 3, K: 2}, p, Options{MaxFailures: 2})
+	if !x.Conforms() {
+		t.Fatalf("threshold(3,2) violates WT-TC under threshold-2: %v", x.Violations[0])
+	}
+}
+
+func TestTreeStatesAreSafe(t *testing.T) {
+	x := mustCheck(t, protocols.Tree{Procs: 3}, problem(taxonomy.WT, taxonomy.TC), Options{MaxFailures: 2})
+	rep := x.Safety()
+	if !rep.AllSafe() {
+		t.Fatalf("tree(3) has %d unsafe states, e.g. %s: %s",
+			len(rep.Unsafe), rep.Unsafe[0].Key, rep.Unsafe[0].Reason)
+	}
+	if len(rep.Corollary6) > 0 {
+		t.Fatalf("tree(3) violates Corollary 6: %v", rep.Corollary6[0])
+	}
+}
+
+func TestFullExchangeHasUnsafeStates(t *testing.T) {
+	// One failure suffices to expose the unsafe concurrency: a decided
+	// committer concurrent with a gatherer that lacks an input.
+	x, err := Explore(protocols.FullExchange{Procs: 3}, Options{MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := x.Safety()
+	if rep.AllSafe() {
+		t.Fatal("fullexchange(3) unexpectedly has only safe states")
+	}
+}
+
+func TestStarViolatesCorollary6(t *testing.T) {
+	x, err := Explore(protocols.Star{Procs: 3}, Options{MaxFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := x.Safety()
+	if len(rep.Corollary6) == 0 {
+		t.Fatal("star(3) unexpectedly satisfies Corollary 6; the coordinator commits before anyone shares its bias")
+	}
+}

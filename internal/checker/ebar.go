@@ -1,0 +1,58 @@
+package checker
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// EBarStates returns the E̅ states found by the exploration: the accessible
+// receiving states that never occur in a configuration in which their
+// occupant's buffer is empty. Formally (Section 3), a processor only enters
+// such a state if it knows its message buffer is not empty — "knows" read,
+// as everywhere in the paper, as holding in every accessible configuration
+// containing the state.
+//
+// A processor in an E̅ state cannot be forced to make a decision: it can
+// safely procrastinate until the impending message is delivered, which is
+// why Theorem 2's analysis excludes such states and why the paper gives the
+// priority-queue simulation (transform.EliminateEBar) that removes them
+// from total-communication protocols.
+func (x *Exploration) EBarStates() []string {
+	var out []string
+	for key, si := range x.States {
+		if si.Sample.Kind() != sim.Receiving {
+			continue
+		}
+		if !si.SeenEmptyBuffer {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConcurrencySet returns C(s) for the state with the given key: the sorted
+// keys of every state occurring in the same accessible configuration.
+func (x *Exploration) ConcurrencySet(stateKey string) []string {
+	si, ok := x.States[stateKey]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(si.Conc))
+	for k := range si.Conc {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StateKeys returns every accessible state key, sorted.
+func (x *Exploration) StateKeys() []string {
+	out := make([]string, 0, len(x.States))
+	for k := range x.States {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

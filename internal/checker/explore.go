@@ -1,0 +1,395 @@
+// Package checker implements the verification machinery behind the paper's
+// proofs: an exhaustive model checker over the reachable configuration space
+// (with fail-stop failure injection), computation of concurrency sets C(s),
+// the safe-state analysis of Theorem 2, bias/committability, and a
+// scenario-replay engine for the indistinguishability arguments of Theorems
+// 8 and 13.
+package checker
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxFailures bounds the number of injected failures per run.
+	// Negative means N−1 (the default); zero means failure-free.
+	MaxFailures int
+	// FailProcs restricts which processors may be failed (nil = all).
+	FailProcs []sim.ProcID
+	// Inputs restricts the initial input vectors (nil = all 2^N).
+	Inputs [][]sim.Bit
+	// MaxNodes caps the exploration (default 4_000_000). Exceeding it is
+	// an error, never a silent truncation.
+	MaxNodes int
+	// Problem, if non-nil, enables inline conformance checking: the
+	// decision rule is checked at every decision transition, consistency
+	// at every node, and termination at every terminal node. Violations
+	// accumulate in Exploration.Violations (capped at 100).
+	Problem *taxonomy.Problem
+	// TrackTraces records parent links so the first violation comes with
+	// a full event trace (FirstTrace). Costs memory proportional to the
+	// node count.
+	TrackTraces bool
+	// StopAtFirstViolation ends the exploration as soon as one violation
+	// is found — useful when only the existence of a counterexample
+	// matters.
+	StopAtFirstViolation bool
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes == 0 {
+		return 4_000_000
+	}
+	return o.MaxNodes
+}
+
+// StateInfo aggregates everything the analysis needs to know about one
+// accessible local state.
+type StateInfo struct {
+	// Key is the state's canonical encoding.
+	Key string
+	// Sample is one State value with this key.
+	Sample sim.State
+	// Procs lists which processors ever occupy the state.
+	Procs map[sim.ProcID]struct{}
+	// Inputs is the set of input vectors (encoded "0110…") under which
+	// the state is accessible. "s implies X" means X holds for every
+	// vector here.
+	Inputs map[string]struct{}
+	// Conc is the concurrency set C(s): the keys of every state that
+	// occurs in the same accessible configuration as s.
+	Conc map[string]struct{}
+	// SeenEmptyBuffer reports whether the state ever occurs in an
+	// accessible configuration in which its occupant's buffer is empty.
+	// A receiving state for which this is false is an E̅ state: the
+	// processor knows its buffer is not empty (Section 3).
+	SeenEmptyBuffer bool
+}
+
+// Decision returns the state's visible decision.
+func (si *StateInfo) Decision() sim.Decision {
+	if d, ok := si.Sample.Decided(); ok {
+		return d
+	}
+	return sim.NoDecision
+}
+
+// ImpliesAllOnes reports whether the state implies that every input is 1
+// (condition (2) of the safe-state definition).
+func (si *StateInfo) ImpliesAllOnes() bool {
+	for vec := range si.Inputs {
+		if strings.ContainsRune(vec, '0') {
+			return false
+		}
+	}
+	return true
+}
+
+// ConfigRecord is the per-configuration information retained after
+// exploration: interned state keys, the decision ledger (what each processor
+// has ever decided by this configuration), and whether the configuration is
+// terminal (quiescent).
+type ConfigRecord struct {
+	StateIdx  []int32
+	Ledger    []sim.Decision
+	InputsVec string
+	Terminal  bool
+}
+
+// Exploration is the result of exploring a protocol's configuration space.
+type Exploration struct {
+	Proto     sim.Protocol
+	Opts      Options
+	NodeCount int
+	// States maps canonical state key → aggregate info.
+	States map[string]*StateInfo
+	// stateKeys interns state keys for ConfigRecord.
+	stateKeys []string
+	stateIdx  map[string]int32
+	// Configs records every distinct explored node.
+	Configs []ConfigRecord
+	// Terminals counts quiescent nodes.
+	Terminals int
+	// Violations lists conformance violations found when Options.Problem
+	// was set, capped at 100.
+	Violations []taxonomy.Violation
+	// FirstTrace is the event trace leading to the first violation, when
+	// Options.TrackTraces was set.
+	FirstTrace []string
+
+	parents map[string]parentLink
+}
+
+type parentLink struct {
+	parent string
+	event  sim.Event
+}
+
+// traceTo reconstructs the event trace from an initial configuration to the
+// node with the given key.
+func (x *Exploration) traceTo(key string) []string {
+	if x.parents == nil {
+		return nil
+	}
+	var events []sim.Event
+	cur := key
+	for {
+		link, ok := x.parents[cur]
+		if !ok {
+			break
+		}
+		events = append(events, link.event)
+		cur = link.parent
+	}
+	out := make([]string, 0, len(events)+1)
+	out = append(out, "initial: "+cur)
+	for i := len(events) - 1; i >= 0; i-- {
+		out = append(out, events[i].String())
+	}
+	return out
+}
+
+// addViolation appends a violation, respecting the cap, and records the
+// trace to the first violating node when trace tracking is on.
+func (x *Exploration) addViolation(v taxonomy.Violation, nodeKey string) {
+	if len(x.Violations) == 0 && x.parents != nil {
+		x.FirstTrace = x.traceTo(nodeKey)
+	}
+	if len(x.Violations) < 100 {
+		x.Violations = append(x.Violations, v)
+	}
+}
+
+// Conforms reports whether a checked exploration found no violations.
+func (x *Exploration) Conforms() bool { return len(x.Violations) == 0 }
+
+// StateKeyAt resolves an interned index back to its key.
+func (x *Exploration) StateKeyAt(i int32) string { return x.stateKeys[i] }
+
+// node is one exploration state: configuration plus the decision ledger
+// (needed because total consistency constrains decisions that failure or
+// amnesia later hide).
+type node struct {
+	cfg    *sim.Config
+	ledger []sim.Decision
+}
+
+func (nd *node) key() string {
+	var sb strings.Builder
+	sb.WriteString(nd.cfg.Key())
+	sb.WriteByte('!')
+	for _, d := range nd.ledger {
+		switch d {
+		case sim.Commit:
+			sb.WriteByte('C')
+		case sim.Abort:
+			sb.WriteByte('A')
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+func inputsKey(inputs []sim.Bit) string {
+	var sb strings.Builder
+	for _, b := range inputs {
+		if b == sim.One {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Explore walks the reachable configuration space of the protocol over the
+// requested input vectors, injecting up to MaxFailures fail-stop failures at
+// every point, and aggregates states, concurrency sets, and configuration
+// records.
+func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
+	n := proto.N()
+	maxFail := opts.MaxFailures
+	if maxFail < 0 {
+		maxFail = n - 1
+	}
+	inputVecs := opts.Inputs
+	if inputVecs == nil {
+		inputVecs = sim.AllInputs(n)
+	}
+	failAllowed := make([]bool, n)
+	if opts.FailProcs == nil {
+		for i := range failAllowed {
+			failAllowed[i] = true
+		}
+	} else {
+		for _, p := range opts.FailProcs {
+			failAllowed[p] = true
+		}
+	}
+
+	x := &Exploration{
+		Proto:    proto,
+		Opts:     opts,
+		States:   make(map[string]*StateInfo),
+		stateIdx: make(map[string]int32),
+	}
+	if opts.TrackTraces {
+		x.parents = make(map[string]parentLink)
+	}
+	seen := make(map[string]struct{})
+
+	for _, inputs := range inputVecs {
+		if len(inputs) != n {
+			return nil, fmt.Errorf("checker: input vector %v has length %d, want %d", inputs, len(inputs), n)
+		}
+		vec := inputsKey(inputs)
+		start := &node{cfg: sim.NewConfig(proto, inputs), ledger: make([]sim.Decision, n)}
+		k := start.key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		stack := []*node{start}
+		x.record(start, vec)
+
+		for len(stack) > 0 {
+			if opts.StopAtFirstViolation && len(x.Violations) > 0 {
+				x.NodeCount = len(seen)
+				return x, nil
+			}
+			if len(seen) > opts.maxNodes() {
+				return nil, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+			}
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+			events := sim.Enabled(nd.cfg)
+			failedCount := 0
+			for p := 0; p < n; p++ {
+				if nd.cfg.Faulty(sim.ProcID(p)) {
+					failedCount++
+				}
+			}
+			if failedCount < maxFail {
+				for p := 0; p < n; p++ {
+					if failAllowed[p] && !nd.cfg.Faulty(sim.ProcID(p)) {
+						events = append(events, sim.Event{Proc: sim.ProcID(p), Type: sim.Fail})
+					}
+				}
+			}
+			for _, e := range events {
+				cfg, _, err := sim.Apply(proto, nd.cfg, e)
+				if err != nil {
+					return nil, fmt.Errorf("checker: exploring %s: %w", proto.Name(), err)
+				}
+				nxt := &node{cfg: cfg, ledger: updateLedger(nd.ledger, cfg)}
+				nk := nxt.key()
+				if x.parents != nil {
+					if _, ok := x.parents[nk]; !ok {
+						x.parents[nk] = parentLink{parent: nd.key(), event: e}
+					}
+				}
+				if opts.Problem != nil {
+					x.checkDecisionEdge(*opts.Problem, nd, nxt, inputs)
+				}
+				if _, ok := seen[nk]; ok {
+					continue
+				}
+				seen[nk] = struct{}{}
+				x.record(nxt, vec)
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	x.NodeCount = len(seen)
+	return x, nil
+}
+
+// BudgetError reports that exploration exceeded its node budget.
+type BudgetError struct {
+	Protocol string
+	Nodes    int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("checker: exploration of %s exceeded %d nodes", e.Protocol, e.Nodes)
+}
+
+// updateLedger extends the decision ledger with any decisions visible in the
+// configuration. Decisions are irrevocable (sim enforces it), so a visible
+// decision can only confirm or extend the ledger.
+func updateLedger(old []sim.Decision, cfg *sim.Config) []sim.Decision {
+	out := append([]sim.Decision(nil), old...)
+	for p, s := range cfg.States {
+		if d, ok := s.Decided(); ok {
+			out[p] = d
+		}
+	}
+	return out
+}
+
+// record aggregates one explored node into the exploration result.
+func (x *Exploration) record(nd *node, vec string) {
+	n := nd.cfg.N()
+	idx := make([]int32, n)
+	for p, s := range nd.cfg.States {
+		key := s.Key()
+		si, ok := x.States[key]
+		if !ok {
+			si = &StateInfo{
+				Key:    key,
+				Sample: s,
+				Procs:  make(map[sim.ProcID]struct{}),
+				Inputs: make(map[string]struct{}),
+				Conc:   make(map[string]struct{}),
+			}
+			x.States[key] = si
+			x.stateIdx[key] = int32(len(x.stateKeys))
+			x.stateKeys = append(x.stateKeys, key)
+		}
+		si.Procs[sim.ProcID(p)] = struct{}{}
+		si.Inputs[vec] = struct{}{}
+		if len(nd.cfg.Buffers[p]) == 0 {
+			si.SeenEmptyBuffer = true
+		}
+		idx[p] = x.stateIdx[key]
+	}
+	// Concurrency sets: every pair of states in this configuration is
+	// mutually concurrent.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			x.States[x.stateKeys[idx[i]]].Conc[x.stateKeys[idx[j]]] = struct{}{}
+		}
+	}
+	x.Configs = append(x.Configs, ConfigRecord{
+		StateIdx:  idx,
+		Ledger:    append([]sim.Decision(nil), nd.ledger...),
+		InputsVec: vec,
+		Terminal:  nd.cfg.Quiescent(),
+	})
+	if nd.cfg.Quiescent() {
+		x.Terminals++
+	}
+	if x.Opts.Problem != nil {
+		x.checkNode(*x.Opts.Problem, nd)
+	}
+}
+
+// kindOf returns the state kind for an interned index.
+func (x *Exploration) kindOf(i int32) sim.StateKind {
+	return x.States[x.stateKeys[i]].Sample.Kind()
+}
+
+// decisionOf returns the visible decision for an interned index.
+func (x *Exploration) decisionOf(i int32) sim.Decision {
+	return x.States[x.stateKeys[i]].Decision()
+}

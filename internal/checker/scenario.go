@@ -1,0 +1,186 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Driver builds specific adversarial executions step by step — the
+// mechanized form of the scenario constructions in the proofs of Theorems 8
+// and 13 ("all processors but p4 and p6 fail before p3 sends to p6 in
+// Phase 1", and so on).
+type Driver struct {
+	run *sim.Run
+}
+
+// NewDriver starts an execution of the protocol from the initial
+// configuration on the given inputs.
+func NewDriver(proto sim.Protocol, inputs []sim.Bit) (*Driver, error) {
+	if len(inputs) != proto.N() {
+		return nil, fmt.Errorf("checker: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
+	}
+	return &Driver{run: &sim.Run{Proto: proto, Configs: []*sim.Config{sim.NewConfig(proto, inputs)}}}, nil
+}
+
+// Run returns the execution built so far.
+func (d *Driver) Run() *sim.Run { return d.run }
+
+// Config returns the current configuration.
+func (d *Driver) Config() *sim.Config { return d.run.Final() }
+
+// StateOf returns processor p's current state.
+func (d *Driver) StateOf(p sim.ProcID) sim.State { return d.run.Final().States[p] }
+
+// Step applies a single explicit event.
+func (d *Driver) Step(e sim.Event) error { return d.run.Extend(sim.Schedule{e}) }
+
+// Fail fails the listed processors, in order.
+func (d *Driver) Fail(ps ...sim.ProcID) error {
+	for _, p := range ps {
+		if err := d.Step(sim.Event{Proc: p, Type: sim.Fail}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailAllExcept fails every processor not in the keep set.
+func (d *Driver) FailAllExcept(keep ...sim.ProcID) error {
+	keepSet := make(map[sim.ProcID]bool, len(keep))
+	for _, p := range keep {
+		keepSet[p] = true
+	}
+	for p := 0; p < d.Config().N(); p++ {
+		pid := sim.ProcID(p)
+		if keepSet[pid] || d.Config().Faulty(pid) {
+			continue
+		}
+		if err := d.Fail(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Picker selects the next event among the enabled ones; returning false
+// stops the drive.
+type Picker func(enabled []sim.Event, cfg *sim.Config) (sim.Event, bool)
+
+// Canonical picks the lexicographically first enabled event — a fixed,
+// deterministic schedule.
+func Canonical(enabled []sim.Event, _ *sim.Config) (sim.Event, bool) {
+	if len(enabled) == 0 {
+		return sim.Event{}, false
+	}
+	sorted := append([]sim.Event(nil), enabled...)
+	sortEvents(sorted)
+	return sorted[0], true
+}
+
+// OnlyProcs restricts stepping to the given processors (canonical order
+// within them): the other processors are "suspended" by the adversary, as
+// the asynchronous model permits.
+func OnlyProcs(ps ...sim.ProcID) Picker {
+	allowed := make(map[sim.ProcID]bool, len(ps))
+	for _, p := range ps {
+		allowed[p] = true
+	}
+	return func(enabled []sim.Event, _ *sim.Config) (sim.Event, bool) {
+		var filtered []sim.Event
+		for _, e := range enabled {
+			if allowed[e.Proc] {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) == 0 {
+			return sim.Event{}, false
+		}
+		sortEvents(filtered)
+		return filtered[0], true
+	}
+}
+
+// Excluding suppresses events matched by the filter and picks canonically
+// among the rest — e.g. "hold back the delivery of m to q".
+func Excluding(blocked func(sim.Event) bool) Picker {
+	return func(enabled []sim.Event, _ *sim.Config) (sim.Event, bool) {
+		var filtered []sim.Event
+		for _, e := range enabled {
+			if !blocked(e) {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) == 0 {
+			return sim.Event{}, false
+		}
+		sortEvents(filtered)
+		return filtered[0], true
+	}
+}
+
+func sortEvents(evs []sim.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Msg.Less(b.Msg)
+	})
+}
+
+// Drive repeatedly applies events chosen by the picker until the picker
+// stops, the predicate holds, or maxSteps is exceeded. A nil predicate
+// drives until the picker has nothing left to pick.
+func (d *Driver) Drive(pick Picker, until func(*sim.Config) bool, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 100_000
+	}
+	for i := 0; i < maxSteps; i++ {
+		if until != nil && until(d.Config()) {
+			return nil
+		}
+		e, ok := pick(sim.Enabled(d.Config()), d.Config())
+		if !ok {
+			if until != nil {
+				return fmt.Errorf("checker: drive exhausted events before predicate held (after %d steps)", i)
+			}
+			return nil
+		}
+		if err := d.Step(e); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("checker: drive exceeded %d steps", maxSteps)
+}
+
+// RunToQuiescence drives canonically until no events remain.
+func (d *Driver) RunToQuiescence() error { return d.Drive(Canonical, nil, 0) }
+
+// Decided reports the decision processor p has (ever) made in this
+// execution.
+func (d *Driver) Decided(p sim.ProcID) (sim.Decision, bool) { return d.run.DecisionOf(p) }
+
+// SameState reports whether processor p occupies structurally identical
+// states in the final configurations of the two executions — the hypothesis
+// of Lemma 3's indistinguishability argument.
+func SameState(a, b *Driver, p sim.ProcID) bool {
+	return a.StateOf(p).Key() == b.StateOf(p).Key()
+}
+
+// ExtendBoth applies the same schedule to both executions; per Lemma 3, any
+// processor with equal states beforehand has equal states afterwards, which
+// the caller can assert with SameState.
+func ExtendBoth(a, b *Driver, sched sim.Schedule) error {
+	if err := a.run.Extend(sched); err != nil {
+		return fmt.Errorf("first execution: %w", err)
+	}
+	if err := b.run.Extend(sched); err != nil {
+		return fmt.Errorf("second execution: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+func newChainDriver(t *testing.T, inputs string) *Driver {
+	t.Helper()
+	in, err := sim.InputsFromString(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(protocols.Chain{Procs: len(in)}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriverRunToQuiescence(t *testing.T) {
+	d := newChainDriver(t, "111")
+	if err := d.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Config().Quiescent() {
+		t.Fatal("configuration should be quiescent")
+	}
+	for p := 0; p < 3; p++ {
+		if dec, ok := d.Decided(sim.ProcID(p)); !ok || dec != sim.Commit {
+			t.Fatalf("%s: %v %v", sim.ProcID(p), dec, ok)
+		}
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	d1 := newChainDriver(t, "101")
+	d2 := newChainDriver(t, "101")
+	if err := d1.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Config().Key() != d2.Config().Key() {
+		t.Fatal("canonical drives should be identical")
+	}
+	if len(d1.Run().Schedule) != len(d2.Run().Schedule) {
+		t.Fatal("canonical schedules should have equal length")
+	}
+}
+
+func TestDriverFailAllExcept(t *testing.T) {
+	d := newChainDriver(t, "1111")
+	if err := d.FailAllExcept(2); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		faulty := d.Config().Faulty(sim.ProcID(p))
+		if p == 2 && faulty {
+			t.Fatal("p2 should survive")
+		}
+		if p != 2 && !faulty {
+			t.Fatalf("%s should have failed", sim.ProcID(p))
+		}
+	}
+	// The survivor alone must still reach a decision (weak termination).
+	if err := d.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if dec, ok := d.Decided(2); !ok || dec != sim.Abort {
+		t.Fatalf("lone survivor should abort, got %v %v", dec, ok)
+	}
+}
+
+func TestOnlyProcsPicker(t *testing.T) {
+	d := newChainDriver(t, "111")
+	// Only p1 may act: it sends its vote and then has nothing to do.
+	if err := d.Drive(OnlyProcs(1), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.Run().Schedule {
+		if e.Proc != 1 {
+			t.Fatalf("event by %s under OnlyProcs(1)", e.Proc)
+		}
+	}
+	if !strings.Contains(d.StateOf(1).Key(), "wait-decision") {
+		t.Fatalf("p1 should be waiting: %s", d.StateOf(1).Key())
+	}
+}
+
+func TestExcludingPicker(t *testing.T) {
+	d := newChainDriver(t, "111")
+	// Never deliver anything to p0: it can only collect nothing, so the
+	// chain stalls after the votes are sent.
+	blocked := func(e sim.Event) bool { return e.Type == sim.Deliver && e.Proc == 0 }
+	if err := d.Drive(Excluding(blocked), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Decided(0); ok {
+		t.Fatal("p0 cannot decide without receiving votes")
+	}
+	if len(d.Config().Buffers[0]) != 2 {
+		t.Fatalf("p0's buffer should hold the 2 undelivered votes, has %d", len(d.Config().Buffers[0]))
+	}
+}
+
+func TestDriveUntilPredicate(t *testing.T) {
+	d := newChainDriver(t, "111")
+	decided := func(c *sim.Config) bool {
+		_, ok := c.States[0].Decided()
+		return ok
+	}
+	if err := d.Drive(Canonical, decided, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Decided(0); !ok {
+		t.Fatal("predicate should have stopped after p0 decided")
+	}
+}
+
+func TestDriveErrorWhenPredicateUnreachable(t *testing.T) {
+	d := newChainDriver(t, "111")
+	never := func(c *sim.Config) bool { return false }
+	onlyP1 := OnlyProcs(1)
+	if err := d.Drive(onlyP1, never, 0); err == nil {
+		t.Fatal("expected an error when events run out before the predicate holds")
+	}
+}
+
+func TestSameStateAndExtendBoth(t *testing.T) {
+	d1 := newChainDriver(t, "111")
+	d2 := newChainDriver(t, "110") // p2 differs, p1 identical
+	if !SameState(d1, d2, 1) {
+		t.Fatal("p1 starts identically in both")
+	}
+	if SameState(d1, d2, 2) {
+		t.Fatal("p2's initial states differ (different inputs)")
+	}
+	// Lemma 3: apply the same schedule (p1's vote send) to both.
+	sched := sim.Schedule{{Proc: 1, Type: sim.SendStepEvent}}
+	if err := ExtendBoth(d1, d2, sched); err != nil {
+		t.Fatal(err)
+	}
+	if !SameState(d1, d2, 1) {
+		t.Fatal("Lemma 3: p1's states must remain equal under an identical schedule")
+	}
+}
+
+func TestDriverRejectsBadInputs(t *testing.T) {
+	if _, err := NewDriver(protocols.Chain{Procs: 3}, []sim.Bit{sim.One}); err == nil {
+		t.Fatal("expected input-length error")
+	}
+}

@@ -1,0 +1,106 @@
+// Package core assembles the paper's primary contribution: the relationships
+// among the six consensus problems {WT, ST, HT} × {IC, TC} under the
+// unanimity decision rule (Section 4 of Dwork & Skeen, 1984), derived from
+// machine-checked witnesses.
+//
+// The package mechanizes the paper's proof structure. Positive reductions
+// come from Theorem 1's implications, demonstrated by model-checking the
+// witness protocols of Figures 1–4 against the problems they solve.
+// Negative results (strictness and incomparability) come from the paper's
+// own counterexample constructions, executed literally: the scenario
+// replays of Theorems 8 and 13 build the adversarial schedules, assert the
+// state-equality (indistinguishability) premises of Lemma 3, and exhibit
+// the resulting inconsistencies on concrete protocol variants.
+//
+// The final deliverable is the Lattice: the paper's closing diagram,
+//
+//	WT-IC ≺ WT-TC
+//	  ≺       ≺
+//	ST-IC ≺ ST-TC
+//	  ≺       ≺
+//	HT-IC ≺ HT-TC
+//
+// with HT-IC incomparable to both WT-TC and ST-TC, every inequality strict.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+// Relation classifies how problem A relates to problem B under the paper's
+// reducibility ⪯.
+type Relation int
+
+const (
+	// RelUnknown means the paper derives neither direction.
+	RelUnknown Relation = iota
+	// RelEqual means A and B are the same problem.
+	RelEqual
+	// RelReducesStrictly means A ≺ B: A reduces to B and not conversely.
+	RelReducesStrictly
+	// RelReducedByStrictly means B ≺ A.
+	RelReducedByStrictly
+	// RelIncomparable means neither problem reduces to the other.
+	RelIncomparable
+	// RelHalfOpen means A ⋠ B is established but B ⪯ A is not derived
+	// either way.
+	RelHalfOpen
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case RelEqual:
+		return "="
+	case RelReducesStrictly:
+		return "≺"
+	case RelReducedByStrictly:
+		return "≻"
+	case RelIncomparable:
+		return "incomparable"
+	case RelHalfOpen:
+		return "⋠ (converse open)"
+	default:
+		return "open"
+	}
+}
+
+// Evidence records one machine-checked fact supporting the lattice.
+type Evidence struct {
+	// Name cites the paper result, e.g. "Theorem 8 (first half)".
+	Name string
+	// Claim states what was verified.
+	Claim string
+	// OK reports whether the verification succeeded.
+	OK bool
+	// Details lists supporting observations (node counts, state keys,
+	// decisions reached in replays).
+	Details []string
+}
+
+func (e Evidence) String() string {
+	status := "FAIL"
+	if e.OK {
+		status = "ok"
+	}
+	return fmt.Sprintf("[%s] %s — %s", status, e.Name, e.Claim)
+}
+
+// problemIndex orders the six problems as in the paper's diagram.
+func problemIndex(p taxonomy.Problem) int {
+	i := 0
+	switch p.Termination {
+	case taxonomy.WT:
+		i = 0
+	case taxonomy.ST:
+		i = 2
+	case taxonomy.HT:
+		i = 4
+	}
+	if p.Consistency == taxonomy.TC {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/taxonomy"
+)
+
+// Lattice is the paper's closing diagram: the full relation over the six
+// problems {WT, ST, HT} × {IC, TC} under unanimity, derived from Theorem 1's
+// reductions, the strictness results of Theorems 8 and 13 and Corollaries
+// 9–12, and logical closure.
+type Lattice struct {
+	// Problems lists the six problems in diagram order: WT-IC, WT-TC,
+	// ST-IC, ST-TC, HT-IC, HT-TC.
+	Problems []taxonomy.Problem
+	// reduces[a][b] reports whether problem a ⪯ b is established.
+	reduces [6][6]bool
+	// notReduces[a][b] reports whether a ⋠ b is established.
+	notReduces [6][6]bool
+	// Facts lists the base facts with their paper citations.
+	Facts []Fact
+	// Evidence lists the machine-checked witnesses behind the facts.
+	Evidence []Evidence
+}
+
+// Fact is one base fact of the derivation.
+type Fact struct {
+	// A, B are diagram indices; the fact is "A ⪯ B" or "A ⋠ B".
+	A, B int
+	// Reduces selects between ⪯ (true) and ⋠ (false).
+	Reduces bool
+	// Source cites the paper result establishing the fact.
+	Source string
+}
+
+// BuildLattice derives the relation. Base facts:
+//
+//   - Theorem 1: T-IC ⪯ T-TC for every termination condition T, and
+//     WT-C ⪯ ST-C ⪯ HT-C for every consistency constraint C (with all the
+//     implied compositions).
+//   - Theorem 8: HT-IC ⋠ WT-TC and WT-TC ⋠ HT-IC.
+//   - Corollary 11: HT-IC ⋠ ST-TC (the amnesic Figure 1 variant).
+//   - Theorem 13: ST-IC ⋠ WT-IC and ST-TC ⋠ WT-TC.
+//
+// Everything else — Corollaries 9, 10, 12 and the remaining strictness and
+// incomparability entries of the diagram — follows by the closure rules
+//
+//	A ⪯ B and A ⋠ C  ⇒  B ⋠ C      (else A ⪯ B ⪯ C)
+//	B ⪯ C and A ⋠ C  ⇒  A ⋠ B      (else A ⪯ B ⪯ C)
+//
+// mirroring how the paper derives its corollaries from transitivity.
+func BuildLattice() *Lattice {
+	l := &Lattice{Problems: taxonomy.SixProblems()}
+
+	// Theorem 1 closure (TriviallyReduces is already transitive).
+	for i, a := range l.Problems {
+		for j, b := range l.Problems {
+			if taxonomy.TriviallyReduces(a, b) {
+				l.reduces[i][j] = true
+				if i != j {
+					l.Facts = append(l.Facts, Fact{A: i, B: j, Reduces: true, Source: "Theorem 1"})
+				}
+			}
+		}
+	}
+
+	base := []Fact{
+		{A: l.index(taxonomy.HT, taxonomy.IC), B: l.index(taxonomy.WT, taxonomy.TC), Source: "Theorem 8 (Figure 1 tree pattern)"},
+		{A: l.index(taxonomy.WT, taxonomy.TC), B: l.index(taxonomy.HT, taxonomy.IC), Source: "Theorem 8 (Figure 2 star protocol)"},
+		{A: l.index(taxonomy.HT, taxonomy.IC), B: l.index(taxonomy.ST, taxonomy.TC), Source: "Corollary 11 (amnesic Figure 1 variant)"},
+		{A: l.index(taxonomy.ST, taxonomy.IC), B: l.index(taxonomy.WT, taxonomy.IC), Source: "Theorem 13 (Figure 3 chain pattern)"},
+		{A: l.index(taxonomy.ST, taxonomy.TC), B: l.index(taxonomy.WT, taxonomy.TC), Source: "Theorem 13 (Figure 4 perverse protocol)"},
+	}
+	for _, f := range base {
+		l.notReduces[f.A][f.B] = true
+		l.Facts = append(l.Facts, f)
+	}
+
+	// Closure to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < 6; a++ {
+			for b := 0; b < 6; b++ {
+				for c := 0; c < 6; c++ {
+					if l.reduces[a][b] && l.notReduces[a][c] && !l.notReduces[b][c] {
+						l.notReduces[b][c] = true
+						changed = true
+					}
+					if l.reduces[b][c] && l.notReduces[a][c] && !l.notReduces[a][b] {
+						l.notReduces[a][b] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return l
+}
+
+func (l *Lattice) index(t taxonomy.Termination, c taxonomy.Consistency) int {
+	return problemIndex(taxonomy.Problem{Rule: taxonomy.UnanimityRule{}, Termination: t, Consistency: c})
+}
+
+// Reduces reports whether a ⪯ b is established.
+func (l *Lattice) Reduces(a, b taxonomy.Problem) bool {
+	return l.reduces[problemIndex(a)][problemIndex(b)]
+}
+
+// NotReduces reports whether a ⋠ b is established.
+func (l *Lattice) NotReduces(a, b taxonomy.Problem) bool {
+	return l.notReduces[problemIndex(a)][problemIndex(b)]
+}
+
+// Relation classifies the pair (a, b).
+func (l *Lattice) Relation(a, b taxonomy.Problem) Relation {
+	i, j := problemIndex(a), problemIndex(b)
+	switch {
+	case i == j:
+		return RelEqual
+	case l.reduces[i][j] && l.notReduces[j][i]:
+		return RelReducesStrictly
+	case l.reduces[j][i] && l.notReduces[i][j]:
+		return RelReducedByStrictly
+	case l.notReduces[i][j] && l.notReduces[j][i]:
+		return RelIncomparable
+	case l.notReduces[i][j] || l.notReduces[j][i]:
+		return RelHalfOpen
+	default:
+		return RelUnknown
+	}
+}
+
+// Render draws the paper's closing diagram together with the full relation
+// matrix and the base facts.
+func (l *Lattice) Render() string {
+	var sb strings.Builder
+	sb.WriteString("The six consensus problems under unanimity (Dwork & Skeen 1984, closing diagram):\n\n")
+	sb.WriteString("    WT-IC ≺ WT-TC\n")
+	sb.WriteString("      ≺       ≺\n")
+	sb.WriteString("    ST-IC ≺ ST-TC\n")
+	sb.WriteString("      ≺       ≺\n")
+	sb.WriteString("    HT-IC ≺ HT-TC\n\n")
+	sb.WriteString("    all inequalities strict; HT-IC incomparable to WT-TC and to ST-TC\n\n")
+
+	sb.WriteString("Derived relation matrix (row vs column):\n\n")
+	names := make([]string, 6)
+	for i, p := range l.Problems {
+		names[i] = p.Name()
+	}
+	fmt.Fprintf(&sb, "%9s", "")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %14s", n)
+	}
+	sb.WriteByte('\n')
+	for i, a := range l.Problems {
+		fmt.Fprintf(&sb, "%9s", names[i])
+		for _, b := range l.Problems {
+			fmt.Fprintf(&sb, " %14s", l.Relation(a, b))
+		}
+		sb.WriteByte('\n')
+	}
+
+	sb.WriteString("\nBase facts:\n")
+	for _, f := range l.Facts {
+		rel := "⪯"
+		if !f.Reduces {
+			rel = "⋠"
+		}
+		fmt.Fprintf(&sb, "  %s %s %s   [%s]\n", l.Problems[f.A].Name(), rel, l.Problems[f.B].Name(), f.Source)
+	}
+	if len(l.Evidence) > 0 {
+		sb.WriteString("\nMachine-checked evidence:\n")
+		for _, e := range l.Evidence {
+			fmt.Fprintf(&sb, "  %s\n", e)
+			for _, d := range e.Details {
+				fmt.Fprintf(&sb, "      %s\n", d)
+			}
+		}
+	}
+	return sb.String()
+}

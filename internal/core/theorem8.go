@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/pattern"
+	"repro/internal/protocols"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Theorem 8 (first half): HT-IC does not reduce to WT-TC. The witness is
+// the seven-processor tree protocol of Figure 1 (paper numbering p1…p7 is
+// our p0…p6: the paper's p4 is our p3, its p6 is our p5).
+//
+// The replay mechanizes the proof's ingredients:
+//
+//  1. The scheme of the tree protocol contains a pattern in which one
+//     processor (a leaf with input 0) sends a single message and receives
+//     none — it decides and goes quiet after one send.
+//
+//  2. Scenario 1 (leaf input 0, leaf aborts, everyone but the two leaves
+//     fails early) and Scenario 2 (all inputs 1, the first leaf becomes
+//     committable and begins Phase 2, then everyone but the two leaves
+//     fails) are indistinguishable to the second leaf: its states are
+//     structurally equal, having received nothing but failure notices.
+//
+//  3. Extending both scenarios with the same schedule keeps the second
+//     leaf's states equal (Lemma 3, executed), and in neither can it decide
+//     without hearing from the first leaf.
+//
+// In an HT-IC protocol with this communication pattern, the first leaf
+// would have halted (abort in Scenario 1, commit in Scenario 2) and could
+// never speak again, so the second leaf would be forced to the same
+// decision in both scenarios — inconsistent with one of them. Our WT-TC
+// tree escapes only because the first leaf never halts: weak termination
+// lets it keep listening, which is exactly why the pattern is fine for
+// WT-TC and impossible for HT-IC.
+
+const (
+	t8Leaf0 = sim.ProcID(3) // the paper's p4: first leaf, child of p1
+	t8Leaf1 = sim.ProcID(5) // the paper's p6: leaf in the other subtree
+)
+
+// Theorem8Pattern verifies ingredient 1 on the failure-free scheme.
+func Theorem8Pattern() Evidence {
+	ev := Evidence{
+		Name:  "Theorem 8 (scheme fact)",
+		Claim: "tree(7) has a failure-free pattern where the 0-leaf sends one message and receives none",
+	}
+	proto := protocols.Tree{Procs: 7}
+	inputs := make([]sim.Bit, 7)
+	for i := range inputs {
+		inputs[i] = sim.One
+	}
+	inputs[t8Leaf0] = sim.Zero
+	set, err := scheme.Enumerate(proto, inputs, scheme.Options{})
+	if err != nil {
+		ev.Details = append(ev.Details, "enumeration failed: "+err.Error())
+		return ev
+	}
+	for _, p := range set.Patterns() {
+		if leafSendsOneReceivesNone(p, t8Leaf0) {
+			ev.OK = true
+			ev.Details = append(ev.Details,
+				fmt.Sprintf("pattern with %d messages: %s sends only (%s,%s,1), receives none",
+					p.Size(), t8Leaf0, t8Leaf0, sim.ProcID(1)))
+			return ev
+		}
+	}
+	ev.Details = append(ev.Details, fmt.Sprintf("no such pattern among %d", set.Len()))
+	return ev
+}
+
+func leafSendsOneReceivesNone(p *pattern.Pattern, leaf sim.ProcID) bool {
+	sent, received := 0, 0
+	for _, id := range p.Messages() {
+		if id.From == leaf {
+			sent++
+		}
+		if id.To == leaf {
+			received++
+		}
+	}
+	return sent == 1 && received == 0
+}
+
+// Theorem8Replay verifies ingredients 2 and 3.
+func Theorem8Replay() Evidence {
+	ev := Evidence{
+		Name:  "Theorem 8 (scenario replay)",
+		Claim: "the two scenarios are indistinguishable to the second leaf (Lemma 3 premise and conclusion)",
+	}
+	d1, err := theorem8Scenario(sim.Zero)
+	if err != nil {
+		ev.Details = append(ev.Details, "scenario 1: "+err.Error())
+		return ev
+	}
+	d2, err := theorem8Scenario(sim.One)
+	if err != nil {
+		ev.Details = append(ev.Details, "scenario 2: "+err.Error())
+		return ev
+	}
+
+	// Ingredient 2: state equality after the failures.
+	if !checker.SameState(d1, d2, t8Leaf1) {
+		ev.Details = append(ev.Details,
+			"second leaf distinguishes the scenarios:",
+			"  scenario 1: "+d1.StateOf(t8Leaf1).Key(),
+			"  scenario 2: "+d2.StateOf(t8Leaf1).Key())
+		return ev
+	}
+	ev.Details = append(ev.Details, "state("+t8Leaf1.String()+") equal across scenarios: "+d1.StateOf(t8Leaf1).Key())
+
+	// Sanity: the first leaf's situation differs — aborted in scenario 1,
+	// committable (acked, undecided) in scenario 2.
+	if d, ok := d1.Decided(t8Leaf0); !ok || d != sim.Abort {
+		ev.Details = append(ev.Details, "scenario 1: first leaf should have aborted")
+		return ev
+	}
+	if _, ok := d2.Decided(t8Leaf0); ok {
+		ev.Details = append(ev.Details, "scenario 2: first leaf decided too early for the scenario")
+		return ev
+	}
+
+	// Ingredient 3 (Lemma 3 executed): drive the second leaf alone with
+	// the same schedule in both scenarios; its states stay equal and it
+	// cannot decide without hearing from the first leaf.
+	for i := 0; i < 8; i++ {
+		enabled := onlyProcEvents(d1, t8Leaf1)
+		if len(enabled) == 0 {
+			break
+		}
+		if err := checker.ExtendBoth(d1, d2, sim.Schedule{enabled[0]}); err != nil {
+			ev.Details = append(ev.Details, "extension: "+err.Error())
+			return ev
+		}
+		if !checker.SameState(d1, d2, t8Leaf1) {
+			ev.Details = append(ev.Details, "Lemma 3 violated: states diverged under an identical schedule")
+			return ev
+		}
+	}
+	if _, ok := d1.Decided(t8Leaf1); ok {
+		ev.Details = append(ev.Details, "second leaf decided without input from the first leaf — unexpected")
+		return ev
+	}
+	ev.OK = true
+	ev.Details = append(ev.Details,
+		"states remained equal under an identical extension; the second leaf remains undecided,",
+		"which an HT-IC protocol (whose first leaf has halted) could not afford")
+	return ev
+}
+
+// theorem8Scenario builds the configuration after the scenario's failures:
+// the 0/1 parameter is the first leaf's input (Scenario 1 uses 0,
+// Scenario 2 uses 1).
+func theorem8Scenario(leafInput sim.Bit) (*checker.Driver, error) {
+	proto := protocols.Tree{Procs: 7}
+	inputs := make([]sim.Bit, 7)
+	for i := range inputs {
+		inputs[i] = sim.One
+	}
+	inputs[t8Leaf0] = leafInput
+
+	d, err := checker.NewDriver(proto, inputs)
+	if err != nil {
+		return nil, err
+	}
+	// Hold back every delivery to the second leaf, and keep p2 (the
+	// second subtree's inner node, the paper's p3) from receiving the
+	// root's bias, so no bias is ever forwarded into that subtree.
+	blocked := func(e sim.Event) bool {
+		if e.Type != sim.Deliver {
+			return false
+		}
+		if e.Proc == t8Leaf1 {
+			return true
+		}
+		return e.Proc == 2 && e.Msg.From == 0
+	}
+	until := func(c *sim.Config) bool {
+		key := c.States[t8Leaf0].Key()
+		if leafInput == sim.Zero {
+			// Scenario 1: the first leaf has aborted.
+			_, decided := c.States[t8Leaf0].Decided()
+			return decided
+		}
+		// Scenario 2: the first leaf is committable and has begun
+		// Phase 2 (acknowledged, awaiting commit).
+		return strings.Contains(key, "leaf-wait-commit") && c.States[t8Leaf0].Kind() == sim.Receiving
+	}
+	if err := d.Drive(checker.Excluding(blocked), until, 0); err != nil {
+		return nil, err
+	}
+	if err := d.FailAllExcept(t8Leaf0, t8Leaf1); err != nil {
+		return nil, err
+	}
+	// Let the second leaf run alone: it completes any pending send,
+	// consumes the failure notices, and enters the termination protocol.
+	empty := func(c *sim.Config) bool {
+		return len(c.Buffers[t8Leaf1]) == 0 && c.States[t8Leaf1].Kind() != sim.Sending
+	}
+	if err := d.Drive(checker.OnlyProcs(t8Leaf1), empty, 0); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// onlyProcEvents lists the enabled events of one processor, canonically.
+func onlyProcEvents(d *checker.Driver, p sim.ProcID) []sim.Event {
+	var out []sim.Event
+	for _, e := range sim.Enabled(d.Config()) {
+		if e.Proc == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}

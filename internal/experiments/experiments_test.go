@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	reports := All(Options{Quick: true})
+	if len(reports) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(reports))
+	}
+	seen := make(map[string]bool)
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.OK {
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Artifact, strings.Join(r.Measured, "\n"))
+		}
+		if len(r.Measured) == 0 {
+			t.Errorf("%s has no measurements", r.ID)
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Errorf("%s rendering missing its ID", r.ID)
+		}
+	}
+}
+
+func TestE6BoundHolds(t *testing.T) {
+	r := E6Theorem7(Options{Quick: true})
+	if !r.OK {
+		t.Fatalf("Theorem 7 bound violated:\n%s", strings.Join(r.Measured, "\n"))
+	}
+}
+
+func TestE8Ordering(t *testing.T) {
+	r := E8MessageComplexity(Options{Quick: true})
+	if !r.OK {
+		t.Fatalf("message-complexity shape violated:\n%s", strings.Join(r.Measured, "\n"))
+	}
+}
+
+func TestAllExperimentsExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive experiments take minutes")
+	}
+	for _, r := range All(Options{}) {
+		if !r.OK {
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Artifact, strings.Join(r.Measured, "\n"))
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+// TestPatternInvariantUnderCommutingEvents verifies the property that makes
+// communication patterns the right abstraction: swapping two adjacent
+// schedule events at different processors, where neither delivers a message
+// the other just sent, yields the same final configuration and the same
+// communication pattern. (This is why the scheme enumerator may deduplicate
+// interleavings by configuration + causal history.)
+func TestPatternInvariantUnderCommutingEvents(t *testing.T) {
+	protos := []sim.Protocol{
+		protocols.AckCommit{Procs: 4},
+		protocols.Chain{Procs: 4},
+		protocols.Perverse{},
+	}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 15; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([]sim.Bit, proto.N())
+				for i := range inputs {
+					if rng.Intn(2) == 1 {
+						inputs[i] = sim.One
+					}
+				}
+				base, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				swapped, i := commutablePair(base, rng)
+				if i < 0 {
+					continue // no commuting pair in this run
+				}
+				redo := &sim.Run{Proto: proto, Configs: []*sim.Config{sim.NewConfig(proto, inputs)}}
+				if err := redo.Extend(swapped); err != nil {
+					t.Fatalf("seed %d: swapped schedule inapplicable at %d: %v", seed, i, err)
+				}
+				if base.Final().Key() != redo.Final().Key() {
+					t.Fatalf("seed %d: final configurations differ after commuting events %d,%d",
+						seed, i, i+1)
+				}
+				if !FromRun(base).Equal(FromRun(redo)) {
+					t.Fatalf("seed %d: patterns differ after commuting events %d,%d", seed, i, i+1)
+				}
+			}
+		})
+	}
+}
+
+// commutablePair picks a random adjacent pair of independent events in the
+// run's schedule and returns the schedule with that pair swapped, along with
+// the index (or -1 if none exists). Two adjacent events are independent when
+// they are at different processors and the second does not deliver a message
+// sent by the first.
+func commutablePair(r *sim.Run, rng *rand.Rand) (sim.Schedule, int) {
+	var candidates []int
+	for i := 0; i+1 < len(r.Schedule); i++ {
+		a, b := r.Schedule[i], r.Schedule[i+1]
+		if a.Proc == b.Proc {
+			continue
+		}
+		if b.Type == sim.Deliver {
+			sentByA := false
+			for _, m := range r.Effects[i].Sent {
+				if m.ID == b.Msg {
+					sentByA = true
+				}
+			}
+			if sentByA {
+				continue
+			}
+		}
+		// Failure events interact with everyone's buffers; a delivery
+		// of a notice just sent is the same hazard as above.
+		if a.Type == sim.Fail && b.Type == sim.Deliver && b.Msg.From == a.Proc {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	if len(candidates) == 0 {
+		return nil, -1
+	}
+	i := candidates[rng.Intn(len(candidates))]
+	out := append(sim.Schedule(nil), r.Schedule...)
+	out[i], out[i+1] = out[i+1], out[i]
+	return out, i
+}

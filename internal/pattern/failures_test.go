@@ -1,0 +1,105 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// relayState drives a three-processor scenario: p0 sends m1 to p2, then
+// fails; p1, upon receiving p0's failure notice, sends m2 to p2.
+type relayState struct {
+	id   sim.ProcID
+	sent bool
+	goOn bool // p1: notice received, must send
+}
+
+func (s relayState) Kind() sim.StateKind {
+	if (s.id == 0 && !s.sent) || (s.id == 1 && s.goOn && !s.sent) {
+		return sim.Sending
+	}
+	return sim.Receiving
+}
+func (s relayState) Decided() (sim.Decision, bool) { return sim.NoDecision, false }
+func (s relayState) Amnesic() bool                 { return false }
+func (s relayState) Key() string {
+	k := "relay{" + s.id.String()
+	if s.sent {
+		k += " sent"
+	}
+	if s.goOn {
+		k += " go"
+	}
+	return k + "}"
+}
+
+type relayProto struct{}
+
+func (relayProto) Name() string { return "relay" }
+func (relayProto) N() int       { return 3 }
+func (relayProto) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return relayState{id: p}
+}
+func (relayProto) Receive(p sim.ProcID, s sim.State, m sim.Message) sim.State {
+	st := s.(relayState)
+	if st.id == 1 && m.Notice {
+		st.goOn = true
+	}
+	return st
+}
+func (relayProto) SendStep(p sim.ProcID, s sim.State) (sim.State, []sim.Envelope) {
+	st := s.(relayState)
+	if st.sent {
+		return st, nil
+	}
+	st.sent = true
+	return st, []sim.Envelope{{To: 2, Payload: ppPayload("m" + p.String())}}
+}
+
+func TestKnowledgeFlowsThroughFailureNotices(t *testing.T) {
+	proto := relayProto{}
+	cfg := sim.NewConfig(proto, []sim.Bit{sim.One, sim.One, sim.One})
+	run := &sim.Run{Proto: proto, Configs: []*sim.Config{cfg}}
+	sched := sim.Schedule{
+		{Proc: 0, Type: sim.SendStepEvent},                                   // m1 = (p0,p2,1)
+		{Proc: 0, Type: sim.Fail},                                            // notices carry p0's causal past
+		{Proc: 1, Type: sim.Deliver, Msg: sim.MsgID{From: 0, To: 1, Seq: 1}}, // p1 learns of the failure
+		{Proc: 1, Type: sim.SendStepEvent},                                   // m2 = (p1,p2,1)
+	}
+	if err := run.Extend(sched); err != nil {
+		t.Fatal(err)
+	}
+	p := FromRun(run)
+	m1 := sim.MsgID{From: 0, To: 2, Seq: 1}
+	m2 := sim.MsgID{From: 1, To: 2, Seq: 1}
+
+	// Failure notices are not pattern elements…
+	if p.Size() != 2 {
+		t.Fatalf("pattern should hold exactly m1 and m2, has %d: %s", p.Size(), p.Key())
+	}
+	for _, id := range p.Messages() {
+		if id != m1 && id != m2 {
+			t.Fatalf("unexpected pattern element %s (failure notices must be excluded)", id)
+		}
+	}
+	// …but knowledge still flows through them: the contents of m1 may be
+	// known to p1 when it sends m2 (it received failed(p0), whose sender
+	// knew m1), so m1 <_I m2.
+	if !p.Less(m1, m2) {
+		t.Fatalf("m1 should precede m2 through the failure notice: %s", p.Key())
+	}
+}
+
+func TestFailureFreePatternIgnoresUnrelatedSends(t *testing.T) {
+	// Without the failure, p1 never sends: the pattern is just {m1}.
+	proto := relayProto{}
+	cfg := sim.NewConfig(proto, []sim.Bit{sim.One, sim.One, sim.One})
+	run := &sim.Run{Proto: proto, Configs: []*sim.Config{cfg}}
+	if err := run.Extend(sim.Schedule{{Proc: 0, Type: sim.SendStepEvent}}); err != nil {
+		t.Fatal(err)
+	}
+	p := FromRun(run)
+	if p.Size() != 1 {
+		t.Fatalf("pattern size = %d, want 1", p.Size())
+	}
+}

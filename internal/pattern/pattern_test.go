@@ -1,0 +1,206 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func id(f, t sim.ProcID, k int) sim.MsgID { return sim.MsgID{From: f, To: t, Seq: k} }
+
+func TestAddAndLess(t *testing.T) {
+	p := New()
+	a, b, c := id(0, 1, 1), id(1, 2, 1), id(2, 0, 1)
+	p.Add(a)
+	p.Add(b, a)
+	p.Add(c, b)
+	if !p.Less(a, b) || !p.Less(b, c) {
+		t.Fatal("direct precedence missing")
+	}
+	if !p.Less(a, c) {
+		t.Fatal("transitive closure missing: a < c")
+	}
+	if p.Less(c, a) || p.Less(b, a) {
+		t.Fatal("order is backwards")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	p := New()
+	a, b := id(0, 1, 1), id(2, 3, 1)
+	p.Add(a)
+	p.Add(b)
+	if !p.Concurrent(a, b) {
+		t.Fatal("independent messages should be concurrent")
+	}
+	if p.Concurrent(a, a) {
+		t.Fatal("a message is not concurrent with itself")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	build := func(order []int) *Pattern {
+		p := New()
+		msgs := []sim.MsgID{id(0, 1, 1), id(0, 1, 2), id(1, 2, 1)}
+		// Insert in the given permutation; preds fixed.
+		for _, i := range order {
+			switch i {
+			case 0:
+				p.Add(msgs[0])
+			case 1:
+				p.Add(msgs[1], msgs[0])
+			case 2:
+				p.Add(msgs[2], msgs[1])
+			}
+		}
+		return p
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{0, 1, 2})
+	if a.Key() != b.Key() {
+		t.Fatal("equal patterns should have equal keys")
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal should hold")
+	}
+}
+
+func TestHasseReduction(t *testing.T) {
+	p := New()
+	a, b, c := id(0, 1, 1), id(1, 2, 1), id(2, 3, 1)
+	p.Add(a)
+	p.Add(b, a)
+	p.Add(c, b) // a < c is implied; the Hasse diagram must omit a→c
+	edges := p.Hasse()
+	if len(edges) != 2 {
+		t.Fatalf("Hasse edges = %d, want 2 (transitive edge must be reduced)", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] == a && e[1] == c {
+			t.Fatal("transitive edge a→c should not be a covering pair")
+		}
+	}
+}
+
+func TestTopoSortRespectsOrder(t *testing.T) {
+	p := New()
+	msgs := []sim.MsgID{id(0, 1, 1), id(0, 2, 1), id(1, 2, 1), id(2, 3, 1)}
+	p.Add(msgs[0])
+	p.Add(msgs[1], msgs[0])
+	p.Add(msgs[2], msgs[0])
+	p.Add(msgs[3], msgs[1], msgs[2])
+	order := p.TopoSort()
+	pos := make(map[sim.MsgID]int, len(order))
+	for i, m := range order {
+		pos[m] = i
+	}
+	for _, m := range p.Messages() {
+		for _, q := range p.Preds(m) {
+			if pos[q] >= pos[m] {
+				t.Fatalf("topological order violates %s < %s", q, m)
+			}
+		}
+	}
+}
+
+func TestDepthAndWidth(t *testing.T) {
+	p := New()
+	a, b, c, d := id(0, 1, 1), id(0, 2, 1), id(1, 0, 1), id(2, 0, 1)
+	p.Add(a)
+	p.Add(b, a)
+	p.Add(c, a)
+	p.Add(d, b, c)
+	if got := p.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := p.Width(); got != 2 {
+		t.Errorf("Width = %d, want 2", got)
+	}
+}
+
+// randomPattern builds a random DAG-shaped pattern for property testing.
+func randomPattern(rng *rand.Rand, n int) *Pattern {
+	p := New()
+	var msgs []sim.MsgID
+	for i := 0; i < n; i++ {
+		m := id(sim.ProcID(rng.Intn(4)), sim.ProcID(rng.Intn(4)), i+1)
+		var preds []sim.MsgID
+		for _, q := range msgs {
+			if rng.Intn(3) == 0 {
+				preds = append(preds, q)
+			}
+		}
+		p.Add(m, preds...)
+		msgs = append(msgs, m)
+	}
+	return p
+}
+
+func TestPatternOrderLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng, 2+rng.Intn(10))
+		if err := p.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		msgs := p.Messages()
+		for _, a := range msgs {
+			if p.Less(a, a) {
+				return false // irreflexive
+			}
+			for _, b := range msgs {
+				if p.Less(a, b) && p.Less(b, a) {
+					return false // antisymmetric
+				}
+				for _, c := range msgs {
+					if p.Less(a, b) && p.Less(b, c) && !p.Less(a, c) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromRunPingPong(t *testing.T) {
+	run := pingPongRun(t)
+	p := FromRun(run)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+	m1 := id(0, 1, 1)
+	m2 := id(1, 0, 1)
+	if !p.Less(m1, m2) {
+		t.Fatalf("want %s < %s in pattern %s", m1, m2, p.Key())
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	run := pingPongRun(t)
+	p := FromRun(run)
+	ascii := p.RenderASCII()
+	if !strings.Contains(ascii, "level 1") || !strings.Contains(ascii, "level 2") {
+		t.Errorf("ASCII rendering missing levels:\n%s", ascii)
+	}
+	dot := p.RenderDOT("test")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT rendering malformed:\n%s", dot)
+	}
+	if New().RenderASCII() == "" {
+		t.Error("empty pattern rendering should be non-empty text")
+	}
+}

@@ -1,0 +1,78 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ppPayload is a minimal payload for the ping-pong test protocol.
+type ppPayload string
+
+func (p ppPayload) Key() string { return string(p) }
+
+// ppState drives a two-processor ping-pong: p0 sends "ping" to p1, p1
+// replies "pong", p0 receives it.
+type ppState struct {
+	id    sim.ProcID
+	stage int // p0: 0=send ping, 1=await pong, 2=done; p1: 0=await ping, 1=send pong, 2=done
+}
+
+func (s ppState) Kind() sim.StateKind {
+	if (s.id == 0 && s.stage == 0) || (s.id == 1 && s.stage == 1) {
+		return sim.Sending
+	}
+	return sim.Receiving
+}
+func (s ppState) Decided() (sim.Decision, bool) {
+	if s.stage == 2 {
+		return sim.Commit, true
+	}
+	return sim.NoDecision, false
+}
+func (s ppState) Amnesic() bool { return false }
+func (s ppState) Key() string {
+	return "pp{" + s.id.String() + "," + string(rune('0'+s.stage)) + "}"
+}
+
+type ppProto struct{}
+
+func (ppProto) Name() string { return "pingpong" }
+func (ppProto) N() int       { return 2 }
+func (ppProto) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return ppState{id: p}
+}
+func (ppProto) Receive(p sim.ProcID, s sim.State, m sim.Message) sim.State {
+	st := s.(ppState)
+	if m.Notice {
+		return st
+	}
+	if st.id == 1 && st.stage == 0 {
+		st.stage = 1
+	} else if st.id == 0 && st.stage == 1 {
+		st.stage = 2
+	}
+	return st
+}
+func (ppProto) SendStep(p sim.ProcID, s sim.State) (sim.State, []sim.Envelope) {
+	st := s.(ppState)
+	switch {
+	case st.id == 0 && st.stage == 0:
+		st.stage = 1
+		return st, []sim.Envelope{{To: 1, Payload: ppPayload("ping")}}
+	case st.id == 1 && st.stage == 1:
+		st.stage = 2
+		return st, []sim.Envelope{{To: 0, Payload: ppPayload("pong")}}
+	}
+	return st, nil
+}
+
+// pingPongRun executes the ping-pong protocol to quiescence.
+func pingPongRun(t *testing.T) *sim.Run {
+	t.Helper()
+	run, err := sim.RandomRun(ppProto{}, []sim.Bit{sim.One, sim.One}, sim.RunnerOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}

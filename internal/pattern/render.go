@@ -1,0 +1,169 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Hasse returns the covering pairs of the order — the transitive reduction —
+// as (below, above) pairs in canonical order. These are the edges one would
+// draw in the paper's figures.
+func (p *Pattern) Hasse() [][2]sim.MsgID {
+	var out [][2]sim.MsgID
+	for _, b := range p.Messages() {
+		for _, a := range p.Preds(b) {
+			covered := false
+			for _, mid := range p.Preds(b) {
+				if mid != a && p.Less(a, mid) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				out = append(out, [2]sim.MsgID{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0].Less(out[j][0])
+		}
+		return out[i][1].Less(out[j][1])
+	})
+	return out
+}
+
+// TopoSort returns the messages in a topological order of <_I, breaking ties
+// canonically (lexicographically smallest available message first), so the
+// output is deterministic.
+func (p *Pattern) TopoSort() []sim.MsgID {
+	remaining := make(map[sim.MsgID]int, len(p.past))
+	for id, past := range p.past {
+		remaining[id] = len(past)
+	}
+	out := make([]sim.MsgID, 0, len(p.past))
+	for len(remaining) > 0 {
+		var ready []sim.MsgID
+		for id, deg := range remaining {
+			if deg == 0 {
+				ready = append(ready, id)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i].Less(ready[j]) })
+		next := ready[0]
+		out = append(out, next)
+		delete(remaining, next)
+		for id := range remaining {
+			if p.past[id].has(next) {
+				remaining[id]--
+			}
+		}
+	}
+	return out
+}
+
+// Depth returns the length of the longest chain in the pattern — the number
+// of sequential message hops of the execution (its communication latency in
+// message delays).
+func (p *Pattern) Depth() int {
+	depth := make(map[sim.MsgID]int, len(p.past))
+	max := 0
+	for _, id := range p.TopoSort() {
+		d := 1
+		for q := range p.past[id] {
+			if depth[q]+1 > d {
+				d = depth[q] + 1
+			}
+		}
+		depth[id] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Width returns the size of the largest antichain level when messages are
+// layered by longest-chain depth — a simple measure of the pattern's
+// parallelism. (This is layer width, not the maximum antichain of the order,
+// which would require matching; layer width is what the figures depict.)
+func (p *Pattern) Width() int {
+	depth := make(map[sim.MsgID]int, len(p.past))
+	counts := make(map[int]int)
+	for _, id := range p.TopoSort() {
+		d := 1
+		for q := range p.past[id] {
+			if depth[q]+1 > d {
+				d = depth[q] + 1
+			}
+		}
+		depth[id] = d
+		counts[d]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// RenderASCII draws the pattern as a layered text diagram: one line per
+// longest-chain level, messages in canonical order, followed by the Hasse
+// edges. It is the textual analogue of the paper's pattern figures.
+func (p *Pattern) RenderASCII() string {
+	if p.Size() == 0 {
+		return "(empty pattern)\n"
+	}
+	depth := make(map[sim.MsgID]int, len(p.past))
+	for _, id := range p.TopoSort() {
+		d := 1
+		for q := range p.past[id] {
+			if depth[q]+1 > d {
+				d = depth[q] + 1
+			}
+		}
+		depth[id] = d
+	}
+	byLevel := make(map[int][]sim.MsgID)
+	maxLevel := 0
+	for id, d := range depth {
+		byLevel[d] = append(byLevel[d], id)
+		if d > maxLevel {
+			maxLevel = d
+		}
+	}
+	var sb strings.Builder
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		ids := byLevel[lvl]
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = id.String()
+		}
+		fmt.Fprintf(&sb, "level %d: %s\n", lvl, strings.Join(parts, "  "))
+	}
+	sb.WriteString("edges:\n")
+	for _, e := range p.Hasse() {
+		fmt.Fprintf(&sb, "  %s -> %s\n", e[0], e[1])
+	}
+	return sb.String()
+}
+
+// RenderDOT emits the Hasse diagram in Graphviz DOT format.
+func (p *Pattern) RenderDOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	for _, id := range p.Messages() {
+		fmt.Fprintf(&sb, "  %q;\n", id.String())
+	}
+	for _, e := range p.Hasse() {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", e[0].String(), e[1].String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustRun(t *testing.T, proto sim.Protocol, inputs string, opts sim.RunnerOptions) *sim.Run {
+	t.Helper()
+	in, err := sim.InputsFromString(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.RandomRun(proto, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestStarEveryoneHaltsFailureFree(t *testing.T) {
+	run := mustRun(t, Star{Procs: 5}, "11111", sim.RunnerOptions{Seed: 2})
+	for p, s := range run.Final().States {
+		if s.Kind() != sim.Halted {
+			t.Errorf("%s should have halted, state %s", sim.ProcID(p), s.Key())
+		}
+	}
+	// 4 inputs + 4 decisions + 4×3 relays = 20 messages.
+	if got := run.MessagesSent(); got != 20 {
+		t.Errorf("messages = %d, want 20", got)
+	}
+}
+
+func TestStarSurvivorsHaltUnderFailures(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		run := mustRun(t, Star{Procs: 4}, "1111", sim.RunnerOptions{
+			Seed:     seed,
+			Failures: []sim.FailureAt{{Proc: sim.ProcID(seed) % 4, AfterStep: int(seed % 9)}},
+		})
+		for p, s := range run.Final().States {
+			if s.Kind() == sim.Failed {
+				continue
+			}
+			if s.Kind() != sim.Halted {
+				t.Fatalf("seed %d: nonfaulty %s did not halt: %s", seed, sim.ProcID(p), s.Key())
+			}
+		}
+	}
+}
+
+func TestHaltingCommitEveryoneHalts(t *testing.T) {
+	for _, inputs := range []string{"1111", "1011", "0000"} {
+		run := mustRun(t, HaltingCommit{Procs: 4}, inputs, sim.RunnerOptions{Seed: 5})
+		for p, s := range run.Final().States {
+			if s.Kind() != sim.Halted {
+				t.Errorf("inputs %s: %s should have halted, state %s", inputs, sim.ProcID(p), s.Key())
+			}
+		}
+	}
+}
+
+func TestTreeSTAmnesiaWipesState(t *testing.T) {
+	// After quiescence, every processor of the ST tree is amnesic, its
+	// decision is hidden, and its state key carries no trace of the
+	// inputs or the decision — there is really only one amnesic state
+	// (per processor identity).
+	commit := mustRun(t, Tree{Procs: 3, ST: true}, "111", sim.RunnerOptions{Seed: 1})
+	abort := mustRun(t, Tree{Procs: 3, ST: true}, "101", sim.RunnerOptions{Seed: 1})
+	for p := 0; p < 3; p++ {
+		cs := commit.Final().States[p]
+		as := abort.Final().States[p]
+		if !cs.Amnesic() || !as.Amnesic() {
+			t.Fatalf("%s should be amnesic in both runs: %s / %s", sim.ProcID(p), cs.Key(), as.Key())
+		}
+		if _, ok := cs.Decided(); ok {
+			t.Fatalf("%s: amnesic state must hide the decision", sim.ProcID(p))
+		}
+		if cs.Key() != as.Key() {
+			t.Fatalf("%s: amnesic states differ between commit and abort runs:\n  %s\n  %s",
+				sim.ProcID(p), cs.Key(), as.Key())
+		}
+	}
+	// The decisions were made (and recorded) before amnesia.
+	if d, ok := commit.DecisionOf(0); !ok || d != sim.Commit {
+		t.Fatal("commit run: decision should be visible in the history")
+	}
+	if d, ok := abort.DecisionOf(0); !ok || d != sim.Abort {
+		t.Fatal("abort run: decision should be visible in the history")
+	}
+}
+
+func TestZeroLeafReceivesNothing(t *testing.T) {
+	// Figure 1's starred rule: no message is sent to a leaf with input 0.
+	run := mustRun(t, Tree{Procs: 7}, "1111011", sim.RunnerOptions{Seed: 3})
+	zeroLeaf := sim.ProcID(4)
+	for _, eff := range run.Effects {
+		for _, m := range eff.Sent {
+			if m.ID.To == zeroLeaf && !m.Notice {
+				t.Fatalf("message %s sent to the 0-leaf", m.ID)
+			}
+		}
+	}
+	if d, ok := run.DecisionOf(zeroLeaf); !ok || d != sim.Abort {
+		t.Fatal("the 0-leaf aborts on its own")
+	}
+}
+
+func TestBroadcastRelaysReachEveryone(t *testing.T) {
+	// Even if the general reaches only one lieutenant before failing, the
+	// relay discipline delivers the value to all nonfaulty processors.
+	run := mustRun(t, Broadcast{Procs: 5}, "10000", sim.RunnerOptions{
+		Seed:     4,
+		Failures: []sim.FailureAt{{Proc: 0, AfterStep: 1}},
+	})
+	agreed := sim.NoDecision
+	for p := 1; p < 5; p++ {
+		d, ok := run.DecisionOf(sim.ProcID(p))
+		if !ok {
+			t.Fatalf("%s undecided: %s", sim.ProcID(p), run.Final().States[p].Key())
+		}
+		if agreed == sim.NoDecision {
+			agreed = d
+		} else if agreed != d {
+			t.Fatal("lieutenants disagree")
+		}
+	}
+}
+
+func TestTwoPhaseBlockingHazardTrace(t *testing.T) {
+	// The canonical 2PC hazard, constructed explicitly: the coordinator
+	// commits and fails before any decision message is delivered; the
+	// survivors abort via the termination protocol. (This is why 2PC is
+	// only WT-IC.)
+	proto := TwoPhaseCommit{Procs: 3}
+	in, _ := sim.InputsFromString("111")
+	cfg := sim.NewConfig(proto, in)
+	run := &sim.Run{Proto: proto, Configs: []*sim.Config{cfg}}
+	sched := sim.Schedule{
+		{Proc: 1, Type: sim.SendStepEvent},
+		{Proc: 2, Type: sim.SendStepEvent},
+		{Proc: 0, Type: sim.Deliver, Msg: sim.MsgID{From: 1, To: 0, Seq: 1}},
+		{Proc: 0, Type: sim.Deliver, Msg: sim.MsgID{From: 2, To: 0, Seq: 1}}, // p0 commits here
+		{Proc: 0, Type: sim.Fail},                                            // decision messages still queued in p0's outbox — never sent
+	}
+	if err := run.Extend(sched); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := run.DecisionOf(0); !ok || d != sim.Commit {
+		t.Fatalf("p0 should have committed before failing: %v %v", d, ok)
+	}
+	// Let the survivors finish: they see only the failure.
+	for !run.Final().Quiescent() {
+		events := sim.Enabled(run.Final())
+		if len(events) == 0 {
+			break
+		}
+		if err := run.Extend(sim.Schedule{events[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 1; p < 3; p++ {
+		if d, ok := run.DecisionOf(sim.ProcID(p)); !ok || d != sim.Abort {
+			t.Fatalf("%s should abort after the coordinator vanished: %v %v", sim.ProcID(p), d, ok)
+		}
+	}
+	// Total consistency is violated; interactive consistency is not
+	// (the committed coordinator had failed).
+}
+
+func TestTreeKeysNamePhases(t *testing.T) {
+	// State keys are the checker's vocabulary; spot-check that they name
+	// the protocol phases (scenario predicates depend on this).
+	s := Tree{Procs: 3}.Init(1, sim.One, 3)
+	if !strings.Contains(s.Key(), "leaf-wait-bias") {
+		t.Fatalf("leaf key should name its phase: %s", s.Key())
+	}
+	r := Tree{Procs: 3}.Init(0, sim.One, 3)
+	if !strings.Contains(r.Key(), "root-wait-vals") {
+		t.Fatalf("root key should name its phase: %s", r.Key())
+	}
+}

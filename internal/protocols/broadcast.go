@@ -1,0 +1,230 @@
+package protocols
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Broadcast is reliable broadcast under fail-stop failures — the fail-stop
+// incarnation of the Byzantine Generals problem mentioned in the paper's
+// introduction ([SGS], [PSL]) — with the weak broadcast decision rule:
+// decide v only if the general's initial value is v, with a default decision
+// of 0 permitted when the general is faulty.
+//
+// The general p0 decides its own input immediately and broadcasts it; every
+// processor relays the first value it learns to all other participants
+// before deciding it, so that a value received by any nonfaulty processor
+// reaches all of them. Failure detection diverts processors into the
+// Appendix termination protocol with bias committable iff they hold the
+// value 1; the termination decision is then 1 iff committable, 0 otherwise
+// (the weak rule's default).
+//
+// The protocol establishes WT-IC for the broadcast rule. It does not halt
+// (weak termination only), matching the cost-reduction motivation of [SGS].
+type Broadcast struct {
+	// Procs is the number of processors (≥ 2); p0 is the general.
+	Procs int
+}
+
+var _ sim.Protocol = Broadcast{}
+
+// Name implements sim.Protocol.
+func (b Broadcast) Name() string { return fmt.Sprintf("broadcast(N=%d)", b.Procs) }
+
+// N implements sim.Protocol.
+func (b Broadcast) N() int { return b.Procs }
+
+type bcastPhase int
+
+const (
+	bcastWait bcastPhase = iota + 1 // awaiting the general's value
+	bcastDone                       // decided (keeps listening: WT)
+	bcastTerm                       // termination protocol
+)
+
+func (p bcastPhase) String() string {
+	switch p {
+	case bcastWait:
+		return "wait"
+	case bcastDone:
+		return "done"
+	case bcastTerm:
+		return "term"
+	default:
+		return "invalid"
+	}
+}
+
+// bcastState is the local state of one Broadcast processor.
+type bcastState struct {
+	self  sim.ProcID
+	n     int
+	input sim.Bit
+	phase bcastPhase
+
+	haveValue bool
+	value     sim.Bit
+
+	out     []outItem
+	decided sim.Decision
+
+	removed procSet
+	term    termCore
+}
+
+var _ sim.State = bcastState{}
+
+// Kind implements sim.State.
+func (s bcastState) Kind() sim.StateKind {
+	switch {
+	case len(s.out) > 0:
+		return sim.Sending
+	case s.phase == bcastTerm && s.term.sending():
+		return sim.Sending
+	default:
+		return sim.Receiving
+	}
+}
+
+// Decided implements sim.State.
+func (s bcastState) Decided() (sim.Decision, bool) {
+	if s.decided == sim.NoDecision {
+		return sim.NoDecision, false
+	}
+	return s.decided, true
+}
+
+// Amnesic implements sim.State.
+func (s bcastState) Amnesic() bool { return false }
+
+// Key implements sim.State.
+func (s bcastState) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bc{%s n%d in%d %s", s.self, s.n, s.input, s.phase)
+	if s.haveValue {
+		fmt.Fprintf(&sb, " v%d", s.value)
+	}
+	for _, o := range s.out {
+		fmt.Fprintf(&sb, " →%s:%s", o.to, o.payload.Key())
+	}
+	if s.decided != sim.NoDecision {
+		fmt.Fprintf(&sb, " dec:%s", s.decided)
+	}
+	fmt.Fprintf(&sb, " rm%s", s.removed.key())
+	if s.phase == bcastTerm {
+		fmt.Fprintf(&sb, " [%s]", s.term.key())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Init implements sim.Protocol.
+func (b Broadcast) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	s := bcastState{self: p, n: n, input: input}
+	if p == 0 {
+		// The general knows the value: it decides and broadcasts.
+		s.haveValue, s.value = true, input
+		s.decided = sim.DecisionFor(input)
+		s.phase = bcastDone
+		for _, q := range allProcs(n).del(0).members() {
+			s.out = append(s.out, outItem{to: q, payload: valMsg{V: input}})
+		}
+	} else {
+		s.phase = bcastWait
+	}
+	return s
+}
+
+// SendStep implements sim.Protocol.
+func (b Broadcast) SendStep(p sim.ProcID, state sim.State) (sim.State, []sim.Envelope) {
+	s, ok := state.(bcastState)
+	if !ok {
+		return state, nil
+	}
+	switch {
+	case len(s.out) > 0:
+		item := s.out[0]
+		s.out = append([]outItem(nil), s.out[1:]...)
+		return s, []sim.Envelope{{To: item.to, Payload: item.payload}}
+	case s.phase == bcastTerm && s.term.sending():
+		core, env := s.term.sendStep()
+		s.term = core
+		if s.term.done && s.decided == sim.NoDecision {
+			s.decided = s.term.decision()
+		}
+		return s, []sim.Envelope{env}
+	}
+	return s, nil
+}
+
+// Receive implements sim.Protocol.
+func (b Broadcast) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
+	s, ok := state.(bcastState)
+	if !ok {
+		return state
+	}
+	from := m.ID.From
+
+	if m.Notice || isTermPayload(m.Payload) {
+		if s.phase != bcastTerm {
+			s = s.enterBcastTerm()
+		}
+		switch {
+		case m.Notice:
+			s.removed = s.removed.add(from)
+			s.term = s.term.onRemoved(from)
+		default:
+			switch pl := m.Payload.(type) {
+			case termMsg:
+				s.term = s.term.onTermMsg(from, pl)
+			case amnesicMsg:
+				s.removed = s.removed.add(from)
+				s.term = s.term.onRemoved(from)
+			}
+		}
+		if s.term.done && s.decided == sim.NoDecision {
+			s.decided = s.term.decision()
+		}
+		return s
+	}
+
+	switch s.phase {
+	case bcastWait:
+		if v, ok := m.Payload.(valMsg); ok {
+			// Relay the value to every other participant, then
+			// decide it.
+			s.haveValue, s.value = true, v.V
+			s.decided = sim.DecisionFor(v.V)
+			s.phase = bcastDone
+			for _, q := range allProcs(s.n).del(0).del(s.self).members() {
+				if q == from {
+					continue
+				}
+				s.out = append(s.out, outItem{to: q, payload: valMsg{V: v.V}})
+			}
+		}
+	case bcastDone:
+		// Duplicate relayed values are ignored.
+	case bcastTerm:
+		// Late relayed values are ignored; a holder of the value 1 is
+		// committable at termination entry and spreads it through the
+		// round exchange. See Tree.Receive.
+	}
+	return s
+}
+
+// enterBcastTerm switches into the termination protocol: committable iff the
+// processor holds the value 1.
+func (s bcastState) enterBcastTerm() bcastState {
+	s.phase = bcastTerm
+	s.out = nil
+	committable := s.haveValue && s.value == sim.One
+	up := allProcs(s.n) &^ s.removed
+	s.term = newTermCore(s.self, s.n, committable, up)
+	if s.term.done && s.decided == sim.NoDecision {
+		s.decided = s.term.decision()
+	}
+	return s
+}

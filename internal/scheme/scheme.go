@@ -1,0 +1,262 @@
+// Package scheme implements the paper's schemes: the scheme of a protocol Q
+// is the set of communication patterns of all failure-free executions of Q
+// (Section 3). Schemes are computed by exhaustive exploration of every
+// failure-free delivery order, deduplicating interleavings that lead to the
+// same configuration with the same causal history.
+//
+// Protocol-level reduction is scheme containment: if the scheme of a
+// protocol for P2 equals the scheme of some protocol for P1, then that
+// protocol solves P1 "up to a renaming of states and padding of messages".
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// Set is a set of communication patterns, keyed canonically.
+type Set struct {
+	patterns map[string]*pattern.Pattern
+}
+
+// NewSet returns an empty pattern set.
+func NewSet() *Set { return &Set{patterns: make(map[string]*pattern.Pattern)} }
+
+// Add inserts a pattern, returning whether it was new.
+func (s *Set) Add(p *pattern.Pattern) bool {
+	k := p.Key()
+	if _, ok := s.patterns[k]; ok {
+		return false
+	}
+	s.patterns[k] = p
+	return true
+}
+
+// Len returns the number of distinct patterns.
+func (s *Set) Len() int { return len(s.patterns) }
+
+// Contains reports whether the set holds an equal pattern.
+func (s *Set) Contains(p *pattern.Pattern) bool {
+	_, ok := s.patterns[p.Key()]
+	return ok
+}
+
+// SubsetOf reports whether every pattern of s belongs to t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for k := range s.patterns {
+		if _, ok := t.patterns[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets hold exactly the same patterns.
+func (s *Set) Equal(t *Set) bool { return s.SubsetOf(t) && t.SubsetOf(s) }
+
+// Union merges t into s.
+func (s *Set) Union(t *Set) {
+	for k, p := range t.patterns {
+		s.patterns[k] = p
+	}
+}
+
+// Patterns returns the patterns sorted by canonical key, for deterministic
+// iteration.
+func (s *Set) Patterns() []*pattern.Pattern {
+	keys := make([]string, 0, len(s.patterns))
+	for k := range s.patterns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*pattern.Pattern, len(keys))
+	for i, k := range keys {
+		out[i] = s.patterns[k]
+	}
+	return out
+}
+
+// Keys returns the sorted canonical keys.
+func (s *Set) Keys() []string {
+	keys := make([]string, 0, len(s.patterns))
+	for k := range s.patterns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Options bounds scheme enumeration.
+type Options struct {
+	// MaxNodes caps the number of distinct exploration nodes (default
+	// 2_000_000). Enumeration fails rather than silently truncating.
+	MaxNodes int
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes == 0 {
+		return 2_000_000
+	}
+	return o.MaxNodes
+}
+
+// BudgetError reports that enumeration exceeded its node budget.
+type BudgetError struct {
+	Protocol string
+	Nodes    int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("scheme: enumeration of %s exceeded %d nodes", e.Protocol, e.Nodes)
+}
+
+// node is one exploration state: a configuration plus the causal bookkeeping
+// needed to extend the pattern (which messages each processor may know, and
+// the pattern of sends so far).
+type node struct {
+	cfg   *sim.Config
+	pat   *pattern.Pattern
+	known []map[sim.MsgID]struct{}
+	// sendPast holds the frozen causal past of every sent message, so
+	// deliveries can propagate knowledge. The pattern stores the same
+	// data; this map just avoids re-deriving it per delivery.
+	sendPast map[sim.MsgID][]sim.MsgID
+}
+
+func (nd *node) key() string {
+	var sb strings.Builder
+	sb.WriteString(nd.cfg.Key())
+	sb.WriteByte('!')
+	sb.WriteString(nd.pat.Key())
+	sb.WriteByte('!')
+	for p, set := range nd.known {
+		if p > 0 {
+			sb.WriteByte(';')
+		}
+		ids := make([]sim.MsgID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(id.String())
+		}
+	}
+	return sb.String()
+}
+
+func (nd *node) clone() *node {
+	out := &node{
+		cfg:      nd.cfg, // replaced by Apply's fresh config
+		pat:      pattern.New(),
+		known:    make([]map[sim.MsgID]struct{}, len(nd.known)),
+		sendPast: make(map[sim.MsgID][]sim.MsgID, len(nd.sendPast)),
+	}
+	for _, id := range nd.pat.Messages() {
+		out.pat.Add(id, nd.pat.Preds(id)...)
+	}
+	for p, set := range nd.known {
+		cp := make(map[sim.MsgID]struct{}, len(set))
+		for id := range set {
+			cp[id] = struct{}{}
+		}
+		out.known[p] = cp
+	}
+	for id, past := range nd.sendPast {
+		out.sendPast[id] = past
+	}
+	return out
+}
+
+// Enumerate computes the set of communication patterns of all failure-free
+// executions of the protocol from the given inputs.
+func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error) {
+	if len(inputs) != proto.N() {
+		return nil, fmt.Errorf("scheme: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
+	}
+	start := &node{
+		cfg:      sim.NewConfig(proto, inputs),
+		pat:      pattern.New(),
+		known:    make([]map[sim.MsgID]struct{}, proto.N()),
+		sendPast: make(map[sim.MsgID][]sim.MsgID),
+	}
+	for i := range start.known {
+		start.known[i] = make(map[sim.MsgID]struct{})
+	}
+
+	out := NewSet()
+	seen := map[string]struct{}{start.key(): {}}
+	stack := []*node{start}
+	for len(stack) > 0 {
+		if len(seen) > opts.maxNodes() {
+			return nil, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		events := sim.Enabled(nd.cfg)
+		if len(events) == 0 {
+			out.Add(nd.pat)
+			continue
+		}
+		for _, e := range events {
+			nxt := nd.clone()
+			cfg, eff, err := sim.Apply(proto, nd.cfg, e)
+			if err != nil {
+				return nil, fmt.Errorf("scheme: exploring %s: %w", proto.Name(), err)
+			}
+			nxt.cfg = cfg
+			applyEffect(nxt, eff)
+			k := nxt.key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			stack = append(stack, nxt)
+		}
+	}
+	return out, nil
+}
+
+// applyEffect updates a node's causal bookkeeping for one applied event.
+func applyEffect(nd *node, eff sim.Effect) {
+	p := eff.Event.Proc
+	for _, m := range eff.Sent {
+		past := make([]sim.MsgID, 0, len(nd.known[p]))
+		for id := range nd.known[p] {
+			past = append(past, id)
+		}
+		nd.sendPast[m.ID] = past
+		nd.pat.Add(m.ID, past...)
+		nd.known[p][m.ID] = struct{}{}
+	}
+	if eff.Received != nil {
+		id := eff.Received.ID
+		for _, q := range nd.sendPast[id] {
+			nd.known[p][q] = struct{}{}
+		}
+		nd.known[p][id] = struct{}{}
+	}
+}
+
+// Of computes the full scheme of a protocol: the union of the pattern sets
+// over every input vector (all failure-free executions from every initial
+// configuration).
+func Of(proto sim.Protocol, opts Options) (*Set, error) {
+	out := NewSet()
+	for _, inputs := range sim.AllInputs(proto.N()) {
+		s, err := Enumerate(proto, inputs, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Union(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+)
+
+// Buffer is a processor's unordered message buffer: the multiset of messages
+// sent to it but not yet received. It is kept sorted by message key so that
+// configuration hashing is canonical; sortedness is an encoding detail, not
+// an ordering guarantee (delivery picks any element).
+type Buffer []Message
+
+// Add inserts a message, preserving canonical order, and returns the new
+// buffer. The receiver is not mutated beyond the usual append aliasing, so
+// callers must use the return value.
+func (b Buffer) Add(m Message) Buffer {
+	key := m.Key()
+	i := sort.Search(len(b), func(i int) bool { return b[i].Key() >= key })
+	out := make(Buffer, 0, len(b)+1)
+	out = append(out, b[:i]...)
+	out = append(out, m)
+	out = append(out, b[i:]...)
+	return out
+}
+
+// Remove deletes one occurrence of the message with the given ID and returns
+// the new buffer plus whether it was present.
+func (b Buffer) Remove(id MsgID) (Buffer, bool) {
+	for i, m := range b {
+		if m.ID == id {
+			out := make(Buffer, 0, len(b)-1)
+			out = append(out, b[:i]...)
+			out = append(out, b[i+1:]...)
+			return out, true
+		}
+	}
+	return b, false
+}
+
+// Find returns the buffered message with the given ID.
+func (b Buffer) Find(id MsgID) (Message, bool) {
+	for _, m := range b {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Key canonically encodes the buffer contents.
+func (b Buffer) Key() string {
+	if len(b) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(b))
+	for i, m := range b {
+		parts[i] = m.Key()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Config is a configuration as defined in Section 3: the N local states and
+// the N buffer contents. Inputs records the initial bits (they determine the
+// initial configuration and are consulted by decision-rule validators), and
+// seq tracks the next sequence number on each directed channel so that
+// message triples (p,q,k) are assigned deterministically.
+type Config struct {
+	States  []State
+	Buffers []Buffer
+	Inputs  []Bit
+	seq     []int // seq[from*n+to] = messages sent from→to so far
+}
+
+// NewConfig builds the initial configuration of a protocol on the given
+// inputs: each processor starts in Init(p, inputs[p]) — the paper's z_0 or
+// z_1 states — and every buffer is empty.
+func NewConfig(proto Protocol, inputs []Bit) *Config {
+	n := len(inputs)
+	c := &Config{
+		States:  make([]State, n),
+		Buffers: make([]Buffer, n),
+		Inputs:  append([]Bit(nil), inputs...),
+		seq:     make([]int, n*n),
+	}
+	for p := range c.States {
+		c.States[p] = proto.Init(ProcID(p), inputs[p], n)
+	}
+	return c
+}
+
+// N returns the number of processors.
+func (c *Config) N() int { return len(c.States) }
+
+// Clone returns an independent copy of the configuration. States and
+// messages are immutable values, so only the containers are copied.
+func (c *Config) Clone() *Config {
+	out := &Config{
+		States:  append([]State(nil), c.States...),
+		Buffers: make([]Buffer, len(c.Buffers)),
+		Inputs:  append([]Bit(nil), c.Inputs...),
+		seq:     append([]int(nil), c.seq...),
+	}
+	copy(out.Buffers, c.Buffers) // buffers are persistent; Add/Remove copy
+	return out
+}
+
+// nextSeq allocates the next sequence number from→to.
+func (c *Config) nextSeq(from, to ProcID) int {
+	i := int(from)*c.N() + int(to)
+	c.seq[i]++
+	return c.seq[i]
+}
+
+// Key canonically encodes the configuration for state-space hashing. Two
+// configurations with equal keys are the same configuration (same local
+// states, same buffer multisets, same inputs, same channel histories).
+func (c *Config) Key() string {
+	var sb strings.Builder
+	for p, s := range c.States {
+		if p > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(s.Key())
+	}
+	sb.WriteByte('#')
+	for p, b := range c.Buffers {
+		if p > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(b.Key())
+	}
+	sb.WriteByte('#')
+	for _, in := range c.Inputs {
+		if in == One {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// StateKey encodes only the local-state vector — the projection
+// state(P, C) used by Lemma 3 when comparing configurations.
+func (c *Config) StateKey() string {
+	parts := make([]string, len(c.States))
+	for p, s := range c.States {
+		parts[p] = s.Key()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Faulty reports whether processor p occupies a failed state.
+func (c *Config) Faulty(p ProcID) bool { return c.States[p].Kind() == Failed }
+
+// Operational lists the processors in operational (sending or receiving)
+// states.
+func (c *Config) Operational() []ProcID {
+	var out []ProcID
+	for p, s := range c.States {
+		if IsOperational(s) {
+			out = append(out, ProcID(p))
+		}
+	}
+	return out
+}
+
+// Decisions returns the visible decision of each processor (NoDecision for
+// undecided, amnesic, and failed states).
+func (c *Config) Decisions() []Decision {
+	out := make([]Decision, len(c.States))
+	for p, s := range c.States {
+		if d, ok := s.Decided(); ok {
+			out[p] = d
+		}
+	}
+	return out
+}
+
+// Quiescent reports whether no applicable non-failure event can change the
+// configuration: no processor is in a sending state and every operational
+// receiving processor has an empty buffer. Weakly terminating protocols
+// "terminate, in essence, by deadlocking" (Section 2) in exactly this sense.
+func (c *Config) Quiescent() bool {
+	for p, s := range c.States {
+		switch s.Kind() {
+		case Sending:
+			return false
+		case Receiving:
+			if len(c.Buffers[p]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

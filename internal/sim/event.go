@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EventType distinguishes the three kinds of step in the model.
+type EventType int
+
+const (
+	// Deliver is the event (p, µ): receipt of buffered message µ by p.
+	Deliver EventType = iota + 1
+	// SendStep is the event (p, ∅): p takes a sending step.
+	SendStepEvent
+	// Fail is the event (p, f): p fails, broadcasting failure notices.
+	Fail
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case Deliver:
+		return "deliver"
+	case SendStepEvent:
+		return "send"
+	case Fail:
+		return "fail"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is a schedule element: an event (p, µ) with µ a buffered message, ∅
+// (a sending step), or f (a failure).
+type Event struct {
+	Proc ProcID
+	Type EventType
+	// Msg identifies the delivered message for Deliver events.
+	Msg MsgID
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	switch e.Type {
+	case Deliver:
+		return fmt.Sprintf("%s receives %s", e.Proc, e.Msg)
+	case SendStepEvent:
+		return fmt.Sprintf("%s sends", e.Proc)
+	case Fail:
+		return fmt.Sprintf("%s fails", e.Proc)
+	default:
+		return "invalid event"
+	}
+}
+
+// Schedule is a finite sequence of events, applied in turn.
+type Schedule []Event
+
+// Errors returned by Apply.
+var (
+	// ErrNotApplicable reports an event that is not applicable to the
+	// configuration (wrong state kind, message not buffered, or a step by
+	// a failed/halted processor).
+	ErrNotApplicable = errors.New("sim: event not applicable to configuration")
+	// ErrSelfSend reports a protocol emitting a message to its own sender;
+	// the model forbids processors from sending to themselves.
+	ErrSelfSend = errors.New("sim: protocol sent a message to its own sender")
+	// ErrMultiSend reports a sending step that emitted more than one
+	// message; β sends at most one message per normal step.
+	ErrMultiSend = errors.New("sim: sending step emitted more than one message")
+	// ErrRevokedDecision reports a transition out of a decision state into
+	// a state with a different visible decision; decisions are
+	// irreversible (amnesic states are the one permitted exit).
+	ErrRevokedDecision = errors.New("sim: protocol revoked a decision")
+)
+
+// Applicable reports whether the event can be applied to the configuration
+// under the rules of Section 3.
+func Applicable(c *Config, e Event) bool {
+	if int(e.Proc) < 0 || int(e.Proc) >= c.N() {
+		return false
+	}
+	s := c.States[e.Proc]
+	switch e.Type {
+	case Fail:
+		// Any non-failed processor (including a halted one) may fail.
+		return s.Kind() != Failed
+	case SendStepEvent:
+		return s.Kind() == Sending
+	case Deliver:
+		if s.Kind() != Receiving {
+			return false
+		}
+		_, ok := c.Buffers[e.Proc].Find(e.Msg)
+		return ok
+	default:
+		return false
+	}
+}
+
+// Effect describes what applying one event did: the messages placed into
+// buffers (sends and failure notices) and the message consumed, if any.
+// Pattern extraction consumes effects.
+type Effect struct {
+	Event    Event
+	Sent     []Message
+	Received *Message
+}
+
+// Apply applies event e to configuration c, returning the successor
+// configuration e(C) and the effect. c is not mutated. Apply enforces the
+// model's validity conditions and returns an error if the protocol violates
+// them; scheduling errors (inapplicable events) return ErrNotApplicable.
+func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
+	if !Applicable(c, e) {
+		return nil, Effect{}, fmt.Errorf("%w: %s", ErrNotApplicable, e)
+	}
+	next := c.Clone()
+	eff := Effect{Event: e}
+	p := e.Proc
+
+	switch e.Type {
+	case Fail:
+		// The paper models failure as two steps: enter z_a, broadcast
+		// failed(p) to P−{p}, then move to the absorbing z_b. We apply
+		// both atomically; the intermediate z_a is never observable in
+		// our configurations, and the net effect — notices everywhere,
+		// no further sends, no restart — is identical.
+		next.States[p] = FailedStateFor(p)
+		for q := 0; q < next.N(); q++ {
+			if ProcID(q) == p {
+				continue
+			}
+			m := Message{
+				ID:     MsgID{From: p, To: ProcID(q), Seq: next.nextSeq(p, ProcID(q))},
+				Notice: true,
+			}
+			next.Buffers[q] = next.Buffers[q].Add(m)
+			eff.Sent = append(eff.Sent, m)
+		}
+		return next, eff, nil
+
+	case SendStepEvent:
+		s2, envs := proto.SendStep(p, c.States[p])
+		if len(envs) > 1 {
+			return nil, Effect{}, fmt.Errorf("%w: %s emitted %d messages", ErrMultiSend, p, len(envs))
+		}
+		if err := checkTransition(c.States[p], s2); err != nil {
+			return nil, Effect{}, fmt.Errorf("%s send step: %w", p, err)
+		}
+		next.States[p] = s2
+		for _, env := range envs {
+			if env.To == p {
+				return nil, Effect{}, fmt.Errorf("%w: from %s", ErrSelfSend, p)
+			}
+			if int(env.To) < 0 || int(env.To) >= next.N() {
+				return nil, Effect{}, fmt.Errorf("sim: %s sent to out-of-range %s", p, env.To)
+			}
+			m := Message{
+				ID:      MsgID{From: p, To: env.To, Seq: next.nextSeq(p, env.To)},
+				Payload: env.Payload,
+			}
+			next.Buffers[env.To] = next.Buffers[env.To].Add(m)
+			eff.Sent = append(eff.Sent, m)
+		}
+		return next, eff, nil
+
+	case Deliver:
+		m, _ := c.Buffers[p].Find(e.Msg)
+		s2 := proto.Receive(p, c.States[p], m)
+		if err := checkTransition(c.States[p], s2); err != nil {
+			return nil, Effect{}, fmt.Errorf("%s receiving %s: %w", p, m.ID, err)
+		}
+		next.States[p] = s2
+		next.Buffers[p], _ = next.Buffers[p].Remove(e.Msg)
+		eff.Received = &m
+		return next, eff, nil
+	}
+	return nil, Effect{}, fmt.Errorf("%w: %s", ErrNotApplicable, e)
+}
+
+// checkTransition enforces decision irrevocability: once a processor enters a
+// state in Y_v it remains in Y_v, except that strong termination permits
+// moving from a decision state into an amnesic state.
+func checkTransition(from, to State) error {
+	d1, ok1 := from.Decided()
+	if !ok1 {
+		return nil
+	}
+	if to.Amnesic() {
+		return nil
+	}
+	d2, ok2 := to.Decided()
+	if !ok2 || d1 != d2 {
+		return fmt.Errorf("%w: %s → %s", ErrRevokedDecision, d1, to.Key())
+	}
+	return nil
+}
+
+// Enabled returns every applicable non-failure event of the configuration:
+// one SendStep per sending processor and one Deliver per (receiving
+// processor, buffered message) pair. Failure events are enumerated
+// separately by callers that inject failures.
+func Enabled(c *Config) []Event {
+	var out []Event
+	for p, s := range c.States {
+		switch s.Kind() {
+		case Sending:
+			out = append(out, Event{Proc: ProcID(p), Type: SendStepEvent})
+		case Receiving:
+			for _, m := range c.Buffers[p] {
+				out = append(out, Event{Proc: ProcID(p), Type: Deliver, Msg: m.ID})
+			}
+		}
+	}
+	return out
+}
+
+// ApplySchedule applies a whole schedule to a configuration, returning the
+// final configuration and the per-event effects. It stops at the first
+// inapplicable event.
+func ApplySchedule(proto Protocol, c *Config, sched Schedule) (*Config, []Effect, error) {
+	effects := make([]Effect, 0, len(sched))
+	cur := c
+	for i, e := range sched {
+		next, eff, err := Apply(proto, cur, e)
+		if err != nil {
+			return cur, effects, fmt.Errorf("event %d: %w", i, err)
+		}
+		effects = append(effects, eff)
+		cur = next
+	}
+	return cur, effects, nil
+}

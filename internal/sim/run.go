@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Run is a schedule together with its configurations: the paper's notion of
+// a run from an initial configuration (an execution). Configs[0] is the
+// initial configuration and Configs[i+1] = Schedule[i](Configs[i]).
+type Run struct {
+	Proto    Protocol
+	Schedule Schedule
+	Configs  []*Config
+	Effects  []Effect
+}
+
+// Final returns the last configuration of the run.
+func (r *Run) Final() *Config { return r.Configs[len(r.Configs)-1] }
+
+// Initial returns the initial configuration of the run.
+func (r *Run) Initial() *Config { return r.Configs[0] }
+
+// Steps returns the number of events in the run.
+func (r *Run) Steps() int { return len(r.Schedule) }
+
+// FailureFree reports whether the run contains no failure events.
+func (r *Run) FailureFree() bool {
+	for _, e := range r.Schedule {
+		if e.Type == Fail {
+			return false
+		}
+	}
+	return true
+}
+
+// Nonfaulty reports whether processor p never occupies a failed state in the
+// run.
+func (r *Run) Nonfaulty(p ProcID) bool {
+	return r.Final().States[p].Kind() != Failed
+}
+
+// Deciding reports whether every nonfaulty processor enters a decision state
+// at some point in the run (the paper's "deciding run"). Amnesic states
+// count as having decided: the processor passed through a decision state.
+func (r *Run) Deciding() bool {
+	for p := 0; p < r.Final().N(); p++ {
+		if !r.Nonfaulty(ProcID(p)) {
+			continue
+		}
+		if _, ok := r.DecisionOf(ProcID(p)); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DecisionOf returns the decision processor p made at any point during the
+// run, scanning the configuration history so that decisions later hidden by
+// amnesia or failure are still observed. This is the "ever decides" notion
+// total consistency constrains.
+func (r *Run) DecisionOf(p ProcID) (Decision, bool) {
+	for _, c := range r.Configs {
+		if d, ok := c.States[p].Decided(); ok {
+			return d, true
+		}
+	}
+	return NoDecision, false
+}
+
+// MessagesSent returns the number of non-notice messages sent in the run —
+// the message complexity measure of the introduction.
+func (r *Run) MessagesSent() int {
+	n := 0
+	for _, eff := range r.Effects {
+		for _, m := range eff.Sent {
+			if !m.Notice {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// StepsOf returns the number of events processor p took in the run (its
+// per-processor step count, the measure of Theorem 7's O(N²) bound).
+func (r *Run) StepsOf(p ProcID) int {
+	n := 0
+	for _, e := range r.Schedule {
+		if e.Proc == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Extend applies further events to the run in place.
+func (r *Run) Extend(sched Schedule) error {
+	for _, e := range sched {
+		next, eff, err := Apply(r.Proto, r.Final(), e)
+		if err != nil {
+			return err
+		}
+		r.Schedule = append(r.Schedule, e)
+		r.Configs = append(r.Configs, next)
+		r.Effects = append(r.Effects, eff)
+	}
+	return nil
+}
+
+// FailureAt schedules a failure injection: processor Proc fails immediately
+// after the AfterStep-th event of the run (0 = before anything happens).
+type FailureAt struct {
+	Proc      ProcID
+	AfterStep int
+}
+
+// RunnerOptions configures the random fair scheduler.
+type RunnerOptions struct {
+	// Seed seeds the scheduler's PRNG; equal seeds give equal runs.
+	Seed int64
+	// MaxSteps bounds the run length as a safety net against
+	// non-quiescing protocols. Zero means the default of 100_000.
+	MaxSteps int
+	// Failures injects fail-stop failures at fixed points in the run.
+	Failures []FailureAt
+}
+
+// RandomRun executes the protocol on the given inputs under a fair random
+// scheduler until the configuration is quiescent (or MaxSteps is hit),
+// returning the complete run. Fairness holds with probability 1: every
+// enabled event is chosen uniformly, so no buffered message is discriminated
+// against forever.
+func RandomRun(proto Protocol, inputs []Bit, opts RunnerOptions) (*Run, error) {
+	if len(inputs) != proto.N() {
+		return nil, fmt.Errorf("sim: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100_000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := NewConfig(proto, inputs)
+	run := &Run{Proto: proto, Configs: []*Config{c}}
+
+	injected := make([]bool, len(opts.Failures))
+	// injectFailures fires every failure scheduled at or before the given
+	// count of normal (non-failure) events.
+	injectFailures := func(normalSteps int) error {
+		for i, f := range opts.Failures {
+			if injected[i] || f.AfterStep > normalSteps {
+				continue
+			}
+			injected[i] = true
+			if run.Final().States[f.Proc].Kind() == Failed {
+				continue
+			}
+			if err := run.Extend(Schedule{{Proc: f.Proc, Type: Fail}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		if err := injectFailures(step); err != nil {
+			return run, err
+		}
+		enabled := Enabled(run.Final())
+		if len(enabled) == 0 {
+			return run, nil
+		}
+		e := enabled[rng.Intn(len(enabled))]
+		if err := run.Extend(Schedule{e}); err != nil {
+			return run, err
+		}
+	}
+	if !run.Final().Quiescent() {
+		return run, fmt.Errorf("sim: %s did not quiesce within %d steps", proto.Name(), maxSteps)
+	}
+	return run, nil
+}

@@ -1,0 +1,54 @@
+package sim
+
+// State is a processor's local state. Protocol states must be immutable
+// values: transition functions return fresh states rather than mutating.
+//
+// The interface exposes exactly the structure the paper's definitions need:
+// the Z_R/Z_S/Z_F partition (Kind), membership in the decision sets Y_0/Y_1
+// (Decided), the amnesic states of strong termination (Amnesic), and a
+// canonical encoding (Key) so the model checker can hash configurations and
+// test the structural state equalities used throughout the proofs
+// (e.g. state(p, C_A) = state(p, C_C) in Lemma 4).
+type State interface {
+	// Kind reports which partition of Z the state belongs to.
+	Kind() StateKind
+
+	// Decided reports the decision if the state is in Y_0 or Y_1.
+	// Amnesic states report NoDecision: the processor has forgotten the
+	// value, remembering only that a decision was made.
+	Decided() (Decision, bool)
+
+	// Amnesic reports whether this is an amnesic state (strong
+	// termination's "check mark next to the protocol identifier").
+	Amnesic() bool
+
+	// Key returns the canonical encoding of the state. Two states are the
+	// same local state iff their keys are equal.
+	Key() string
+}
+
+// failedState is the absorbing failure state z_b. The z_a → z_b two-step
+// failure transition of the paper is collapsed into the atomic Fail event
+// (see Apply); only z_b is ever observable in a configuration.
+type failedState struct{ p ProcID }
+
+var _ State = failedState{}
+
+func (s failedState) Kind() StateKind           { return Failed }
+func (s failedState) Decided() (Decision, bool) { return NoDecision, false }
+func (s failedState) Amnesic() bool             { return false }
+func (s failedState) Key() string               { return "⊥failed(" + s.p.String() + ")" }
+
+// FailedStateFor returns the failure state z_b for processor p.
+func FailedStateFor(p ProcID) State { return failedState{p: p} }
+
+// IsOperational reports whether a state is neither failed nor halted — the
+// states in which the processor still takes steps.
+func IsOperational(s State) bool {
+	k := s.Kind()
+	return k == Receiving || k == Sending
+}
+
+// IsNonfaulty reports whether the state is not a failure state. Halted and
+// amnesic processors are nonfaulty.
+func IsNonfaulty(s State) bool { return s.Kind() != Failed }

@@ -1,0 +1,190 @@
+// Package sim implements the formal model of computation from Section 3 of
+// Dwork & Skeen, "Patterns of Communication in Consensus Protocols" (PODC 1984):
+// a completely asynchronous message-passing system of N fail-stop processors.
+//
+// Processors are deterministic state machines. At each step a processor either
+// receives one message (a receiving step, governed by the protocol's transition
+// function δ) or sends at most one message (a sending step, governed by the
+// sending function β). A third kind of step, a failure step, halts the
+// processor permanently and broadcasts a detectable failure notice to every
+// other processor.
+//
+// The message system is asynchronous, faultless, and fair: buffers are
+// unordered multisets, delivery delays are arbitrary but finite, and no
+// message is discriminated against forever. The only nondeterminism in the
+// model is the schedule — the order in which applicable events are applied —
+// which is exactly the nondeterminism the paper's communication patterns
+// quantify over.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcID identifies a processor p_i, 0 ≤ i < N.
+type ProcID int
+
+// String returns the paper's "p<i>" notation.
+func (p ProcID) String() string { return "p" + strconv.Itoa(int(p)) }
+
+// Bit is a processor's initial value (the paper's input_i register).
+type Bit uint8
+
+const (
+	// Zero is the initial bit 0 (the "abort"-biased input under unanimity).
+	Zero Bit = 0
+	// One is the initial bit 1 (the "commit"-biased input under unanimity).
+	One Bit = 1
+)
+
+// Decision is the irreversible outcome a processor may reach. Under the
+// unanimity rule the paper names the two decisions "abort" (value 0) and
+// "commit" (value 1).
+type Decision int
+
+const (
+	// NoDecision means the processor has not (visibly) decided.
+	NoDecision Decision = iota
+	// Abort is the decision on value 0.
+	Abort
+	// Commit is the decision on value 1.
+	Commit
+)
+
+// String renders the decision in the paper's vocabulary.
+func (d Decision) String() string {
+	switch d {
+	case Abort:
+		return "abort"
+	case Commit:
+		return "commit"
+	default:
+		return "undecided"
+	}
+}
+
+// Value returns the binary value decided on. It panics for NoDecision, which
+// has no value; callers must check first.
+func (d Decision) Value() Bit {
+	switch d {
+	case Abort:
+		return Zero
+	case Commit:
+		return One
+	default:
+		panic("sim: NoDecision has no value")
+	}
+}
+
+// DecisionFor maps a binary value to its decision: 1 ⇒ commit, 0 ⇒ abort.
+func DecisionFor(v Bit) Decision {
+	if v == One {
+		return Commit
+	}
+	return Abort
+}
+
+// StateKind partitions the state set Z as in the paper: Z_S (operational
+// sending states), Z_R (operational receiving states), and Z_F (failed
+// states). We additionally distinguish halted states — operational states in
+// which the processor has completed its role and neither sends nor receives —
+// because halting termination (HT) is one of the taxonomy's axes.
+type StateKind int
+
+const (
+	// Receiving states accept message deliveries (δ applies); β is ∅.
+	Receiving StateKind = iota + 1
+	// Sending states take send steps (β applies); no messages are received.
+	Sending
+	// Halted states take no further steps; a halted processor may still fail.
+	Halted
+	// Failed is the absorbing failure state z_b.
+	Failed
+)
+
+// String names the state kind.
+func (k StateKind) String() string {
+	switch k {
+	case Receiving:
+		return "receiving"
+	case Sending:
+		return "sending"
+	case Halted:
+		return "halted"
+	case Failed:
+		return "failed"
+	default:
+		return "invalid"
+	}
+}
+
+// Payload is a protocol-defined message body. Payloads must be immutable
+// values with a canonical Key: two payloads are the same message content if
+// and only if their keys are equal. Keys feed configuration hashing, so they
+// must be deterministic.
+type Payload interface {
+	// Key returns the canonical encoding of the payload.
+	Key() string
+}
+
+// MsgID is the paper's representation of a message for the purposes of the
+// communication pattern: the triple (p, q, k) meaning the k-th message sent
+// from p to q. Sequence numbers start at 1 and count failure notices too, so
+// triples are unique within an execution.
+type MsgID struct {
+	From ProcID
+	To   ProcID
+	Seq  int
+}
+
+// String renders the triple as "(p,q,k)".
+func (id MsgID) String() string {
+	return fmt.Sprintf("(%s,%s,%d)", id.From, id.To, id.Seq)
+}
+
+// Less orders triples lexicographically, giving patterns a canonical
+// enumeration order. It is unrelated to the causal order.
+func (id MsgID) Less(other MsgID) bool {
+	if id.From != other.From {
+		return id.From < other.From
+	}
+	if id.To != other.To {
+		return id.To < other.To
+	}
+	return id.Seq < other.Seq
+}
+
+// Message is a concrete in-flight message: an identified triple plus its
+// payload. Failure notices — the "failed(p)" messages broadcast by a failure
+// step — carry a nil payload and Notice=true.
+type Message struct {
+	ID      MsgID
+	Payload Payload
+	// Notice marks a failure notice failed(From).
+	Notice bool
+}
+
+// Key canonically encodes the message for buffer hashing.
+func (m Message) Key() string {
+	if m.Notice {
+		return m.ID.String() + ":failed"
+	}
+	return m.ID.String() + ":" + m.Payload.Key()
+}
+
+// String renders the message for traces.
+func (m Message) String() string {
+	if m.Notice {
+		return fmt.Sprintf("%s failed(%s)", m.ID, m.ID.From)
+	}
+	return fmt.Sprintf("%s %s", m.ID, m.Payload.Key())
+}
+
+// Envelope is what a sending step emits before the simulator assigns a
+// sequence number: a destination and a payload. The paper forbids a processor
+// from sending to itself; Apply rejects such envelopes.
+type Envelope struct {
+	To      ProcID
+	Payload Payload
+}

@@ -1,0 +1,281 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Consistency is one of the paper's two consistency constraints.
+type Consistency int
+
+const (
+	// IC is interactive consistency: no two operational (nonfaulty)
+	// processors may simultaneously occupy different decision states.
+	IC Consistency = iota + 1
+	// TC is total consistency: no two processors ever decide on different
+	// values — a decision must be consistent even with decisions made by
+	// processors that subsequently failed.
+	TC
+)
+
+// String names the constraint.
+func (c Consistency) String() string {
+	switch c {
+	case IC:
+		return "IC"
+	case TC:
+		return "TC"
+	default:
+		return "invalid"
+	}
+}
+
+// Implies reports whether satisfying c implies satisfying d (TC ⇒ IC;
+// Theorem 1's first half rests on this).
+func (c Consistency) Implies(d Consistency) bool {
+	return c == d || (c == TC && d == IC)
+}
+
+// Termination is one of the paper's three termination conditions, in
+// increasing strength.
+type Termination int
+
+const (
+	// WT is weak termination: every nonfaulty processor decides within a
+	// bounded number of steps. It admits protocols that never halt,
+	// terminating "in essence, by deadlocking".
+	WT Termination = iota + 1
+	// ST is strong termination: additionally, every nonfaulty processor
+	// eventually enters an amnesic state, forgetting its decision but
+	// remembering that one was made.
+	ST
+	// HT is halting termination: additionally, every nonfaulty processor
+	// completes its role — it need no longer send or receive messages.
+	HT
+)
+
+// String names the condition.
+func (t Termination) String() string {
+	switch t {
+	case WT:
+		return "WT"
+	case ST:
+		return "ST"
+	case HT:
+		return "HT"
+	default:
+		return "invalid"
+	}
+}
+
+// Implies reports whether satisfying t implies satisfying u
+// (HT ⇒ ST ⇒ WT; Theorem 1's second half).
+func (t Termination) Implies(u Termination) bool { return t >= u }
+
+// Problem is a consensus problem in the taxonomy: a decision rule, a
+// consistency constraint, and a termination condition. Section 4's six
+// problems fix the rule to unanimity and vary the other two axes.
+type Problem struct {
+	Rule        DecisionRule
+	Consistency Consistency
+	Termination Termination
+}
+
+// Name returns the paper's "T-C" notation, e.g. "WT-TC".
+func (p Problem) Name() string {
+	return fmt.Sprintf("%s-%s", p.Termination, p.Consistency)
+}
+
+// String includes the decision rule.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s/%s", p.Name(), p.Rule.Name())
+}
+
+// SixProblems returns the six problems of Section 4 — {WT,ST,HT} × {IC,TC}
+// under unanimity — in the order of the paper's closing diagram.
+func SixProblems() []Problem {
+	var out []Problem
+	for _, t := range []Termination{WT, ST, HT} {
+		for _, c := range []Consistency{IC, TC} {
+			out = append(out, Problem{Rule: UnanimityRule{}, Consistency: c, Termination: t})
+		}
+	}
+	return out
+}
+
+// TriviallyReduces reports whether p1 ⪯ p2 follows from Theorem 1's
+// implications alone: same rule, p2's constraints at least as strong on both
+// axes. (Strictness and incomparability require the witness protocols; see
+// package lattice.)
+func TriviallyReduces(p1, p2 Problem) bool {
+	return p1.Rule.Name() == p2.Rule.Name() &&
+		p2.Consistency.Implies(p1.Consistency) &&
+		p2.Termination.Implies(p1.Termination)
+}
+
+// Violation records one way a run failed a problem's specification.
+type Violation struct {
+	// Kind is the axis violated: "rule", "IC", "TC", "WT", "ST", or "HT".
+	Kind string
+	// Detail is a human-readable explanation naming the processors and
+	// decisions involved.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// Validate checks a run against the problem. Consistency and the decision
+// rule are safety properties checked on every run; the termination
+// conditions are liveness properties checked only when complete is true
+// (the run is maximal: quiescent under a fair scheduler, so nothing more
+// can ever happen).
+func (p Problem) Validate(r *sim.Run, complete bool) []Violation {
+	var out []Violation
+	out = append(out, p.validateRule(r)...)
+	switch p.Consistency {
+	case IC:
+		out = append(out, CheckIC(r)...)
+	case TC:
+		out = append(out, CheckTC(r)...)
+	}
+	if complete {
+		out = append(out, CheckTermination(r, p.Termination)...)
+	}
+	return out
+}
+
+// validateRule checks every decision made in the run against the decision
+// rule. A failure "counts" for a decision if some processor had failed
+// before the configuration in which the decision first appears.
+func (p Problem) validateRule(r *sim.Run) []Violation {
+	var out []Violation
+	inputs := r.Initial().Inputs
+	failedBy := make([]bool, len(r.Configs)) // failedBy[i]: a failure occurred before Configs[i]
+	anyFail := false
+	for i := range r.Configs {
+		failedBy[i] = anyFail
+		if i < len(r.Schedule) && r.Schedule[i].Type == sim.Fail {
+			anyFail = true
+		}
+	}
+	for proc := 0; proc < r.Initial().N(); proc++ {
+		pid := sim.ProcID(proc)
+		for i, c := range r.Configs {
+			d, ok := c.States[pid].Decided()
+			if !ok {
+				continue
+			}
+			if !p.Rule.Permits(d, inputs, failedBy[i]) {
+				out = append(out, Violation{
+					Kind: "rule",
+					Detail: fmt.Sprintf("%s decided %s on inputs %v (failureSeen=%v), forbidden by %s",
+						pid, d, inputs, failedBy[i], p.Rule.Name()),
+				})
+			}
+			break // first decision only; irrevocability is enforced by sim
+		}
+	}
+	return out
+}
+
+// CheckIC checks interactive consistency: in no configuration may two
+// simultaneously nonfaulty processors stand by different decisions.
+// Decisions are irrevocable, so a decision counts from the configuration it
+// is made in onward, even after the processor hides it in an amnesic state
+// ("it may even be reminded of its decision by the other processors").
+func CheckIC(r *sim.Run) []Violation {
+	n := r.Initial().N()
+	ledger := make([]sim.Decision, n)
+	for i, c := range r.Configs {
+		seen := sim.NoDecision
+		var seenBy sim.ProcID
+		for proc, s := range c.States {
+			if d, ok := s.Decided(); ok {
+				ledger[proc] = d
+			}
+			if s.Kind() == sim.Failed {
+				continue
+			}
+			d := ledger[proc]
+			if d == sim.NoDecision {
+				continue
+			}
+			if seen == sim.NoDecision {
+				seen, seenBy = d, sim.ProcID(proc)
+				continue
+			}
+			if d != seen {
+				return []Violation{{
+					Kind: "IC",
+					Detail: fmt.Sprintf("configuration %d: %s decided %s while %s decided %s",
+						i, seenBy, seen, sim.ProcID(proc), d),
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTC checks total consistency: no two processors ever decide
+// differently, counting decisions by processors that later failed or became
+// amnesic (DecisionOf scans the whole history).
+func CheckTC(r *sim.Run) []Violation {
+	seen := sim.NoDecision
+	var seenBy sim.ProcID
+	for proc := 0; proc < r.Initial().N(); proc++ {
+		pid := sim.ProcID(proc)
+		d, ok := r.DecisionOf(pid)
+		if !ok {
+			continue
+		}
+		if seen == sim.NoDecision {
+			seen, seenBy = d, pid
+			continue
+		}
+		if d != seen {
+			return []Violation{{
+				Kind:   "TC",
+				Detail: fmt.Sprintf("%s decided %s but %s decided %s", seenBy, seen, pid, d),
+			}}
+		}
+	}
+	return nil
+}
+
+// CheckTermination checks the given termination condition on a complete
+// (maximal) run.
+func CheckTermination(r *sim.Run, t Termination) []Violation {
+	var out []Violation
+	final := r.Final()
+	for proc := 0; proc < final.N(); proc++ {
+		pid := sim.ProcID(proc)
+		if !r.Nonfaulty(pid) {
+			continue
+		}
+		if _, ok := r.DecisionOf(pid); !ok {
+			out = append(out, Violation{
+				Kind:   "WT",
+				Detail: fmt.Sprintf("nonfaulty %s never decided", pid),
+			})
+			continue
+		}
+		s := final.States[pid]
+		if t >= ST && !s.Amnesic() && s.Kind() != sim.Halted {
+			// Strong termination requires eventually forgetting the
+			// decision. A halted processor has completed its role,
+			// which subsumes amnesia (HT is strictly stronger).
+			out = append(out, Violation{
+				Kind:   "ST",
+				Detail: fmt.Sprintf("nonfaulty %s never became amnesic (final state %s)", pid, s.Key()),
+			})
+		}
+		if t >= HT && s.Kind() != sim.Halted {
+			out = append(out, Violation{
+				Kind:   "HT",
+				Detail: fmt.Sprintf("nonfaulty %s never halted (final state %s)", pid, s.Key()),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package taxonomy implements Section 2 of Dwork & Skeen (1984): the three
+// parameters by which consensus problems differ — decision rules,
+// consistency constraints, and termination conditions — together with
+// executable validators that check a run of a protocol against a problem
+// specification.
+package taxonomy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DecisionRule is a family of conditions under which a processor may decide
+// on a given value. Permits answers "was deciding d legal?" given the input
+// vector and whether a failure had occurred by the time of the decision.
+//
+// The rules below are the paper's examples: broadcast (the Byzantine
+// Generals rule), unanimity (the transaction-commitment rule), threshold-k,
+// and set(S, v).
+type DecisionRule interface {
+	// Name identifies the rule.
+	Name() string
+	// Permits reports whether deciding d is allowed when the initial bits
+	// are inputs and failureSeen reports whether any processor had failed
+	// before the decision was made.
+	Permits(d sim.Decision, inputs []sim.Bit, failureSeen bool) bool
+	// Determined returns the decision forced in failure-free executions,
+	// if the rule pins one down (unanimity does; a rule permitting both
+	// values does not).
+	Determined(inputs []sim.Bit) (sim.Decision, bool)
+}
+
+// UnanimityRule is the transaction-commitment rule: decide 1 (commit) only
+// if every processor's initial value is 1; decide 0 (abort) only if some
+// processor begins with 0 or a failure occurs.
+type UnanimityRule struct{}
+
+var _ DecisionRule = UnanimityRule{}
+
+// Name implements DecisionRule.
+func (UnanimityRule) Name() string { return "unanimity" }
+
+// Permits implements DecisionRule.
+func (UnanimityRule) Permits(d sim.Decision, inputs []sim.Bit, failureSeen bool) bool {
+	allOnes := true
+	for _, b := range inputs {
+		if b == sim.Zero {
+			allOnes = false
+			break
+		}
+	}
+	switch d {
+	case sim.Commit:
+		return allOnes
+	case sim.Abort:
+		return !allOnes || failureSeen
+	default:
+		return false
+	}
+}
+
+// Determined implements DecisionRule: failure-free unanimity forces the
+// decision to be exactly the conjunction of the inputs.
+func (UnanimityRule) Determined(inputs []sim.Bit) (sim.Decision, bool) {
+	return sim.Unanimity(inputs), true
+}
+
+// BroadcastRule is the Byzantine Generals rule: decide v only if the initial
+// value of the distinguished processor (the general) is v. This is the
+// strong variant; the weak variant additionally allows a default decision if
+// the general is faulty.
+type BroadcastRule struct {
+	// General is the distinguished processor.
+	General sim.ProcID
+	// Weak enables the weak variant's default decision under failure.
+	Weak bool
+	// Default is the weak variant's fallback decision.
+	Default sim.Decision
+}
+
+var _ DecisionRule = BroadcastRule{}
+
+// Name implements DecisionRule.
+func (r BroadcastRule) Name() string {
+	if r.Weak {
+		return fmt.Sprintf("broadcast-weak(%s)", r.General)
+	}
+	return fmt.Sprintf("broadcast(%s)", r.General)
+}
+
+// Permits implements DecisionRule.
+func (r BroadcastRule) Permits(d sim.Decision, inputs []sim.Bit, failureSeen bool) bool {
+	if d == sim.NoDecision {
+		return false
+	}
+	if d == sim.DecisionFor(inputs[r.General]) {
+		return true
+	}
+	return r.Weak && failureSeen && d == r.Default
+}
+
+// Determined implements DecisionRule: failure-free, the decision is the
+// general's input.
+func (r BroadcastRule) Determined(inputs []sim.Bit) (sim.Decision, bool) {
+	return sim.DecisionFor(inputs[r.General]), true
+}
+
+// ThresholdRule is threshold-k: decide 1 only if at least K processors have
+// initial value 1; decide 0 only if fewer than K do, or a failure occurs.
+type ThresholdRule struct{ K int }
+
+var _ DecisionRule = ThresholdRule{}
+
+// Name implements DecisionRule.
+func (r ThresholdRule) Name() string { return fmt.Sprintf("threshold-%d", r.K) }
+
+// Permits implements DecisionRule.
+func (r ThresholdRule) Permits(d sim.Decision, inputs []sim.Bit, failureSeen bool) bool {
+	ones := 0
+	for _, b := range inputs {
+		if b == sim.One {
+			ones++
+		}
+	}
+	switch d {
+	case sim.Commit:
+		return ones >= r.K
+	case sim.Abort:
+		return ones < r.K || failureSeen
+	default:
+		return false
+	}
+}
+
+// Determined implements DecisionRule.
+func (r ThresholdRule) Determined(inputs []sim.Bit) (sim.Decision, bool) {
+	ones := 0
+	for _, b := range inputs {
+		if b == sim.One {
+			ones++
+		}
+	}
+	if ones >= r.K {
+		return sim.Commit, true
+	}
+	return sim.Abort, true
+}
+
+// SetRule is set(S, v): decide v only if all processors in S have initial
+// value v. The opposite decision is unconstrained by this rule.
+type SetRule struct {
+	S []sim.ProcID
+	V sim.Bit
+}
+
+var _ DecisionRule = SetRule{}
+
+// Name implements DecisionRule.
+func (r SetRule) Name() string { return fmt.Sprintf("set(%v,%d)", r.S, r.V) }
+
+// Permits implements DecisionRule.
+func (r SetRule) Permits(d sim.Decision, inputs []sim.Bit, failureSeen bool) bool {
+	if d == sim.NoDecision {
+		return false
+	}
+	if d != sim.DecisionFor(r.V) {
+		return true // the rule only constrains decisions on v
+	}
+	for _, p := range r.S {
+		if inputs[p] != r.V {
+			return false
+		}
+	}
+	return true
+}
+
+// Determined implements DecisionRule: set rules alone never pin down the
+// failure-free decision.
+func (r SetRule) Determined([]sim.Bit) (sim.Decision, bool) {
+	return sim.NoDecision, false
+}

@@ -1,0 +1,152 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func bits(s string) []sim.Bit {
+	in, err := sim.InputsFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestUnanimityRuleTable(t *testing.T) {
+	rule := UnanimityRule{}
+	cases := []struct {
+		inputs  string
+		failure bool
+		d       sim.Decision
+		want    bool
+	}{
+		{"111", false, sim.Commit, true},
+		{"111", false, sim.Abort, false}, // no 0 and no failure: abort forbidden
+		{"111", true, sim.Abort, true},   // failure permits abort
+		{"101", false, sim.Commit, false},
+		{"101", false, sim.Abort, true},
+		{"000", true, sim.Commit, false},
+		{"111", false, sim.NoDecision, false},
+	}
+	for _, c := range cases {
+		if got := rule.Permits(c.d, bits(c.inputs), c.failure); got != c.want {
+			t.Errorf("Permits(%s, %s, fail=%v) = %v, want %v", c.d, c.inputs, c.failure, got, c.want)
+		}
+	}
+	if d, ok := rule.Determined(bits("111")); !ok || d != sim.Commit {
+		t.Error("all-ones should determine commit")
+	}
+	if d, ok := rule.Determined(bits("110")); !ok || d != sim.Abort {
+		t.Error("any zero should determine abort")
+	}
+}
+
+func TestBroadcastRuleTable(t *testing.T) {
+	strong := BroadcastRule{General: 0}
+	if !strong.Permits(sim.Commit, bits("100"), false) {
+		t.Error("strong rule: commit allowed when the general holds 1")
+	}
+	if strong.Permits(sim.Abort, bits("100"), true) {
+		t.Error("strong rule: no default decision even under failure")
+	}
+	weak := BroadcastRule{General: 0, Weak: true, Default: sim.Abort}
+	if !weak.Permits(sim.Abort, bits("100"), true) {
+		t.Error("weak rule: default abort allowed once the general may be faulty")
+	}
+	if weak.Permits(sim.Abort, bits("100"), false) {
+		t.Error("weak rule: default requires a failure")
+	}
+	if d, _ := weak.Determined(bits("011")); d != sim.Abort {
+		t.Error("failure-free decision is the general's input")
+	}
+}
+
+func TestThresholdRuleProperty(t *testing.T) {
+	f := func(raw []bool, k uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		inputs := make([]sim.Bit, len(raw))
+		ones := 0
+		for i, b := range raw {
+			if b {
+				inputs[i] = sim.One
+				ones++
+			}
+		}
+		rule := ThresholdRule{K: int(k%8) + 1}
+		commit := rule.Permits(sim.Commit, inputs, false)
+		abortNoFail := rule.Permits(sim.Abort, inputs, false)
+		abortFail := rule.Permits(sim.Abort, inputs, true)
+		if commit != (ones >= rule.K) {
+			return false
+		}
+		if abortNoFail != (ones < rule.K) {
+			return false
+		}
+		return abortFail // abort always allowed under failure
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetRule(t *testing.T) {
+	rule := SetRule{S: []sim.ProcID{0, 2}, V: sim.One}
+	if !rule.Permits(sim.Commit, bits("101"), false) {
+		t.Error("commit allowed when all of S hold 1")
+	}
+	if rule.Permits(sim.Commit, bits("100"), false) {
+		t.Error("commit forbidden when some of S holds 0")
+	}
+	if !rule.Permits(sim.Abort, bits("100"), false) {
+		t.Error("the rule does not constrain the other value")
+	}
+	if _, ok := rule.Determined(bits("101")); ok {
+		t.Error("set rules do not determine the decision")
+	}
+}
+
+func TestImplications(t *testing.T) {
+	if !TC.Implies(IC) || IC.Implies(TC) {
+		t.Error("TC ⇒ IC only")
+	}
+	if !HT.Implies(ST) || !ST.Implies(WT) || WT.Implies(ST) {
+		t.Error("HT ⇒ ST ⇒ WT only")
+	}
+}
+
+func TestSixProblems(t *testing.T) {
+	ps := SixProblems()
+	if len(ps) != 6 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"WT-IC", "WT-TC", "ST-IC", "ST-TC", "HT-IC", "HT-TC"} {
+		if !names[want] {
+			t.Errorf("missing problem %s", want)
+		}
+	}
+}
+
+func TestTriviallyReduces(t *testing.T) {
+	wtic := Problem{Rule: UnanimityRule{}, Termination: WT, Consistency: IC}
+	httc := Problem{Rule: UnanimityRule{}, Termination: HT, Consistency: TC}
+	if !TriviallyReduces(wtic, httc) {
+		t.Error("WT-IC ⪯ HT-TC by Theorem 1")
+	}
+	if TriviallyReduces(httc, wtic) {
+		t.Error("HT-TC ⋠ WT-IC trivially")
+	}
+	htic := Problem{Rule: UnanimityRule{}, Termination: HT, Consistency: IC}
+	wttc := Problem{Rule: UnanimityRule{}, Termination: WT, Consistency: TC}
+	if TriviallyReduces(htic, wttc) || TriviallyReduces(wttc, htic) {
+		t.Error("HT-IC and WT-TC are not related by Theorem 1 alone")
+	}
+}

@@ -1,0 +1,250 @@
+package transform
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// EliminateEBar is the Section 3 simulation that removes E̅ states from a
+// total-communication protocol: each processor keeps a priority queue of
+// unprocessed messages ordered by the causal (sent-before) order, and
+// simulates the inner processor's receipt of each message as soon as a copy
+// of it is known — whether it arrived directly or appended to another
+// message. Duplicate copies and copies of already-processed ("old")
+// messages are discarded.
+//
+// The wrapper speaks the total-communication message format (tcPayload), so
+// the transformation composes as EliminateEBar{Inner: P} without separately
+// constructing TotalComm{P}: padding is performed here too.
+type EliminateEBar struct {
+	// Inner is the protocol being simulated.
+	Inner sim.Protocol
+}
+
+var _ sim.Protocol = EliminateEBar{}
+
+// Name implements sim.Protocol.
+func (e EliminateEBar) Name() string { return "ebarfree(" + e.Inner.Name() + ")" }
+
+// N implements sim.Protocol.
+func (e EliminateEBar) N() int { return e.Inner.N() }
+
+// ebState carries the inner state, the causal history (as in TotalComm), the
+// priority queue of known-but-unprocessed messages addressed to this
+// processor, and the set of processed ("old") messages.
+type ebState struct {
+	inner     sim.State
+	hist      map[string]histEntry
+	sent      map[sim.ProcID]int
+	queue     map[string]histEntry // unprocessed messages addressed to self
+	processed map[string]struct{}
+	self      sim.ProcID
+}
+
+var _ sim.State = ebState{}
+
+// Kind implements sim.State.
+func (s ebState) Kind() sim.StateKind { return s.inner.Kind() }
+
+// Decided implements sim.State.
+func (s ebState) Decided() (sim.Decision, bool) { return s.inner.Decided() }
+
+// Amnesic implements sim.State.
+func (s ebState) Amnesic() bool { return s.inner.Amnesic() }
+
+// Key implements sim.State.
+func (s ebState) Key() string {
+	var sb strings.Builder
+	sb.WriteString("eb{")
+	sb.WriteString(s.inner.Key())
+	sb.WriteByte('|')
+	sb.WriteString(strings.Join(sortedKeys(s.hist), " "))
+	sb.WriteByte('|')
+	sb.WriteString(strings.Join(sortedKeys(s.queue), " "))
+	sb.WriteByte('|')
+	proc := make([]string, 0, len(s.processed))
+	for k := range s.processed {
+		proc = append(proc, k)
+	}
+	sort.Strings(proc)
+	sb.WriteString(strings.Join(proc, " "))
+	sb.WriteByte('|')
+	counts := make([]string, 0, len(s.sent))
+	for to, n := range s.sent {
+		counts = append(counts, to.String()+":"+itoa(n))
+	}
+	sort.Strings(counts)
+	sb.WriteString(strings.Join(counts, " "))
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s ebState) clone() ebState {
+	hist := make(map[string]histEntry, len(s.hist))
+	for k, v := range s.hist {
+		hist[k] = v
+	}
+	sent := make(map[sim.ProcID]int, len(s.sent))
+	for k, v := range s.sent {
+		sent[k] = v
+	}
+	queue := make(map[string]histEntry, len(s.queue))
+	for k, v := range s.queue {
+		queue[k] = v
+	}
+	processed := make(map[string]struct{}, len(s.processed))
+	for k := range s.processed {
+		processed[k] = struct{}{}
+	}
+	return ebState{inner: s.inner, hist: hist, sent: sent, queue: queue, processed: processed, self: s.self}
+}
+
+// Init implements sim.Protocol.
+func (e EliminateEBar) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return ebState{
+		inner:     e.Inner.Init(p, input, n),
+		hist:      make(map[string]histEntry),
+		sent:      make(map[sim.ProcID]int),
+		queue:     make(map[string]histEntry),
+		processed: make(map[string]struct{}),
+		self:      p,
+	}
+}
+
+// learn records a message copy; if it is addressed to this processor and not
+// yet processed, it joins the priority queue.
+func (s *ebState) learn(h histEntry) {
+	k := h.Ref.key()
+	if _, known := s.hist[k]; !known {
+		s.hist[k] = h
+	}
+	if h.Ref.To != s.self {
+		return
+	}
+	if _, old := s.processed[k]; old {
+		return
+	}
+	s.queue[k] = h
+}
+
+// drain simulates receipt of queued messages in causal order while the inner
+// processor is in a receiving state. The front of the queue is any minimal
+// element of the sent-before order restricted to the queue (ties broken
+// canonically).
+func (e EliminateEBar) drain(p sim.ProcID, s ebState) ebState {
+	for s.inner.Kind() == sim.Receiving && len(s.queue) > 0 {
+		keys := sortedKeys(s.queue)
+		var frontKey string
+		for _, k := range keys {
+			minimal := true
+			past := s.queue[k].Past
+			pastSet := make(map[string]struct{}, len(past))
+			for _, pk := range past {
+				pastSet[pk] = struct{}{}
+			}
+			for _, other := range keys {
+				if other == k {
+					continue
+				}
+				if _, before := pastSet[other]; before {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				frontKey = k
+				break
+			}
+		}
+		h := s.queue[frontKey]
+		delete(s.queue, frontKey)
+		s.processed[frontKey] = struct{}{}
+		msg := sim.Message{
+			ID:      sim.MsgID{From: h.Ref.From, To: s.self, Seq: h.Ref.Idx},
+			Payload: h.Payload,
+		}
+		s.inner = e.Inner.Receive(p, s.inner, msg)
+	}
+	return s
+}
+
+// Receive implements sim.Protocol.
+func (e EliminateEBar) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
+	s, ok := state.(ebState)
+	if !ok {
+		return state
+	}
+	s = s.clone()
+	if m.Notice {
+		s.inner = e.Inner.Receive(p, s.inner, m)
+		return e.drain(p, s)
+	}
+	pl, ok := m.Payload.(tcPayload)
+	if !ok {
+		return s
+	}
+	for _, h := range pl.Appended {
+		s.learn(h)
+	}
+	s.learn(histEntry{Ref: pl.Ref, Payload: pl.Inner, Past: appendedKeys(pl.Appended)})
+	return e.drain(p, s)
+}
+
+// SendStep implements sim.Protocol: pad like TotalComm, then continue
+// draining the queue if the inner processor returns to a receiving state.
+func (e EliminateEBar) SendStep(p sim.ProcID, state sim.State) (sim.State, []sim.Envelope) {
+	s, ok := state.(ebState)
+	if !ok {
+		return state, nil
+	}
+	s = s.clone()
+	inner, envs := e.Inner.SendStep(p, s.inner)
+	s.inner = inner
+	out := make([]sim.Envelope, 0, len(envs))
+	for _, env := range envs {
+		s.sent[env.To]++
+		ref := msgRef{From: p, To: env.To, Idx: s.sent[env.To]}
+		appended := make([]histEntry, 0, len(s.hist))
+		past := make([]string, 0, len(s.hist))
+		for k, h := range s.hist {
+			past = append(past, k)
+			appended = append(appended, h)
+		}
+		sort.Strings(past)
+		sort.Slice(appended, func(i, j int) bool {
+			return appended[i].Ref.key() < appended[j].Ref.key()
+		})
+		entry := histEntry{Ref: ref, Payload: env.Payload, Past: past}
+		s.hist[ref.key()] = entry
+		out = append(out, sim.Envelope{
+			To:      env.To,
+			Payload: tcPayload{Ref: ref, Inner: env.Payload, Appended: appended},
+		})
+	}
+	return e.drain(p, s), out
+}

@@ -1,0 +1,219 @@
+// Package transform implements the two protocol transformations of
+// Section 3 of Dwork & Skeen (1984):
+//
+//   - TotalComm pads every message with a copy of every causally prior
+//     message, turning an arbitrary protocol into a total-communication
+//     protocol. Receivers that ignore the appended copies behave exactly as
+//     before, so the transformation preserves communication patterns.
+//
+//   - EliminateEBar simulates a total-communication protocol so that each
+//     processor processes every message as soon as its existence is known
+//     (via a priority queue ordered by the causal order), eliminating E̅
+//     states — states in which a processor knows its buffer is not empty.
+//     The resulting protocol's communication patterns are a subset of the
+//     original's, and when the failure-free decision is a function of the
+//     inputs alone (as under unanimity), the decisions agree.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// msgRef identifies an inner-protocol message independently of the
+// simulator's sequence numbers: the k-th wrapper-level message from From to
+// To. Failure notices never enter wrapper payloads, so the numbering is
+// stable across failure patterns.
+type msgRef struct {
+	From sim.ProcID
+	To   sim.ProcID
+	Idx  int
+}
+
+func (r msgRef) key() string {
+	return fmt.Sprintf("%s>%s#%d", r.From, r.To, r.Idx)
+}
+
+// histEntry is one recorded message: its reference, its inner payload, and
+// the references of every message causally before it at send time.
+type histEntry struct {
+	Ref     msgRef
+	Payload sim.Payload
+	Past    []string // keys of causally prior messages, sorted
+}
+
+func (h histEntry) key() string {
+	return h.Ref.key() + ":" + h.Payload.Key() + "<" + strings.Join(h.Past, ",")
+}
+
+// tcPayload is a padded message: the inner payload plus a copy of every
+// message the sender knew of (its causal past).
+type tcPayload struct {
+	Ref      msgRef
+	Inner    sim.Payload
+	Appended []histEntry // sorted by ref key
+}
+
+// Key implements sim.Payload.
+func (p tcPayload) Key() string {
+	var sb strings.Builder
+	sb.WriteString("tc[")
+	sb.WriteString(p.Ref.key())
+	sb.WriteByte('|')
+	sb.WriteString(p.Inner.Key())
+	for _, h := range p.Appended {
+		sb.WriteByte(';')
+		sb.WriteString(h.key())
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// TotalComm wraps a protocol into its total-communication form.
+type TotalComm struct {
+	// Inner is the protocol being padded.
+	Inner sim.Protocol
+}
+
+var _ sim.Protocol = TotalComm{}
+
+// Name implements sim.Protocol.
+func (t TotalComm) Name() string { return "totalcomm(" + t.Inner.Name() + ")" }
+
+// N implements sim.Protocol.
+func (t TotalComm) N() int { return t.Inner.N() }
+
+// tcState carries the inner state plus the processor's causal history: every
+// message it has sent or learned of, keyed canonically.
+type tcState struct {
+	inner sim.State
+	// hist maps ref key → entry for every known message.
+	hist map[string]histEntry
+	// sent counts wrapper messages per destination, for ref numbering.
+	sent map[sim.ProcID]int
+	self sim.ProcID
+}
+
+var _ sim.State = tcState{}
+
+// Kind implements sim.State.
+func (s tcState) Kind() sim.StateKind { return s.inner.Kind() }
+
+// Decided implements sim.State.
+func (s tcState) Decided() (sim.Decision, bool) { return s.inner.Decided() }
+
+// Amnesic implements sim.State.
+func (s tcState) Amnesic() bool { return s.inner.Amnesic() }
+
+// Key implements sim.State.
+func (s tcState) Key() string {
+	keys := make([]string, 0, len(s.hist))
+	for k := range s.hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]string, 0, len(s.sent))
+	for to, n := range s.sent {
+		counts = append(counts, fmt.Sprintf("%s:%d", to, n))
+	}
+	sort.Strings(counts)
+	return "tc{" + s.inner.Key() + "|" + strings.Join(keys, " ") + "|" + strings.Join(counts, " ") + "}"
+}
+
+func (s tcState) clone() tcState {
+	hist := make(map[string]histEntry, len(s.hist))
+	for k, v := range s.hist {
+		hist[k] = v
+	}
+	sent := make(map[sim.ProcID]int, len(s.sent))
+	for k, v := range s.sent {
+		sent[k] = v
+	}
+	return tcState{inner: s.inner, hist: hist, sent: sent, self: s.self}
+}
+
+// Init implements sim.Protocol.
+func (t TotalComm) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return tcState{
+		inner: t.Inner.Init(p, input, n),
+		hist:  make(map[string]histEntry),
+		sent:  make(map[sim.ProcID]int),
+		self:  p,
+	}
+}
+
+// Receive implements sim.Protocol: learn the message, its past, and every
+// appended copy, then hand the inner payload to the inner protocol.
+func (t TotalComm) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
+	s, ok := state.(tcState)
+	if !ok {
+		return state
+	}
+	s = s.clone()
+	if m.Notice {
+		s.inner = t.Inner.Receive(p, s.inner, m)
+		return s
+	}
+	pl, ok := m.Payload.(tcPayload)
+	if !ok {
+		return s
+	}
+	for _, h := range pl.Appended {
+		if _, known := s.hist[h.Ref.key()]; !known {
+			s.hist[h.Ref.key()] = h
+		}
+	}
+	own := histEntry{Ref: pl.Ref, Payload: pl.Inner, Past: appendedKeys(pl.Appended)}
+	if _, known := s.hist[own.Ref.key()]; !known {
+		s.hist[own.Ref.key()] = own
+	}
+	inner := sim.Message{ID: m.ID, Payload: pl.Inner}
+	s.inner = t.Inner.Receive(p, s.inner, inner)
+	return s
+}
+
+// SendStep implements sim.Protocol: take the inner send step and pad the
+// envelope with the processor's entire causal history.
+func (t TotalComm) SendStep(p sim.ProcID, state sim.State) (sim.State, []sim.Envelope) {
+	s, ok := state.(tcState)
+	if !ok {
+		return state, nil
+	}
+	s = s.clone()
+	inner, envs := t.Inner.SendStep(p, s.inner)
+	s.inner = inner
+	out := make([]sim.Envelope, 0, len(envs))
+	for _, env := range envs {
+		s.sent[env.To]++
+		ref := msgRef{From: p, To: env.To, Idx: s.sent[env.To]}
+		past := make([]string, 0, len(s.hist))
+		appended := make([]histEntry, 0, len(s.hist))
+		for k, h := range s.hist {
+			past = append(past, k)
+			appended = append(appended, h)
+		}
+		sort.Strings(past)
+		sort.Slice(appended, func(i, j int) bool {
+			return appended[i].Ref.key() < appended[j].Ref.key()
+		})
+		entry := histEntry{Ref: ref, Payload: env.Payload, Past: past}
+		s.hist[ref.key()] = entry
+		out = append(out, sim.Envelope{
+			To:      env.To,
+			Payload: tcPayload{Ref: ref, Inner: env.Payload, Appended: appended},
+		})
+	}
+	return s, out
+}
+
+func appendedKeys(hs []histEntry) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.Ref.key()
+	}
+	sort.Strings(out)
+	return out
+}

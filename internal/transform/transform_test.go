@@ -1,0 +1,158 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/protocols"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+func TestTotalCommPreservesDecisions(t *testing.T) {
+	inner := protocols.AckCommit{Procs: 4}
+	proto := TotalComm{Inner: inner}
+	for _, inputs := range sim.AllInputs(4) {
+		run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 3})
+		if err != nil {
+			t.Fatalf("inputs %v: %v", inputs, err)
+		}
+		want := sim.Unanimity(inputs)
+		for p := 0; p < 4; p++ {
+			got, ok := run.DecisionOf(sim.ProcID(p))
+			if !ok || got != want {
+				t.Fatalf("inputs %v: %s decided %v (ok=%v), want %s", inputs, sim.ProcID(p), got, ok, want)
+			}
+		}
+	}
+}
+
+func TestTotalCommPreservesScheme(t *testing.T) {
+	inner := protocols.Chain{Procs: 3}
+	s1, err := scheme.Of(inner, scheme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := scheme.Of(TotalComm{Inner: inner}, scheme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatalf("total-communication padding changed the scheme:\ninner: %v\npadded: %v",
+			s1.Keys(), s2.Keys())
+	}
+}
+
+func TestTotalCommMessagesCarryHistory(t *testing.T) {
+	proto := TotalComm{Inner: protocols.Chain{Procs: 3}}
+	inputs := []sim.Bit{sim.One, sim.One, sim.One}
+	run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last decision message (p1 → p2) must append everything p1 knew:
+	// at least its own input message and p0's decision to it.
+	found := false
+	for _, eff := range run.Effects {
+		for _, m := range eff.Sent {
+			pl, ok := m.Payload.(tcPayload)
+			if !ok || m.ID.From != 1 || m.ID.To != 2 {
+				continue
+			}
+			found = true
+			if len(pl.Appended) < 2 {
+				t.Errorf("p1→p2 decision should append ≥ 2 prior messages, got %d", len(pl.Appended))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no p1→p2 message observed")
+	}
+}
+
+func TestEliminateEBarPreservesDecisions(t *testing.T) {
+	inner := protocols.AckCommit{Procs: 3}
+	proto := EliminateEBar{Inner: inner}
+	for _, inputs := range sim.AllInputs(3) {
+		for seed := int64(0); seed < 5; seed++ {
+			run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed})
+			if err != nil {
+				t.Fatalf("inputs %v: %v", inputs, err)
+			}
+			want := sim.Unanimity(inputs)
+			for p := 0; p < 3; p++ {
+				got, ok := run.DecisionOf(sim.ProcID(p))
+				if !ok || got != want {
+					t.Fatalf("inputs %v seed %d: %s decided %v (ok=%v), want %s",
+						inputs, seed, sim.ProcID(p), got, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEliminateEBarSchemeSubset(t *testing.T) {
+	// The E̅-free simulation's communication patterns are a subset of the
+	// original protocol's (Section 3): early processing can only restrict
+	// which executions occur, never add message exchanges.
+	inner := protocols.Chain{Procs: 3}
+	orig, err := scheme.Of(inner, scheme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elim, err := scheme.Of(EliminateEBar{Inner: inner}, scheme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !elim.SubsetOf(orig) {
+		t.Fatalf("E̅-elimination enlarged the scheme:\ninner: %v\nsimulated: %v",
+			orig.Keys(), elim.Keys())
+	}
+	if elim.Len() == 0 {
+		t.Fatal("simulated scheme should not be empty")
+	}
+}
+
+func TestEliminateEBarProcessesAppendedCopiesEarly(t *testing.T) {
+	// Drive the simulated protocol so that a message reaches a processor
+	// first as an appended copy: the processor must simulate its receipt
+	// immediately (the copy becomes "old"), and the later direct delivery
+	// must be discarded as a duplicate.
+	inner := protocols.Chain{Procs: 3}
+	proto := EliminateEBar{Inner: inner}
+	inputs := []sim.Bit{sim.One, sim.One, sim.One}
+	run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := run.Final()
+	for p := 0; p < 3; p++ {
+		st, ok := final.States[p].(ebState)
+		if !ok {
+			t.Fatalf("%s: unexpected state type", sim.ProcID(p))
+		}
+		if len(st.queue) != 0 {
+			t.Errorf("%s: priority queue should be drained at quiescence, holds %d", sim.ProcID(p), len(st.queue))
+		}
+	}
+	// p2 processed the decision message from p1 exactly once.
+	st := final.States[2].(ebState)
+	if _, ok := st.processed[(msgRef{From: 1, To: 2, Idx: 1}).key()]; !ok {
+		t.Error("p2 should have processed p1's decision message")
+	}
+}
+
+func TestPatternsFromTransformedRunsValidate(t *testing.T) {
+	proto := EliminateEBar{Inner: protocols.AckCommit{Procs: 3}}
+	run, err := sim.RandomRun(proto, []sim.Bit{sim.One, sim.One, sim.One}, sim.RunnerOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.FromRun(run)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() == 0 {
+		t.Fatal("expected a non-empty pattern")
+	}
+}
