@@ -1,0 +1,253 @@
+// Package analysis is a dependency-free static-analysis framework that
+// machine-checks the model contracts of the Dwork & Skeen reproduction.
+//
+// The paper's model demands that all nondeterminism live in the schedule:
+// protocol transition functions δ (Receive) and β (SendStep) must be pure,
+// the simulator/checker/pattern layers must be deterministic so that runs,
+// schemes, and the indistinguishability replays of Theorems 8 and 13 are
+// reproducible, and processors may never send messages to themselves. Those
+// contracts used to exist only as doc comments; this package enforces them
+// with repo-specific analyzers built on go/ast and go/types alone (no
+// golang.org/x/tools dependency — go.mod stays empty).
+//
+// The analyzers are:
+//
+//   - purity: flags transition-function bodies (Init/Receive/SendStep of any
+//     sim.Protocol implementation) that write through pointer receivers,
+//     mutate maps/slices reachable from their arguments, or touch
+//     package-level mutable variables.
+//   - detrange: flags `range` over a map in the determinism-critical
+//     packages unless the keys are collected and immediately sorted.
+//   - selfsend: flags construction of a sim.Envelope whose destination is
+//     provably the sending processor's own ProcID.
+//   - errdrop: flags discarded error results from functions defined in this
+//     module.
+//
+// Findings can be suppressed with a comment of the form
+//
+//	//ccvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// which applies to the line it is on and to the line directly below it. The
+// reason is mandatory; a bare ignore is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one model contract over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's short name, used in findings and ignore
+	// comments.
+	Name string
+	// Doc describes the contract the analyzer enforces.
+	Doc string
+	// AppliesTo restricts the analyzer to packages whose module-relative
+	// path matches; nil means every package.
+	AppliesTo func(relPath string) bool
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModulePath is the import path of the module under analysis; errdrop
+	// uses it to decide which callees are repo functions.
+	ModulePath string
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsModulePath reports whether an import path belongs to the module under
+// analysis.
+func (p *Pass) IsModulePath(path string) bool {
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// Finding is one reported contract violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as "file:line: [analyzer] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// DefaultAnalyzers returns the full ccvet suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{PurityAnalyzer, DetRangeAnalyzer, SelfSendAnalyzer, ErrDropAnalyzer}
+}
+
+// RunAnalyzer runs one analyzer over one package and returns its findings
+// with ignore comments already applied. It is the entry point shared by the
+// module driver and the fixture tests.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, modulePath string) []Finding {
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ModulePath: modulePath,
+	}
+	a.Run(pass)
+	return ApplyIgnores(fset, files, pass.findings)
+}
+
+// ignoreDirective is one parsed //ccvet:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+func (d ignoreDirective) covers(f Finding) bool {
+	if f.Pos.Filename != d.file || (f.Pos.Line != d.line && f.Pos.Line != d.line+1) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const ignoreMarker = "ccvet:ignore"
+
+// parseIgnores extracts every ignore directive from the files. Malformed
+// directives (no analyzer name or no reason) are returned as findings so
+// that a bare suppression cannot silently disable the suite.
+func parseIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Finding) {
+	var dirs []ignoreDirective
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreMarker))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "ccvet",
+						Message:  "malformed ignore comment: want //ccvet:ignore <analyzer>[,<analyzer>...] <reason>",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// ApplyIgnores filters findings through the files' //ccvet:ignore comments
+// and appends a finding for every malformed ignore. The result is sorted by
+// position.
+func ApplyIgnores(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	dirs, bad := parseIgnores(fset, files)
+	out := make([]Finding, 0, len(findings)+len(bad))
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.covers(f) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	out = append(out, bad...)
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, analyzer, and message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// pathOf returns the root object and dotted access path of an expression
+// rooted at a plain identifier: `s` → (s, "s"), `s.out` → (s, "s.out").
+// Expressions not rooted at an identifier (calls, literals, indexing) have
+// no path.
+func pathOf(info *types.Info, e ast.Expr) (types.Object, string) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil {
+			return obj, x.Name
+		}
+	case *ast.SelectorExpr:
+		obj, base := pathOf(info, x.X)
+		if obj != nil {
+			return obj, base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return pathOf(info, x.X)
+	}
+	return nil, ""
+}
+
+// typeOf returns the type of an expression, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isPointer reports whether the expression has pointer type.
+func isPointer(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

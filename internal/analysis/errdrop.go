@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags statements that call a function defined in this
+// module and discard an error result. The checker, scheme enumerator, and
+// simulator all report model violations (self-sends, revoked decisions,
+// budget exhaustion) through returned errors; dropping one silently turns a
+// broken protocol into a passing run. Standard-library calls are exempt (the
+// repo's fmt.Println-style output is deliberately fire-and-forget); an
+// intentional discard is written `_ = f()` or suppressed with
+// //ccvet:ignore errdrop <reason>.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error results of repo functions must be handled (or explicitly discarded with _ =)",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := unparen(st.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			default:
+				return true
+			}
+			checkDroppedError(pass, call)
+			return true
+		})
+	}
+}
+
+// checkDroppedError reports the call if its callee is a module function
+// whose results include an error.
+func checkDroppedError(pass *Pass, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	obj := calleeObject(pass, call.Fun)
+	if obj == nil || obj.Pkg() == nil || !pass.IsModulePath(obj.Pkg().Path()) {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign it to _ explicitly",
+				calleeName(obj))
+			return
+		}
+	}
+}
+
+// calleeObject resolves the object a call expression invokes: a declared
+// function, a method, or a function-valued variable.
+func calleeObject(pass *Pass, fun ast.Expr) types.Object {
+	switch x := unparen(fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// calleeName renders the callee for a finding message.
+func calleeName(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" }) + "." + f.Name()
+		}
+	}
+	return obj.Name()
+}

@@ -1,0 +1,381 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the full import path ("repro/internal/sim").
+	Path string
+	// RelPath is the path relative to the module root ("internal/sim", ""
+	// for the root package).
+	RelPath string
+	// Dir is the absolute directory.
+	Dir string
+	// Files holds the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression and object facts.
+	Info *types.Info
+	// imports lists the module-internal import paths, for load ordering.
+	imports []string
+}
+
+// Module is a whole module, parsed and type-checked once; every analyzer
+// runs against it.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset is the file set shared by every package.
+	Fset *token.FileSet
+	// Pkgs holds every package of the module, sorted by import path.
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				rest = unq
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadModule parses and type-checks every non-test package under root. The
+// whole module is checked once, in dependency order, with a shared file set;
+// standard-library imports are type-checked from source (stdlib-only — no
+// export data or external tooling required).
+func LoadModule(root string) (*Module, error) {
+	root, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: path, Fset: token.NewFileSet()}
+
+	if err := m.parseAll(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheckAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseAll discovers and parses every package directory of the module.
+func (m *Module) parseAll() error {
+	byPath := map[string]*Package{}
+	err := filepath.WalkDir(m.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		importPath := m.Path
+		if rel != "" {
+			importPath += "/" + rel
+		}
+		pkg := byPath[importPath]
+		if pkg == nil {
+			pkg = &Package{Path: importPath, RelPath: rel, Dir: dir}
+			byPath[importPath] = pkg
+		}
+		file, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, pkg := range byPath {
+		sort.Slice(pkg.Files, func(i, j int) bool {
+			return m.Fset.File(pkg.Files[i].Pos()).Name() < m.Fset.File(pkg.Files[j].Pos()).Name()
+		})
+		seen := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if (ip == m.Path || strings.HasPrefix(ip, m.Path+"/")) && !seen[ip] {
+					seen[ip] = true
+					pkg.imports = append(pkg.imports, ip)
+				}
+			}
+		}
+		sort.Strings(pkg.imports)
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return nil
+}
+
+// typeCheckAll type-checks the parsed packages in dependency order.
+func (m *Module) typeCheckAll() error {
+	byPath := map[string]*Package{}
+	for _, p := range m.Pkgs {
+		byPath[p.Path] = p
+	}
+	imp := &moduleImporter{
+		module: byPath,
+		std:    importer.ForCompiler(m.Fset, "source", nil),
+		cache:  map[string]*types.Package{},
+	}
+
+	// Topological order over module-internal imports (import cycles are
+	// impossible in valid Go, but guard anyway).
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p.Path)
+		case done:
+			return nil
+		}
+		state[p.Path] = visiting
+		for _, dep := range p.imports {
+			if q, ok := byPath[dep]; ok {
+				if err := visit(q); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+
+	for _, p := range order {
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.Path, m.Fset, p.Files, info)
+		if err != nil {
+			return fmt.Errorf("analysis: type-checking %s: %w", p.Path, err)
+		}
+		p.Types = tpkg
+		p.Info = info
+	}
+	return nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// moduleImporter resolves module-internal imports to the already-checked
+// packages and everything else (the standard library) from source.
+type moduleImporter struct {
+	module map[string]*Package
+	std    types.Importer
+	cache  map[string]*types.Package
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.module[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: %s imported before it was type-checked", path)
+		}
+		return p.Types, nil
+	}
+	if cached, ok := mi.cache[path]; ok {
+		return cached, nil
+	}
+	pkg, err := mi.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	mi.cache[path] = pkg
+	return pkg, nil
+}
+
+// MatchPatterns resolves go-style package patterns ("./...",
+// "./internal/sim", "internal/...") against the module, returning the
+// selected packages. Patterns written relative to the current directory
+// ("./...", ".") are anchored at the invoker's working directory, like the
+// go tool, so `ccvet ./...` from a subdirectory vets that subtree only;
+// "..." always means the whole module.
+func (m *Module) MatchPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwdRel := "" // working directory relative to the module root
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(m.Root, wd); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+			cwdRel = filepath.ToSlash(rel)
+		}
+	}
+	selected := map[string]*Package{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		if pat == "." || pat == "./..." || strings.HasPrefix(pat, "./") {
+			anchored := strings.TrimPrefix(strings.TrimPrefix(pat, "."), "/")
+			switch {
+			case cwdRel == "":
+				pat = anchored
+			case anchored == "":
+				pat = cwdRel
+			default:
+				pat = cwdRel + "/" + anchored
+			}
+		}
+		matched := false
+		switch {
+		case pat == "...":
+			for _, p := range m.Pkgs {
+				selected[p.Path] = p
+			}
+			matched = len(m.Pkgs) > 0
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			for _, p := range m.Pkgs {
+				if p.RelPath == prefix || strings.HasPrefix(p.RelPath, prefix+"/") {
+					selected[p.Path] = p
+					matched = true
+				}
+			}
+		default:
+			for _, p := range m.Pkgs {
+				if p.RelPath == pat || p.Path == pat {
+					selected[p.Path] = p
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("analysis: pattern %q matched no packages", pat)
+		}
+	}
+	out := make([]*Package, 0, len(selected))
+	for _, p := range selected {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Vet runs the analyzers over the packages matching the patterns and returns
+// the surviving findings, sorted, with file names relative to the module
+// root.
+func (m *Module) Vet(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	pkgs, err := m.MatchPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(p.RelPath) {
+				continue
+			}
+			out = append(out, RunAnalyzer(a, m.Fset, p.Files, p.Types, p.Info, m.Path)...)
+		}
+	}
+	for i := range out {
+		if rel, err := filepath.Rel(m.Root, out[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			out[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	// Malformed-ignore findings are produced once per analyzer pass over the
+	// same files; collapse exact duplicates.
+	seen := map[string]bool{}
+	dedup := out[:0]
+	for _, f := range out {
+		k := f.String()
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, f)
+		}
+	}
+	out = dedup
+	SortFindings(out)
+	return out, nil
+}

@@ -1,0 +1,574 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PurityAnalyzer enforces the purity contract on protocol transition
+// functions (sim/protocol.go: "Protocol implementations must be pure:
+// transition functions may not mutate their arguments and must return the
+// same result for the same (state, message) pair").
+//
+// It locates every type in the package whose method set includes Init,
+// Receive, and SendStep — the δ/β trio of a sim.Protocol implementation —
+// and inspects those three bodies for:
+//
+//   - writes that escape the local copy: through a pointer receiver, a
+//     pointer argument, or a map/slice reachable from the receiver or an
+//     argument (configurations share state values, so such writes corrupt
+//     sibling branches of an exploration);
+//   - append to a slice reachable from an argument (append may write into
+//     the shared backing array when spare capacity exists);
+//   - calls of pointer-receiver methods on values reachable from an
+//     argument (the callee can mutate shared structure);
+//   - any reference to a package-level mutable variable (reads make the
+//     transition depend on ambient state; writes are shared mutation).
+//
+// The analyzer recognizes the repo's copy-on-write idiom: a local assigned
+// from a call result (`s = s.clone()`, `s.out = appendOut(s.out, x)`) is
+// fresh, so subsequent writes through it are pure.
+var PurityAnalyzer = &Analyzer{
+	Name: "purity",
+	Doc:  "transition functions δ/β must be pure: no mutation of arguments or shared state, no package-level variables",
+	Run:  runPurity,
+}
+
+// transitionMethodNames is the δ/β trio every sim.Protocol implements.
+var transitionMethodNames = map[string]bool{"Init": true, "Receive": true, "SendStep": true}
+
+func runPurity(pass *Pass) {
+	for _, decl := range protocolMethods(pass) {
+		checkTransitionBody(pass, decl)
+	}
+}
+
+// protocolMethods returns the Init/Receive/SendStep declarations of every
+// type in the package that declares all three (a sim.Protocol implementation
+// by structure; matching by method-set shape keeps the analyzer independent
+// of the sim package itself, so fixtures and future protocol packages are
+// covered alike).
+func protocolMethods(pass *Pass) []*ast.FuncDecl {
+	byType := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !transitionMethodNames[fd.Name.Name] {
+				continue
+			}
+			tn := receiverTypeName(fd)
+			if tn != "" {
+				byType[tn] = append(byType[tn], fd)
+			}
+		}
+	}
+	var out []*ast.FuncDecl
+	for _, decls := range byType {
+		names := map[string]bool{}
+		for _, d := range decls {
+			names[d.Name.Name] = true
+		}
+		if names["Init"] && names["Receive"] && names["SendStep"] {
+			out = append(out, decls...)
+		}
+	}
+	return out
+}
+
+// receiverTypeName extracts the receiver's base type name.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// taintState tracks which access paths may alias memory shared with the
+// caller. Base entries ("s") come from parameters and the receiver; path
+// entries ("s.out") record copy-on-write reassignments of individual fields.
+type taintState struct {
+	pass    *Pass
+	paths   map[string]bool
+	recvObj types.Object
+}
+
+// clone copies the taint state for analyzing one branch.
+func (ts *taintState) clone() *taintState {
+	paths := make(map[string]bool, len(ts.paths))
+	for k, v := range ts.paths {
+		paths[k] = v
+	}
+	return &taintState{pass: ts.pass, paths: paths, recvObj: ts.recvObj}
+}
+
+// mergeBranches conservatively joins the taint states of alternative
+// branches: a path is tainted afterwards if it is tainted in any of them.
+// An untaint inside one branch (`s = s.clone()`) must not leak into code
+// that runs when the branch was not taken.
+func (ts *taintState) mergeBranches(branches ...*taintState) {
+	merged := map[string]bool{}
+	for _, b := range append(branches, ts) {
+		for k := range b.paths {
+			if _, ok := merged[k]; ok {
+				continue
+			}
+			t := ts.taintedPath(k)
+			for _, ob := range branches {
+				t = t || ob.taintedPath(k)
+			}
+			merged[k] = t
+		}
+	}
+	ts.paths = merged
+}
+
+// taintedPath reports the taint of the longest known prefix of path.
+func (ts *taintState) taintedPath(path string) bool {
+	for {
+		if v, ok := ts.paths[path]; ok {
+			return v
+		}
+		i := lastDot(path)
+		if i < 0 {
+			return false
+		}
+		path = path[:i]
+	}
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// setPath records the taint of a path, invalidating deeper overrides.
+func (ts *taintState) setPath(path string, tainted bool) {
+	for k := range ts.paths {
+		if len(k) > len(path) && k[:len(path)] == path && k[len(path)] == '.' {
+			delete(ts.paths, k)
+		}
+	}
+	ts.paths[path] = tainted
+}
+
+// exprTainted reports whether evaluating e may yield a reference into
+// caller-shared memory.
+func (ts *taintState) exprTainted(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj, path := pathOf(ts.pass.Info, e); obj != nil {
+			return ts.taintedPath(path)
+		}
+		return false
+	case *ast.ParenExpr:
+		return ts.exprTainted(x.X)
+	case *ast.StarExpr:
+		return ts.exprTainted(x.X)
+	case *ast.TypeAssertExpr:
+		return ts.exprTainted(x.X)
+	case *ast.IndexExpr:
+		return ts.exprTainted(x.X)
+	case *ast.SliceExpr:
+		return ts.exprTainted(x.X)
+	case *ast.UnaryExpr:
+		return ts.exprTainted(x.X)
+	case *ast.CallExpr:
+		// A value-returning method called on a tainted receiver usually
+		// returns a modified copy of it — which still aliases the
+		// receiver's maps and slices. Copy constructors (clone/copy
+		// naming) are the recognized exception.
+		if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := ts.pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && ts.exprTainted(sel.X) {
+				return !isCopyingName(sel.Sel.Name)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isCopyingName recognizes copy-constructor method names.
+func isCopyingName(name string) bool {
+	for _, p := range []string{"clone", "Clone", "copy", "Copy"} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTransitionBody runs the purity rules over one Init/Receive/SendStep
+// body.
+func checkTransitionBody(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ts := &taintState{pass: pass, paths: map[string]bool{}}
+	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		name := fd.Recv.List[0].Names[0]
+		if name.Name != "_" {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				ts.paths[name.Name] = true
+				ts.recvObj = obj
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					ts.paths[name.Name] = true
+				}
+			}
+		}
+	}
+	checkStmts(pass, fd, ts, fd.Body.List)
+}
+
+// checkStmts walks a statement list in order, updating taint and reporting
+// violations.
+func checkStmts(pass *Pass, fd *ast.FuncDecl, ts *taintState, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		checkStmt(pass, fd, ts, s)
+	}
+}
+
+func checkStmt(pass *Pass, fd *ast.FuncDecl, ts *taintState, s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		checkAssign(pass, fd, ts, st)
+	case *ast.IncDecStmt:
+		checkWriteTarget(pass, fd, ts, st.X, "update")
+		checkExpr(pass, fd, ts, st.X)
+	case *ast.ExprStmt:
+		checkExpr(pass, fd, ts, st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			checkStmt(pass, fd, ts, st.Init)
+		}
+		checkExpr(pass, fd, ts, st.Cond)
+		body := ts.clone()
+		checkStmts(pass, fd, body, st.Body.List)
+		branches := []*taintState{body}
+		if st.Else != nil {
+			els := ts.clone()
+			checkStmt(pass, fd, els, st.Else)
+			branches = append(branches, els)
+		}
+		ts.mergeBranches(branches...)
+	case *ast.BlockStmt:
+		checkStmts(pass, fd, ts, st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			checkStmt(pass, fd, ts, st.Init)
+		}
+		if st.Cond != nil {
+			checkExpr(pass, fd, ts, st.Cond)
+		}
+		body := ts.clone()
+		checkStmts(pass, fd, body, st.Body.List)
+		if st.Post != nil {
+			checkStmt(pass, fd, body, st.Post)
+		}
+		ts.mergeBranches(body)
+	case *ast.RangeStmt:
+		checkExpr(pass, fd, ts, st.X)
+		// Range variables hold copies of the elements; treat them as
+		// fresh (the repo ranges over value-typed slices).
+		body := ts.clone()
+		checkStmts(pass, fd, body, st.Body.List)
+		ts.mergeBranches(body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			checkStmt(pass, fd, ts, st.Init)
+		}
+		if st.Tag != nil {
+			checkExpr(pass, fd, ts, st.Tag)
+		}
+		var branches []*taintState
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				b := ts.clone()
+				checkStmts(pass, fd, b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		ts.mergeBranches(branches...)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			checkStmt(pass, fd, ts, st.Init)
+		}
+		// `switch pl := m.Payload.(type)` binds a per-clause alias of the
+		// asserted operand; taint it like an assignment from the operand.
+		var aliasName string
+		var operandTainted bool
+		if as, ok := st.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				aliasName = id.Name
+			}
+			operandTainted = ts.exprTainted(as.Rhs[0])
+		}
+		var branches []*taintState
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				b := ts.clone()
+				if aliasName != "" {
+					b.setPath(aliasName, operandTainted)
+				}
+				checkStmts(pass, fd, b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		ts.mergeBranches(branches...)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			checkExpr(pass, fd, ts, e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						tainted := false
+						if i < len(vs.Values) {
+							checkExpr(pass, fd, ts, vs.Values[i])
+							tainted = ts.exprTainted(vs.Values[i])
+						}
+						if name.Name != "_" {
+							ts.setPath(name.Name, tainted)
+						}
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		checkExpr(pass, fd, ts, st.Call)
+	case *ast.GoStmt:
+		checkExpr(pass, fd, ts, st.Call)
+	case *ast.LabeledStmt:
+		checkStmt(pass, fd, ts, st.Stmt)
+	case *ast.SendStmt:
+		checkExpr(pass, fd, ts, st.Chan)
+		checkExpr(pass, fd, ts, st.Value)
+	}
+}
+
+// checkAssign handles taint propagation and write violations for one
+// assignment.
+func checkAssign(pass *Pass, fd *ast.FuncDecl, ts *taintState, st *ast.AssignStmt) {
+	for _, rhs := range st.Rhs {
+		checkExpr(pass, fd, ts, rhs)
+	}
+	multi := len(st.Lhs) > 1 && len(st.Rhs) == 1
+	for i, lhs := range st.Lhs {
+		checkWriteTarget(pass, fd, ts, lhs, "assignment")
+		checkExpr(pass, fd, ts, lhs)
+
+		// Taint propagation for plain variables and field paths.
+		obj, path := pathOf(pass.Info, lhs)
+		if obj == nil {
+			continue
+		}
+		var tainted bool
+		switch {
+		case multi:
+			// Multi-value call/assert: `s, ok := state.(T)` keeps the
+			// asserted value aliased to the argument.
+			tainted = ts.exprTainted(st.Rhs[0])
+		case i < len(st.Rhs):
+			if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+				// Compound assignment (+= etc.) keeps the old value.
+				tainted = ts.taintedPath(path)
+			} else {
+				tainted = ts.exprTainted(st.Rhs[i])
+			}
+		}
+		ts.setPath(path, tainted)
+	}
+}
+
+// checkWriteTarget reports a violation if writing through lhs escapes the
+// function's local copies into caller-shared memory.
+func checkWriteTarget(pass *Pass, fd *ast.FuncDecl, ts *taintState, lhs ast.Expr, what string) {
+	obj, path, escapes := writeEscapes(pass.Info, lhs)
+	if obj == nil || !escapes || !ts.taintedPath(path) {
+		return
+	}
+	target := "argument"
+	if obj == ts.recvObj {
+		target = "pointer receiver"
+	}
+	pass.Reportf(lhs.Pos(), "%s.%s: %s mutates state reachable from the %s (%s); transition functions must be pure — return a fresh value instead",
+		receiverTypeName(fd), fd.Name.Name, what, target, exprString(lhs))
+}
+
+// writeEscapes resolves the root object and path of a write target and
+// whether the write traverses a pointer, map, or slice (and therefore
+// mutates memory shared with the caller rather than a local copy).
+func writeEscapes(info *types.Info, lhs ast.Expr) (types.Object, string, bool) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		return obj, x.Name, false
+	case *ast.ParenExpr:
+		return writeEscapes(info, x.X)
+	case *ast.StarExpr:
+		obj, path := pathOf(info, x.X)
+		return obj, path, true
+	case *ast.SelectorExpr:
+		obj, path, esc := writeEscapes(info, x.X)
+		if obj == nil {
+			return nil, "", false
+		}
+		if isPointer(info, x.X) {
+			esc = true
+		}
+		return obj, path + "." + x.Sel.Name, esc
+	case *ast.IndexExpr:
+		obj, path, esc := writeEscapes(info, x.X)
+		if obj == nil {
+			return nil, "", false
+		}
+		switch typeOf(info, x.X).Underlying().(type) {
+		case *types.Map, *types.Slice, *types.Pointer:
+			esc = true
+		}
+		return obj, path, esc
+	}
+	return nil, "", false
+}
+
+// checkExpr walks an expression for violations that do not involve an
+// assignment target: shared-slice appends, pointer-receiver method calls on
+// tainted values, and package-level variable references.
+func checkExpr(pass *Pass, fd *ast.FuncDecl, ts *taintState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, fd, ts, x)
+		case *ast.Ident:
+			checkPackageVar(pass, fd, x)
+		case *ast.FuncLit:
+			checkStmts(pass, fd, ts, x.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCall flags append-to-shared-slice and pointer-method calls on shared
+// values.
+func checkCall(pass *Pass, fd *ast.FuncDecl, ts *taintState, call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if ts.exprTainted(call.Args[0]) {
+				pass.Reportf(call.Pos(), "%s.%s: append to %s may write into a backing array shared with the caller's state; copy before appending",
+					receiverTypeName(fd), fd.Name.Name, exprString(call.Args[0]))
+			}
+			return
+		}
+		if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") && len(call.Args) > 0 {
+			if ts.exprTainted(call.Args[0]) {
+				pass.Reportf(call.Pos(), "%s.%s: %s mutates %s, which is reachable from the caller's state",
+					receiverTypeName(fd), fd.Name.Name, b.Name(), exprString(call.Args[0]))
+			}
+			return
+		}
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, isPtr := sig.Recv().Type().Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	if ts.exprTainted(sel.X) {
+		pass.Reportf(call.Pos(), "%s.%s: calling pointer-receiver method %s on %s may mutate state shared with the caller",
+			receiverTypeName(fd), fd.Name.Name, f.Name(), exprString(sel.X))
+	}
+}
+
+// checkPackageVar flags references to package-level mutable variables inside
+// transition bodies: the paper's δ/β must depend only on (state, message).
+func checkPackageVar(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) {
+	obj, ok := pass.Info.Uses[id]
+	if !ok {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	pass.Reportf(id.Pos(), "%s.%s: references package-level mutable variable %s; transitions must depend only on their inputs",
+		receiverTypeName(fd), fd.Name.Name, v.Name())
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders a small expression for a finding message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[…]"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	case *ast.TypeAssertExpr:
+		return exprString(x.X) + ".(…)"
+	}
+	return "expression"
+}

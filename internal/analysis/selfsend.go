@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SelfSendAnalyzer flags construction of a sim.Envelope whose destination is
+// provably the sending processor's own ProcID. The model forbids self-sends
+// (Section 3: β_p sends to P − {p}); sim.Apply enforces this at run time
+// with ErrSelfSend, but a violating protocol only fails once a test happens
+// to drive it through the offending transition. This analyzer rejects the
+// provable cases at vet time.
+//
+// Inside each Init/Receive/SendStep body, the sender is the method's first
+// ProcID-typed parameter. A composite literal `Envelope{To: p, …}` (keyed or
+// positional), or an assignment `env.To = p`, where the destination resolves
+// to the sender — directly or through simple aliases (`q := p`) — is
+// reported.
+var SelfSendAnalyzer = &Analyzer{
+	Name: "selfsend",
+	Doc:  "processors may not send to themselves: Envelope destinations must differ from the sending ProcID",
+	Run:  runSelfSend,
+}
+
+func runSelfSend(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !transitionMethodNames[fd.Name.Name] {
+				continue
+			}
+			sender := senderParam(pass, fd)
+			if sender == nil {
+				continue
+			}
+			checkSelfSends(pass, fd, sender)
+		}
+	}
+}
+
+// senderParam returns the object of the method's first ProcID-typed
+// parameter — the processor on whose behalf the transition runs.
+func senderParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "ProcID" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkSelfSends walks the body tracking simple aliases of the sender and
+// reporting Envelope constructions addressed to it.
+func checkSelfSends(pass *Pass, fd *ast.FuncDecl, sender types.Object) {
+	aliases := map[types.Object]bool{sender: true}
+
+	isSender := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return aliases[pass.Info.ObjectOf(id)]
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// Track aliases: `q := p` makes q the sender; any other
+			// assignment to q clears it. Also catch `env.To = p`.
+			for i, lhs := range x.Lhs {
+				var rhs ast.Expr
+				if i < len(x.Rhs) {
+					rhs = x.Rhs[i]
+				}
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					obj := pass.Info.ObjectOf(id)
+					if obj == nil || obj == sender {
+						continue
+					}
+					if rhs != nil && isSender(rhs) {
+						aliases[obj] = true
+					} else {
+						delete(aliases, obj)
+					}
+					continue
+				}
+				if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "To" && rhs != nil && isSender(rhs) {
+					if isEnvelopeType(typeOf(pass.Info, sel.X)) {
+						pass.Reportf(lhs.Pos(), "%s.%s: message addressed to the sending processor %s itself; the model forbids self-sends",
+							receiverTypeName(fd), fd.Name.Name, sender.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t := typeOf(pass.Info, x)
+			if !isEnvelopeType(t) {
+				return true
+			}
+			to := envelopeToExpr(pass, x, t)
+			if to != nil && isSender(to) {
+				pass.Reportf(to.Pos(), "%s.%s: Envelope addressed to the sending processor %s itself; the model forbids self-sends",
+					receiverTypeName(fd), fd.Name.Name, sender.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isEnvelopeType reports whether t is a named struct called Envelope with a
+// To field — matching by shape keeps fixtures independent of the sim
+// package.
+func isEnvelopeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Envelope" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "To" {
+			return true
+		}
+	}
+	return false
+}
+
+// envelopeToExpr extracts the expression assigned to the To field of an
+// Envelope composite literal, keyed or positional.
+func envelopeToExpr(pass *Pass, lit *ast.CompositeLit, t types.Type) ast.Expr {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	toIndex := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "To" {
+			toIndex = i
+			break
+		}
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "To" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == toIndex {
+			return elt
+		}
+	}
+	return nil
+}

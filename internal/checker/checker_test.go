@@ -77,6 +77,9 @@ func TestChainViolatesWTTC(t *testing.T) {
 }
 
 func TestFullExchangeViolatesWTTC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fullexchange(3) exploration to the WT-TC violation takes ~1 minute")
+	}
 	x := mustCheck(t, protocols.FullExchange{Procs: 3}, problem(taxonomy.WT, taxonomy.TC),
 		Options{MaxFailures: 2, StopAtFirstViolation: true})
 	if x.Conforms() {
@@ -155,6 +158,9 @@ func TestTreeStatesAreSafe(t *testing.T) {
 }
 
 func TestFullExchangeHasUnsafeStates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fullexchange(3) safety exploration takes ~30 seconds")
+	}
 	// One failure suffices to expose the unsafe concurrency: a decided
 	// committer concurrent with a gatherer that lacks an input.
 	x, err := Explore(protocols.FullExchange{Procs: 3}, Options{MaxFailures: 1})

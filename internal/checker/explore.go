@@ -82,7 +82,7 @@ func (si *StateInfo) Decision() sim.Decision {
 // ImpliesAllOnes reports whether the state implies that every input is 1
 // (condition (2) of the safe-state definition).
 func (si *StateInfo) ImpliesAllOnes() bool {
-	for vec := range si.Inputs {
+	for vec := range si.Inputs { //ccvet:ignore detrange universally quantified predicate; order is unobservable
 		if strings.ContainsRune(vec, '0') {
 			return false
 		}

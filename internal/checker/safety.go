@@ -54,7 +54,7 @@ func (x *Exploration) Safety() *SafetyReport {
 	sort.Strings(keys)
 
 	concDecisions := func(si *StateInfo) (commit, abort bool) {
-		for ck := range si.Conc {
+		for ck := range si.Conc { //ccvet:ignore detrange commutative boolean accumulation; order is unobservable
 			switch x.States[ck].Decision() {
 			case sim.Commit:
 				commit = true
@@ -101,7 +101,7 @@ func (x *Exploration) Safety() *SafetyReport {
 
 func countMixed(si *StateInfo) int {
 	n := 0
-	for vec := range si.Inputs {
+	for vec := range si.Inputs { //ccvet:ignore detrange counting; order is unobservable
 		for _, c := range vec {
 			if c == '0' {
 				n++

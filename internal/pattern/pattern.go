@@ -28,13 +28,13 @@ type idSet map[sim.MsgID]struct{}
 func (s idSet) add(id sim.MsgID)      { s[id] = struct{}{} }
 func (s idSet) has(id sim.MsgID) bool { _, ok := s[id]; return ok }
 func (s idSet) union(other idSet) {
-	for id := range other {
+	for id := range other { //ccvet:ignore detrange set union; insertion order is unobservable
 		s[id] = struct{}{}
 	}
 }
 func (s idSet) clone() idSet {
 	out := make(idSet, len(s))
-	for id := range s {
+	for id := range s { //ccvet:ignore detrange map copy; insertion order is unobservable
 		out[id] = struct{}{}
 	}
 	return out
@@ -80,12 +80,12 @@ func FromRun(r *sim.Run) *Pattern {
 	}
 
 	pat := New()
-	for id, past := range sendPast {
+	for id, past := range sendPast { //ccvet:ignore detrange builds a map keyed by id; insertion order is unobservable
 		if notice[id] {
 			continue
 		}
 		filtered := make(idSet, len(past))
-		for pid := range past {
+		for pid := range past { //ccvet:ignore detrange set filter; insertion order is unobservable
 			if !notice[pid] {
 				filtered.add(pid)
 			}
@@ -184,11 +184,14 @@ func (p *Pattern) Equal(q *Pattern) bool { return p.Key() == q.Key() }
 // exactly the pattern's message set: irreflexive, transitive, antisymmetric,
 // with every predecessor itself a pattern message.
 func (p *Pattern) Validate() error {
-	for id, past := range p.past {
+	// Iterate in canonical order so an invalid pattern always yields the
+	// same error, whichever violation the map happened to surface first.
+	for _, id := range p.Messages() {
+		past := p.past[id]
 		if past.has(id) {
 			return &InvalidOrderError{Reason: "irreflexivity violated at " + id.String()}
 		}
-		for q := range past {
+		for _, q := range p.Preds(id) {
 			qp, ok := p.past[q]
 			if !ok {
 				return &InvalidOrderError{Reason: "predecessor " + q.String() + " of " + id.String() + " not in pattern"}
@@ -196,7 +199,7 @@ func (p *Pattern) Validate() error {
 			if qp.has(id) {
 				return &InvalidOrderError{Reason: "antisymmetry violated between " + id.String() + " and " + q.String()}
 			}
-			for r := range qp {
+			for _, r := range p.Preds(q) {
 				if !past.has(r) {
 					return &InvalidOrderError{
 						Reason: "transitivity violated: " + r.String() + " < " + q.String() + " < " + id.String(),

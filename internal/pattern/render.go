@@ -41,7 +41,7 @@ func (p *Pattern) Hasse() [][2]sim.MsgID {
 // output is deterministic.
 func (p *Pattern) TopoSort() []sim.MsgID {
 	remaining := make(map[sim.MsgID]int, len(p.past))
-	for id, past := range p.past {
+	for id, past := range p.past { //ccvet:ignore detrange builds the in-degree map; insertion order is unobservable
 		remaining[id] = len(past)
 	}
 	out := make([]sim.MsgID, 0, len(p.past))
@@ -56,7 +56,7 @@ func (p *Pattern) TopoSort() []sim.MsgID {
 		next := ready[0]
 		out = append(out, next)
 		delete(remaining, next)
-		for id := range remaining {
+		for id := range remaining { //ccvet:ignore detrange commutative decrements; order is unobservable
 			if p.past[id].has(next) {
 				remaining[id]--
 			}
@@ -73,7 +73,7 @@ func (p *Pattern) Depth() int {
 	max := 0
 	for _, id := range p.TopoSort() {
 		d := 1
-		for q := range p.past[id] {
+		for q := range p.past[id] { //ccvet:ignore detrange max over predecessors is commutative
 			if depth[q]+1 > d {
 				d = depth[q] + 1
 			}
@@ -95,7 +95,7 @@ func (p *Pattern) Width() int {
 	counts := make(map[int]int)
 	for _, id := range p.TopoSort() {
 		d := 1
-		for q := range p.past[id] {
+		for q := range p.past[id] { //ccvet:ignore detrange max over predecessors is commutative
 			if depth[q]+1 > d {
 				d = depth[q] + 1
 			}
@@ -104,7 +104,7 @@ func (p *Pattern) Width() int {
 		counts[d]++
 	}
 	max := 0
-	for _, c := range counts {
+	for _, c := range counts { //ccvet:ignore detrange max is commutative
 		if c > max {
 			max = c
 		}
@@ -122,7 +122,7 @@ func (p *Pattern) RenderASCII() string {
 	depth := make(map[sim.MsgID]int, len(p.past))
 	for _, id := range p.TopoSort() {
 		d := 1
-		for q := range p.past[id] {
+		for q := range p.past[id] { //ccvet:ignore detrange max over predecessors is commutative
 			if depth[q]+1 > d {
 				d = depth[q] + 1
 			}
@@ -131,7 +131,7 @@ func (p *Pattern) RenderASCII() string {
 	}
 	byLevel := make(map[int][]sim.MsgID)
 	maxLevel := 0
-	for id, d := range depth {
+	for id, d := range depth { //ccvet:ignore detrange each level is sorted before rendering
 		byLevel[d] = append(byLevel[d], id)
 		if d > maxLevel {
 			maxLevel = d

@@ -239,7 +239,7 @@ func (a AckCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 					if !s.bias && s.zeros.has(q) {
 						continue
 					}
-					s.out = append(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
+					s.out = appendOut(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
 				}
 				if s.bias {
 					s.phase = ackWaitAcks
@@ -255,7 +255,7 @@ func (a AckCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 		if s.phase == ackWaitBias {
 			s.biasKnown, s.bias = true, pl.Committable
 			if pl.Committable {
-				s.out = append(s.out, outItem{to: 0, payload: ackMsg{}})
+				s.out = appendOut(s.out, outItem{to: 0, payload: ackMsg{}})
 				s.phase = ackWaitCommit
 			} else {
 				s.decided = sim.Abort
@@ -271,7 +271,7 @@ func (a AckCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 				s.decided = sim.Commit
 				s.phase = ackDone
 				for _, q := range allProcs(s.n).del(0).members() {
-					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
+					s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
 				}
 			}
 		}

@@ -129,7 +129,7 @@ func (b Broadcast) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
 		s.decided = sim.DecisionFor(input)
 		s.phase = bcastDone
 		for _, q := range allProcs(n).del(0).members() {
-			s.out = append(s.out, outItem{to: q, payload: valMsg{V: input}})
+			s.out = appendOut(s.out, outItem{to: q, payload: valMsg{V: input}})
 		}
 	} else {
 		s.phase = bcastWait
@@ -202,7 +202,7 @@ func (b Broadcast) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 				if q == from {
 					continue
 				}
-				s.out = append(s.out, outItem{to: q, payload: valMsg{V: v.V}})
+				s.out = appendOut(s.out, outItem{to: q, payload: valMsg{V: v.V}})
 			}
 		}
 	case bcastDone:

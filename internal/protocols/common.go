@@ -267,6 +267,16 @@ func (c termCore) onEvidence() termCore {
 	return c
 }
 
+// appendOut appends pending envelopes copy-on-write: the result never shares
+// a backing array with out. State values flow through the checker's
+// configuration graph by value, so an in-place append could write into the
+// spare capacity of a slice still referenced by a sibling configuration.
+func appendOut(out []outItem, items ...outItem) []outItem {
+	fresh := make([]outItem, 0, len(out)+len(items))
+	fresh = append(fresh, out...)
+	return append(fresh, items...)
+}
+
 // appendEarly inserts an early message keeping the slice canonical (sorted)
 // and duplicate-free, copying on write.
 func appendEarly(early []earlyMsg, e earlyMsg) []earlyMsg {

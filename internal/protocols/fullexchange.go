@@ -117,7 +117,7 @@ func (s fxState) Key() string {
 func (f FullExchange) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
 	s := fxState{self: p, n: n, input: input, conj: input, phase: fxGather}
 	for _, q := range allProcs(n).del(p).members() {
-		s.out = append(s.out, outItem{to: q, payload: valMsg{V: input}})
+		s.out = appendOut(s.out, outItem{to: q, payload: valMsg{V: input}})
 	}
 	if n == 1 {
 		s.decided = sim.DecisionFor(input)

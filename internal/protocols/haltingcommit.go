@@ -158,7 +158,7 @@ func (s hcState) Key() string {
 // processor; the processor decides as the broadcast completes and halts.
 func (s hcState) decideBroadcastHalt(d sim.Decision) hcState {
 	for _, q := range allProcs(s.n).del(s.self).members() {
-		s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: d}})
+		s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: d}})
 	}
 	s.afterSend = d
 	s.phase = hcDone
@@ -189,9 +189,9 @@ func (h HaltingCommit) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
 		s.phase = hcDone
 		s.afterSend = sim.Abort
 		for _, q := range allProcs(n).del(p).del(0).members() {
-			s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: sim.Abort}})
+			s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: sim.Abort}})
 		}
-		s.out = append(s.out, outItem{to: 0, payload: decisionMsg{D: sim.Abort}})
+		s.out = appendOut(s.out, outItem{to: 0, payload: decisionMsg{D: sim.Abort}})
 	} else {
 		s.phase = hcWaitBias
 	}
@@ -272,7 +272,7 @@ func (h HaltingCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) sim
 	case biasMsg:
 		if s.phase == hcWaitBias && pl.Committable {
 			s.biasKnown, s.bias = true, true
-			s.out = append(s.out, outItem{to: 0, payload: ackMsg{}})
+			s.out = appendOut(s.out, outItem{to: 0, payload: ackMsg{}})
 			s.phase = hcWaitCommit
 		}
 	case ackMsg:
@@ -308,7 +308,7 @@ func (s hcState) hcMaybeDecideBias() hcState {
 	}
 	s.biasKnown, s.bias = true, true
 	for _, q := range allProcs(s.n).del(0).members() {
-		s.out = append(s.out, outItem{to: q, payload: biasMsg{Committable: true}})
+		s.out = appendOut(s.out, outItem{to: q, payload: biasMsg{Committable: true}})
 	}
 	s.phase = hcWaitAcks
 	return s

@@ -323,7 +323,7 @@ func (pv Perverse) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 			if s.heard.contains(allProcs(s.n).del(perverseCoord)) {
 				s.biasKnown, s.bias = true, s.conj == sim.One
 				for _, q := range allProcs(s.n).del(perverseCoord).members() {
-					s.out = append(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
+					s.out = appendOut(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
 				}
 				if s.bias {
 					s.phase = pvWaitAcks
@@ -355,7 +355,7 @@ func (pv Perverse) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 				s.decided = sim.Commit
 				s.phase = pvDone
 				for _, q := range allProcs(s.n).del(perverseCoord).members() {
-					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
+					s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
 				}
 			}
 		}
@@ -386,7 +386,7 @@ func (s perverseState) maybeDashed() sim.State {
 	bothHis := s.his.contains(s.needHis())
 	if s.ackPending && bothHis {
 		s.ackPending = false
-		s.out = append(s.out, outItem{to: perverseCoord, payload: ackMsg{}})
+		s.out = appendOut(s.out, outItem{to: perverseCoord, payload: ackMsg{}})
 	}
 	switch s.self {
 	case 0:
@@ -396,14 +396,14 @@ func (s perverseState) maybeDashed() sim.State {
 			if s.firstHi == 1 {
 				// m1: sent iff p1's greeting beat p3's.
 				s.sentM1 = true
-				s.out = append(s.out, outItem{to: 3, payload: xMsg{ID: 1}})
+				s.out = appendOut(s.out, outItem{to: 3, payload: xMsg{ID: 1}})
 			}
 			if s.forgetful {
 				// The amnesic p0 forgets whether it sent m1.
 				s.m1Known = false
 				s.sentM1 = false
 			}
-			s.out = append(s.out, outItem{to: 1, payload: doneMsg{}})
+			s.out = appendOut(s.out, outItem{to: 1, payload: doneMsg{}})
 		}
 		if s.gotM2 && !s.sentM3 && s.dashed {
 			send := false
@@ -417,7 +417,7 @@ func (s perverseState) maybeDashed() sim.State {
 			}
 			if send {
 				s.sentM3 = true
-				s.out = append(s.out, outItem{to: perverseCoord, payload: xMsg{ID: 3}})
+				s.out = appendOut(s.out, outItem{to: perverseCoord, payload: xMsg{ID: 3}})
 			} else {
 				s.sentM3 = true // resolved: never send
 			}
@@ -428,7 +428,7 @@ func (s perverseState) maybeDashed() sim.State {
 			if s.firstHi == 0 {
 				// m2: sent iff p0's greeting beat p3's.
 				s.sentM2 = true
-				s.out = append(s.out, outItem{to: 0, payload: xMsg{ID: 2}})
+				s.out = appendOut(s.out, outItem{to: 0, payload: xMsg{ID: 2}})
 			}
 		}
 	}

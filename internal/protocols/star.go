@@ -204,7 +204,7 @@ func (st Star) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
 				d = sim.Commit
 			}
 			for _, q := range allProcs(s.n).del(0).members() {
-				s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: d}})
+				s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: d}})
 			}
 			s.afterSend = d
 		}
@@ -225,7 +225,7 @@ func (st Star) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
 				// Relay the decision to the other participants,
 				// then decide and halt.
 				for _, q := range allProcs(s.n).del(0).del(s.self).members() {
-					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: d.D}})
+					s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: d.D}})
 				}
 				s.afterSend = d.D
 				if len(s.out) == 0 {

@@ -194,7 +194,7 @@ func (t ThresholdCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) s
 			if s.heard.contains(allProcs(s.n).del(0)) {
 				s.biasKnown, s.bias = true, s.ones >= s.k
 				for _, q := range allProcs(s.n).del(0).members() {
-					s.out = append(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
+					s.out = appendOut(s.out, outItem{to: q, payload: biasMsg{Committable: s.bias}})
 				}
 				if s.bias {
 					s.phase = ackWaitAcks
@@ -208,7 +208,7 @@ func (t ThresholdCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) s
 		if s.phase == ackWaitBias {
 			s.biasKnown, s.bias = true, pl.Committable
 			if pl.Committable {
-				s.out = append(s.out, outItem{to: 0, payload: ackMsg{}})
+				s.out = appendOut(s.out, outItem{to: 0, payload: ackMsg{}})
 				s.phase = ackWaitCommit
 			} else {
 				s.decided = sim.Abort
@@ -222,7 +222,7 @@ func (t ThresholdCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) s
 				s.decided = sim.Commit
 				s.phase = ackDone
 				for _, q := range allProcs(s.n).del(0).members() {
-					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
+					s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: sim.Commit}})
 				}
 			}
 		}

@@ -420,7 +420,7 @@ func (t Tree) receiveMain(s treeState, from sim.ProcID, payload sim.Payload) sim
 			s.decided = sim.Commit
 			s.phase = phaseMainDone
 			for _, c := range children(s.self, s.n) {
-				s.out = append(s.out, outItem{to: c, payload: decisionMsg{D: sim.Commit}})
+				s.out = appendOut(s.out, outItem{to: c, payload: decisionMsg{D: sim.Commit}})
 			}
 		}
 	case phaseRootWaitAcks:
@@ -432,7 +432,7 @@ func (t Tree) receiveMain(s treeState, from sim.ProcID, payload sim.Payload) sim
 				s.decided = sim.Commit
 				s.phase = phaseMainDone
 				for _, c := range children(s.self, s.n) {
-					s.out = append(s.out, outItem{to: c, payload: decisionMsg{D: sim.Commit}})
+					s.out = appendOut(s.out, outItem{to: c, payload: decisionMsg{D: sim.Commit}})
 				}
 			}
 		}

@@ -202,7 +202,7 @@ func (t TwoPhaseCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) si
 				s.decided = sim.DecisionFor(s.conj)
 				s.phase = tpcDone
 				for _, q := range allProcs(s.n).del(0).members() {
-					s.out = append(s.out, outItem{to: q, payload: decisionMsg{D: s.decided}})
+					s.out = appendOut(s.out, outItem{to: q, payload: decisionMsg{D: s.decided}})
 				}
 			}
 		}

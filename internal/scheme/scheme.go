@@ -47,7 +47,7 @@ func (s *Set) Contains(p *pattern.Pattern) bool {
 
 // SubsetOf reports whether every pattern of s belongs to t.
 func (s *Set) SubsetOf(t *Set) bool {
-	for k := range s.patterns {
+	for k := range s.patterns { //ccvet:ignore detrange membership test only; order is unobservable
 		if _, ok := t.patterns[k]; !ok {
 			return false
 		}
@@ -60,7 +60,7 @@ func (s *Set) Equal(t *Set) bool { return s.SubsetOf(t) && t.SubsetOf(s) }
 
 // Union merges t into s.
 func (s *Set) Union(t *Set) {
-	for k, p := range t.patterns {
+	for k, p := range t.patterns { //ccvet:ignore detrange keyed insertion; order is unobservable
 		s.patterns[k] = p
 	}
 }
@@ -164,12 +164,12 @@ func (nd *node) clone() *node {
 	}
 	for p, set := range nd.known {
 		cp := make(map[sim.MsgID]struct{}, len(set))
-		for id := range set {
+		for id := range set { //ccvet:ignore detrange map copy; insertion order is unobservable
 			cp[id] = struct{}{}
 		}
 		out.known[p] = cp
 	}
-	for id, past := range nd.sendPast {
+	for id, past := range nd.sendPast { //ccvet:ignore detrange map copy; insertion order is unobservable
 		out.sendPast[id] = past
 	}
 	return out
@@ -233,6 +233,7 @@ func applyEffect(nd *node, eff sim.Effect) {
 		for id := range nd.known[p] {
 			past = append(past, id)
 		}
+		sort.Slice(past, func(i, j int) bool { return past[i].Less(past[j]) })
 		nd.sendPast[m.ID] = past
 		nd.pat.Add(m.ID, past...)
 		nd.known[p][m.ID] = struct{}{}
