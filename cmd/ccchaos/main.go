@@ -1,0 +1,178 @@
+// Command ccchaos runs a seeded, parallel chaos sweep of a protocol against
+// a consensus problem: thousands of failure-injected random executions,
+// each checked for the decision rule, the consistency constraint, and the
+// termination condition, with every violating schedule shrunk by
+// delta-debugging to a locally minimal counterexample and written as a
+// replayable JSON trace (see cccheck -replay).
+//
+// The sweep is a pure function of -seed and its options: same seed, same
+// flags, byte-identical traces, regardless of -parallel.
+//
+// Usage:
+//
+//	ccchaos -proto tree -n 3 -problem WT-TC -runs 2000 -seed 1
+//	ccchaos -proto chain-st -n 3 -problem ST-IC -trace-dir traces
+//	cccheck -replay traces/chain-st-ST-IC-run00042.json
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 2 violations found, 3 sweep
+// interrupted before completing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	consensus "repro"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protoName = flag.String("proto", "tree", "protocol: "+strings.Join(consensus.ProtocolNames(), ", "))
+		n         = flag.Int("n", 3, "number of processors")
+		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
+		runs      = flag.Int("runs", 1000, "number of randomized executions")
+		seed      = flag.Int64("seed", 1, "sweep seed; equal seeds and flags give byte-identical traces")
+		parallel  = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS); affects speed only, never results")
+		maxFail   = flag.Int("max-failures", -1, "maximum injected failures per run (-1 = N-1, 0 = failure-free)")
+		maxSteps  = flag.Int("max-steps", 10_000, "per-run step budget")
+		timeout   = flag.Duration("timeout", 0, "whole-sweep wall-clock budget (0 = none); on expiry partial results are reported")
+		minimize  = flag.Bool("minimize", true, "shrink violating schedules to 1-minimal counterexamples")
+		traceDir  = flag.String("trace-dir", "", "directory for violation traces (empty = don't write)")
+		inputsArg = flag.String("inputs", "", "fixed input vector like 101 (empty = random per run)")
+		verbose   = flag.Bool("v", false, "print every failure, not just the first five")
+	)
+	flag.Parse()
+
+	proto, err := consensus.ProtocolByName(*protoName, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccchaos:", err)
+		return 1
+	}
+	prob, err := consensus.ParseProblem(*problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccchaos:", err)
+		return 1
+	}
+	opts := consensus.ChaosOptions{
+		Runs:        *runs,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		MaxFailures: *maxFail,
+		MaxSteps:    *maxSteps,
+		Minimize:    *minimize,
+	}
+	if *inputsArg != "" {
+		in, err := consensus.ParseInputs(*inputsArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccchaos:", err)
+			return 1
+		}
+		opts.Inputs = [][]consensus.Bit{in}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	rep, sweepErr := consensus.Chaos(ctx, proto, prob, opts)
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "ccchaos:", sweepErr)
+		return 1
+	}
+	if sweepErr != nil && !errors.Is(sweepErr, context.DeadlineExceeded) && !errors.Is(sweepErr, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ccchaos:", sweepErr)
+		return 1
+	}
+
+	fmt.Printf("%s vs %s: %d runs, seed %d (%s)\n", rep.Proto, rep.Problem.Name(), rep.Runs, rep.Seed, rep.Status)
+	fmt.Printf("  passed %d, violated %d, panicked %d, unresolved %d, aborted %d\n",
+		rep.Passed, rep.Violated, rep.Panicked, rep.Unresolved, rep.Aborted)
+	fmt.Printf("  failure injections: %d planned, %d fired, %d unfired\n",
+		rep.InjectionsPlanned, rep.InjectionsFired, rep.InjectionsUnfired)
+
+	written := 0
+	for i, f := range rep.Failures {
+		if *verbose || i < 5 {
+			fmt.Printf("  run %d (seed %d, inputs %s): %s\n", f.RunIndex, f.Seed, renderInputs(f.Inputs), f.Violations[0])
+			if f.Outcome == consensus.ChaosOutcomeViolated {
+				fmt.Printf("    schedule: %d events (shrunk from %d, %d candidates tried)\n",
+					len(f.Schedule), f.OriginalSteps, f.ShrinkCandidates)
+			}
+		} else if i == 5 {
+			fmt.Printf("  … and %d more failures (use -v to list all)\n", len(rep.Failures)-5)
+		}
+		if *traceDir != "" {
+			path, err := writeTrace(*traceDir, rep, f, *protoName, opts.MaxSteps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ccchaos:", err)
+				return 1
+			}
+			written++
+			if *verbose || i < 5 {
+				fmt.Printf("    trace: %s\n", path)
+			}
+		}
+	}
+	if written > 0 {
+		fmt.Printf("  %d trace(s) written to %s (replay with: cccheck -replay <file>)\n", written, *traceDir)
+	}
+
+	switch {
+	case rep.Status == consensus.ChaosStatusInterrupted:
+		fmt.Println("INTERRUPTED: partial results above")
+		return 3
+	case !rep.Clean():
+		fmt.Printf("VIOLATES: %d failing run(s)\n", len(rep.Failures))
+		return 2
+	default:
+		fmt.Println("OK: no violations found")
+		return 0
+	}
+}
+
+// writeTrace serializes one failure into the trace directory with a
+// deterministic name.
+func writeTrace(dir string, rep *consensus.ChaosReport, f *consensus.ChaosFailure, protoArg string, maxSteps int) (string, error) {
+	if maxSteps == 0 {
+		maxSteps = 10_000
+	}
+	t := consensus.BuildChaosTrace(rep, f, maxSteps)
+	t.ProtoArg = protoArg
+	data, err := t.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-%s-run%05d.json", protoArg, rep.Problem.Name(), f.RunIndex)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func renderInputs(inputs []consensus.Bit) string {
+	var sb strings.Builder
+	for _, b := range inputs {
+		if b == consensus.One {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -5,14 +5,24 @@
 // termination condition. With -safety it additionally runs the Theorem 2
 // safe-state analysis (concurrency sets, bias, Corollary 6).
 //
+// With -replay it instead re-executes a ccchaos violation trace and
+// re-asserts that the recorded schedule still exhibits the recorded
+// violation.
+//
 // Usage:
 //
 //	cccheck -proto tree -n 3 -problem WT-TC
 //	cccheck -proto star -n 3 -problem WT-TC -trace
 //	cccheck -proto fullexchange -n 3 -problem WT-TC -safety -maxfail 1
+//	cccheck -replay traces/chain-st-ST-IC-run00042.json
+//
+// Exit codes: 0 conforms (or trace reproduced), 1 error (or trace
+// diverged), 2 violations found, 3 partial results only (node budget
+// exhausted or -timeout hit; the summary covers the visited prefix).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,42 +32,64 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cccheck:", err)
-		os.Exit(1)
-	}
+	os.Exit(run())
 }
 
-func run() error {
+func run() int {
 	var (
 		protoName = flag.String("proto", "tree", "protocol: "+strings.Join(consensus.ProtocolNames(), ", "))
 		n         = flag.Int("n", 3, "number of processors (keep small: the exploration is exhaustive)")
 		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
 		maxFail   = flag.Int("maxfail", 2, "maximum injected failures per run")
 		maxNodes  = flag.Int("maxnodes", 0, "node budget (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "exploration wall-clock budget (0 = none); on expiry partial results are reported")
 		trace     = flag.Bool("trace", false, "print the event trace to the first violation")
 		safety    = flag.Bool("safety", false, "run the Theorem 2 safe-state analysis")
+		replay    = flag.String("replay", "", "replay a ccchaos trace file and re-assert its violation")
 	)
 	flag.Parse()
 
+	if *replay != "" {
+		return replayTrace(*replay)
+	}
+
 	proto, err := consensus.ProtocolByName(*protoName, *n)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
 	}
 	prob, err := consensus.ParseProblem(*problem)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, TrackTraces: *trace}
-	x, err := consensus.Check(proto, prob, opts)
-	if err != nil {
-		return err
+	x, err := consensus.CheckContext(ctx, proto, prob, opts)
+	if err != nil && (x == nil || !x.Status.Partial()) {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
 	}
+
 	fmt.Printf("%s vs %s: %d configurations, %d states, %d terminal\n",
 		proto.Name(), prob.Name(), x.NodeCount, len(x.States), x.Terminals)
+	if x.Status.Partial() {
+		fmt.Printf("PARTIAL (%s): %d nodes visited, %d frontier nodes unexpanded; results below cover the visited prefix only\n",
+			x.Status, x.NodeCount, x.FrontierSize)
+	}
 	if x.Conforms() {
-		fmt.Println("CONFORMS: no violation found")
+		if x.Status.Partial() {
+			fmt.Println("no violation found in the visited prefix (NOT a proof of conformance)")
+		} else {
+			fmt.Println("CONFORMS: no violation found")
+		}
 	} else {
 		fmt.Printf("VIOLATES: %d violation(s); first:\n  %s\n", len(x.Violations), x.Violations[0])
 		if *trace {
@@ -88,8 +120,60 @@ func run() error {
 		}
 	}
 
-	if !x.Conforms() {
-		os.Exit(2)
+	switch {
+	case !x.Conforms():
+		return 2
+	case x.Status.Partial():
+		return 3
+	default:
+		return 0
 	}
-	return nil
+}
+
+// replayTrace re-executes a ccchaos trace and re-asserts the recorded
+// violation. Exit 2 means the violation reproduced identically; exit 1
+// means the replay diverged from the recording.
+func replayTrace(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+	t, err := consensus.DecodeChaosTrace(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+	if t.ProtoArg == "" {
+		fmt.Fprintln(os.Stderr, "cccheck: trace has no protoArg; cannot resolve the protocol")
+		return 1
+	}
+	proto, err := consensus.ProtocolByName(t.ProtoArg, t.N)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+	prob, err := consensus.ParseProblem(t.Problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+
+	fmt.Printf("replaying %s: %s vs %s, inputs %s, %d events (run %d of sweep seed %d)\n",
+		path, t.Protocol, t.Problem, t.Inputs, len(t.Schedule), t.RunIndex, t.SweepSeed)
+	res, err := consensus.ReplayChaosTrace(t, proto, prob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+	for _, v := range res.Violations {
+		fmt.Println("  " + v.String())
+	}
+	if res.Reproduced {
+		fmt.Println("REPRODUCED: replay exhibits the recorded violation(s) exactly")
+		return 2
+	}
+	fmt.Printf("DIVERGED: recorded %d violation(s), replay produced %d — the protocol or checker changed since recording\n",
+		len(t.Violations), len(res.Violations))
+	return 1
 }

@@ -39,8 +39,10 @@
 package consensus
 
 import (
+	"context"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -128,10 +130,31 @@ type (
 	CheckOptions = checker.Options
 	// Exploration is the result of exploring a configuration space.
 	Exploration = checker.Exploration
+	// ExploreStatus reports how an exploration ended (complete,
+	// interrupted, or budget-exhausted).
+	ExploreStatus = checker.Status
+	// BudgetError reports exhaustion of an exploration's node budget; the
+	// partial Exploration accompanies it.
+	BudgetError = checker.BudgetError
 	// SafetyReport is the Theorem 2 safe-state analysis.
 	SafetyReport = checker.SafetyReport
 	// Driver builds specific adversarial executions step by step.
 	Driver = checker.Driver
+)
+
+// Chaos-testing types.
+type (
+	// ChaosOptions configures a randomized failure-injection sweep.
+	ChaosOptions = chaos.Options
+	// ChaosReport is the result of a chaos sweep.
+	ChaosReport = chaos.Report
+	// ChaosFailure is one violating (or panicking) chaos run, with its
+	// shrunk counterexample schedule.
+	ChaosFailure = chaos.Failure
+	// ChaosTrace is a replayable serialized counterexample.
+	ChaosTrace = chaos.Trace
+	// ChaosReplayResult is the outcome of re-executing a trace.
+	ChaosReplayResult = chaos.ReplayResult
 )
 
 // Core (Section 4) types.
@@ -166,6 +189,15 @@ const (
 	WT = taxonomy.WT
 	ST = taxonomy.ST
 	HT = taxonomy.HT
+	// Chaos run outcomes.
+	ChaosOutcomePassed     = chaos.OutcomePassed
+	ChaosOutcomeViolated   = chaos.OutcomeViolated
+	ChaosOutcomePanicked   = chaos.OutcomePanicked
+	ChaosOutcomeUnresolved = chaos.OutcomeUnresolved
+	ChaosOutcomeAborted    = chaos.OutcomeAborted
+	// Chaos sweep statuses.
+	ChaosStatusComplete    = chaos.StatusComplete
+	ChaosStatusInterrupted = chaos.StatusInterrupted
 )
 
 // Protocol constructors.
@@ -257,6 +289,17 @@ func SchemeOf(p Protocol, opts SchemeOptions) (*PatternSet, error) {
 	return scheme.Of(p, opts)
 }
 
+// SchemeEnumeration is a possibly partial scheme enumeration: the patterns
+// found so far plus how the walk ended.
+type SchemeEnumeration = scheme.Enumeration
+
+// SchemeOfContext computes the scheme with graceful degradation: on
+// cancellation or budget exhaustion the patterns enumerated so far
+// accompany the error instead of being discarded.
+func SchemeOfContext(ctx context.Context, p Protocol, opts SchemeOptions) (*SchemeEnumeration, error) {
+	return scheme.OfContext(ctx, p, opts)
+}
+
 // EnumeratePatterns computes the failure-free patterns from one input
 // vector.
 func EnumeratePatterns(p Protocol, inputs []Bit, opts SchemeOptions) (*PatternSet, error) {
@@ -275,10 +318,47 @@ func Check(p Protocol, problem Problem, opts CheckOptions) (*Exploration, error)
 	return checker.Check(p, problem, opts)
 }
 
+// CheckContext is Check with graceful degradation: on context cancellation
+// or budget exhaustion the partial Exploration — visited nodes and every
+// violation found so far, with its Status set — accompanies the error.
+func CheckContext(ctx context.Context, p Protocol, problem Problem, opts CheckOptions) (*Exploration, error) {
+	return checker.CheckContext(ctx, p, problem, opts)
+}
+
 // Explore walks a protocol's reachable configuration space without
 // conformance checking (for safety analysis).
 func Explore(p Protocol, opts CheckOptions) (*Exploration, error) {
 	return checker.Explore(p, opts)
+}
+
+// ExploreContext is Explore with graceful degradation; see CheckContext.
+func ExploreContext(ctx context.Context, p Protocol, opts CheckOptions) (*Exploration, error) {
+	return checker.ExploreContext(ctx, p, opts)
+}
+
+// Chaos sweeps a protocol with randomized failure-injected executions,
+// checking each against the problem and shrinking every violating schedule
+// to a minimal, replayable counterexample. Cancellation is graceful: the
+// partial report accompanies the context's error.
+func Chaos(ctx context.Context, p Protocol, problem Problem, opts ChaosOptions) (*ChaosReport, error) {
+	return chaos.Run(ctx, p, problem, opts)
+}
+
+// BuildChaosTrace serializes one failure of a chaos report into a
+// replayable trace; maxSteps is the sweep's effective per-run budget.
+func BuildChaosTrace(rep *ChaosReport, f *ChaosFailure, maxSteps int) *ChaosTrace {
+	return chaos.BuildTrace(rep, f, maxSteps)
+}
+
+// DecodeChaosTrace parses a serialized chaos trace.
+func DecodeChaosTrace(data []byte) (*ChaosTrace, error) {
+	return chaos.DecodeTrace(data)
+}
+
+// ReplayChaosTrace re-executes a trace against the protocol and re-asserts
+// the recorded violation.
+func ReplayChaosTrace(t *ChaosTrace, p Protocol, problem Problem) (*ChaosReplayResult, error) {
+	return chaos.Replay(t, p, problem)
 }
 
 // NewDriver starts a step-by-step adversarial execution.

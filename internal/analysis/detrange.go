@@ -35,6 +35,8 @@ var detRangePackages = []string{
 	"internal/pattern",
 	"internal/scheme",
 	"internal/core",
+	"internal/chaos",
+	"cmd/ccchaos",
 }
 
 func detRangeApplies(relPath string) bool {

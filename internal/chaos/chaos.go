@@ -1,0 +1,410 @@
+// Package chaos is a seeded, parallel chaos-testing engine for the Dwork &
+// Skeen model: it runs thousands of failure-injected random executions of a
+// protocol, checks each against a consensus problem, and shrinks every
+// violating schedule to a locally minimal counterexample that serializes as
+// a replayable JSON trace.
+//
+// The paper's adversary is the scheduler — every theorem quantifies over
+// all schedules under up to N−1 fail-stop failures — and the exhaustive
+// checker answers that quantifier only where the configuration space is
+// tractable. The chaos engine is the complement for intractable spaces: a
+// Jepsen-style randomized sweep whose every run is a pure function of one
+// 64-bit seed, so the whole sweep is reproducible (same seed and options ⇒
+// byte-identical traces), panics in protocol code become reported
+// violations instead of crashed processes, and counterexamples come back
+// small enough to read.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// Options configures a chaos sweep.
+type Options struct {
+	// Runs is the number of randomized executions (default 1000).
+	Runs int
+	// Seed seeds the sweep. Every per-run seed, input vector, and failure
+	// plan derives from it deterministically, so equal seeds and options
+	// give equal sweeps regardless of Parallel.
+	Seed int64
+	// Parallel is the worker-pool size (default GOMAXPROCS). It affects
+	// wall-clock time only, never results.
+	Parallel int
+	// MaxFailures bounds injected fail-stop failures per run. Negative
+	// means N−1 (the paper's bound); zero means failure-free.
+	MaxFailures int
+	// MaxSteps is the per-run step budget (default 10_000). Runs that hit
+	// it are reported as unresolved and checked for safety only.
+	MaxSteps int
+	// Minimize shrinks each violating schedule to a locally 1-minimal
+	// counterexample by delta-debugging before reporting it.
+	Minimize bool
+	// Inputs, if non-nil, cycles through these input vectors instead of
+	// drawing random ones.
+	Inputs [][]sim.Bit
+}
+
+func (o Options) runs() int {
+	if o.Runs == 0 {
+		return 1000
+	}
+	return o.Runs
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps == 0 {
+		return 10_000
+	}
+	return o.MaxSteps
+}
+
+// Status reports how a sweep ended; the zero value is Complete.
+type Status int
+
+const (
+	// StatusComplete means every planned run reached a verdict.
+	StatusComplete Status = iota
+	// StatusInterrupted means the context was cancelled mid-sweep; the
+	// report covers the runs that finished.
+	StatusInterrupted
+)
+
+// String names the status.
+func (s Status) String() string {
+	if s == StatusInterrupted {
+		return "interrupted"
+	}
+	return "complete"
+}
+
+// Outcome classifies one chaos run.
+type Outcome int
+
+const (
+	// OutcomeAborted means the run was cut off by cancellation before a
+	// verdict (or never started).
+	OutcomeAborted Outcome = iota
+	// OutcomePassed means the run quiesced and satisfied the problem.
+	OutcomePassed
+	// OutcomeViolated means the run violated the problem (or the model
+	// contracts: self-send, multi-send, revoked decision).
+	OutcomeViolated
+	// OutcomePanicked means protocol code panicked; the panic was
+	// recovered and converted into a reported violation.
+	OutcomePanicked
+	// OutcomeUnresolved means the run hit MaxSteps without quiescing;
+	// safety was checked, liveness could not be.
+	OutcomeUnresolved
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePassed:
+		return "passed"
+	case OutcomeViolated:
+		return "violated"
+	case OutcomePanicked:
+		return "panicked"
+	case OutcomeUnresolved:
+		return "unresolved"
+	default:
+		return "aborted"
+	}
+}
+
+// Failure is one failing chaos run: the violation, the (possibly shrunk)
+// schedule that exhibits it, and everything needed to reproduce the run
+// from scratch.
+type Failure struct {
+	// RunIndex is the run's position in the sweep (0-based).
+	RunIndex int
+	// Seed is the per-run scheduler seed derived from the sweep seed.
+	Seed int64
+	// Inputs is the initial input vector.
+	Inputs []sim.Bit
+	// Injections is the planned failure schedule (including injections
+	// that never fired).
+	Injections []sim.FailureAt
+	// Outcome is OutcomeViolated or OutcomePanicked.
+	Outcome Outcome
+	// PanicValue holds the recovered panic for OutcomePanicked.
+	PanicValue string
+	// Violations lists what the schedule below violates (for panics, a
+	// single "panic" violation).
+	Violations []taxonomy.Violation
+	// Schedule is the violating schedule, shrunk to a locally 1-minimal
+	// counterexample when Options.Minimize was set. Empty for panics,
+	// which reproduce from Seed/Inputs/Injections instead.
+	Schedule sim.Schedule
+	// OriginalSteps is the schedule length before shrinking.
+	OriginalSteps int
+	// ShrinkCandidates counts the candidate schedules evaluated while
+	// shrinking (0 when Minimize was off).
+	ShrinkCandidates int
+}
+
+// Report is the result of a chaos sweep.
+type Report struct {
+	// Proto is the protocol's canonical name.
+	Proto string
+	// Problem is the problem checked.
+	Problem taxonomy.Problem
+	// Seed is the sweep seed.
+	Seed int64
+	// Runs is the number of planned runs.
+	Runs int
+	// Passed, Violated, Panicked, Unresolved, and Aborted partition the
+	// planned runs by outcome.
+	Passed     int
+	Violated   int
+	Panicked   int
+	Unresolved int
+	Aborted    int
+	// Status records whether the sweep completed or was interrupted.
+	Status Status
+	// Failures lists the violating and panicking runs in run order.
+	Failures []*Failure
+	// InjectionsPlanned, InjectionsFired, and InjectionsUnfired account
+	// for every failure injection across completed runs: unfired
+	// injections (AfterStep beyond quiescence) are counted, not silently
+	// believed to have been tested.
+	InjectionsPlanned int
+	InjectionsFired   int
+	InjectionsUnfired int
+}
+
+// Completed returns the number of runs that reached a verdict.
+func (r *Report) Completed() int { return r.Runs - r.Aborted }
+
+// Clean reports whether the sweep found no violations and no panics.
+func (r *Report) Clean() bool { return len(r.Failures) == 0 }
+
+// plan is the deterministic recipe for one run, derived from the sweep seed
+// before any worker starts, so worker scheduling cannot perturb results.
+type plan struct {
+	seed     int64
+	inputs   []sim.Bit
+	failures []sim.FailureAt
+}
+
+// runResult is one worker's verdict on one run.
+type runResult struct {
+	done    bool
+	outcome Outcome
+	failure *Failure
+	planned int
+	fired   int
+	unfired int
+}
+
+// Run executes a chaos sweep of the protocol against the problem. The
+// context cancels gracefully: finished runs keep their verdicts, in-flight
+// runs abort at their next scheduling step, and the partial report is
+// returned with StatusInterrupted alongside the context's error.
+func Run(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, opts Options) (*Report, error) {
+	n := proto.N()
+	if n < 1 {
+		return nil, fmt.Errorf("chaos: protocol %s has no processors", proto.Name())
+	}
+	for _, in := range opts.Inputs {
+		if len(in) != n {
+			return nil, fmt.Errorf("chaos: input vector %v has length %d, want %d", in, len(in), n)
+		}
+	}
+	runs := opts.runs()
+	maxSteps := opts.maxSteps()
+	maxFail := opts.MaxFailures
+	if maxFail < 0 {
+		maxFail = n - 1
+	}
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > runs {
+		par = runs
+	}
+
+	plans := makePlans(opts.Seed, runs, n, maxFail, opts.Inputs)
+
+	results := make([]runResult, runs)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = execute(ctx, proto, problem, plans[i], i, maxSteps, opts.Minimize)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < runs; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	rep := &Report{Proto: proto.Name(), Problem: problem, Seed: opts.Seed, Runs: runs}
+	for _, res := range results {
+		if !res.done {
+			rep.Aborted++
+			continue
+		}
+		rep.InjectionsPlanned += res.planned
+		rep.InjectionsFired += res.fired
+		rep.InjectionsUnfired += res.unfired
+		switch res.outcome {
+		case OutcomePassed:
+			rep.Passed++
+		case OutcomeViolated:
+			rep.Violated++
+		case OutcomePanicked:
+			rep.Panicked++
+		case OutcomeUnresolved:
+			rep.Unresolved++
+		default:
+			rep.Aborted++
+		}
+		if res.failure != nil {
+			rep.Failures = append(rep.Failures, res.failure)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		rep.Status = StatusInterrupted
+		return rep, fmt.Errorf("chaos: sweep of %s interrupted: %w", proto.Name(), err)
+	}
+	return rep, nil
+}
+
+// makePlans derives every run's recipe from the sweep seed in run order.
+func makePlans(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []plan {
+	master := rand.New(rand.NewSource(seed))
+	// horizon bounds AfterStep so injections land inside typical runs; the
+	// tail beyond quiescence is deliberately reachable (and reported as
+	// unfired) so the sweep also exercises late failures.
+	horizon := 4*n*n + 8
+	plans := make([]plan, runs)
+	for i := range plans {
+		pl := plan{seed: master.Int63()}
+		if len(fixed) > 0 {
+			pl.inputs = append([]sim.Bit(nil), fixed[i%len(fixed)]...)
+		} else {
+			pl.inputs = make([]sim.Bit, n)
+			for j := range pl.inputs {
+				if master.Intn(2) == 1 {
+					pl.inputs[j] = sim.One
+				}
+			}
+		}
+		if maxFail > 0 {
+			k := master.Intn(maxFail + 1)
+			for f := 0; f < k; f++ {
+				pl.failures = append(pl.failures, sim.FailureAt{
+					Proc:      sim.ProcID(master.Intn(n)),
+					AfterStep: master.Intn(horizon),
+				})
+			}
+		}
+		plans[i] = pl
+	}
+	return plans
+}
+
+// execute runs one plan to a verdict. A panic anywhere in protocol code is
+// recovered and reported as a failure instead of crashing the sweep.
+func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, pl plan, idx, maxSteps int, minimize bool) (res runResult) {
+	res.done = true
+	res.planned = len(pl.failures)
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("%v", r)
+			res.outcome = OutcomePanicked
+			res.failure = &Failure{
+				RunIndex:   idx,
+				Seed:       pl.seed,
+				Inputs:     pl.inputs,
+				Injections: pl.failures,
+				Outcome:    OutcomePanicked,
+				PanicValue: msg,
+				Violations: []taxonomy.Violation{{Kind: "panic", Detail: "protocol panicked: " + msg}},
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(pl.seed))
+	choose := func(r *sim.Run, enabled []sim.Event) int {
+		select {
+		case <-ctx.Done():
+			return -1
+		default:
+		}
+		return rng.Intn(len(enabled))
+	}
+	run, err := sim.RandomRun(proto, pl.inputs, sim.RunnerOptions{
+		Seed:     pl.seed,
+		MaxSteps: maxSteps,
+		Failures: pl.failures,
+		Choose:   choose,
+	})
+	if run != nil {
+		res.unfired = len(run.Unfired)
+		res.fired = len(pl.failures) - len(run.Unfired)
+	}
+
+	var violations []taxonomy.Violation
+	switch {
+	case err == nil:
+		res.outcome = OutcomePassed
+		violations = problem.Validate(run, true)
+	case errors.Is(err, sim.ErrRunAborted):
+		res.outcome = OutcomeAborted
+		return res
+	case errors.Is(err, sim.ErrStepBudget):
+		res.outcome = OutcomeUnresolved
+		violations = problem.Validate(run, false)
+	default:
+		// Apply surfaced a model-contract violation (self-send,
+		// multi-send, revoked decision): the protocol is broken in a way
+		// the taxonomy does not name, so report it under "model".
+		res.outcome = OutcomeViolated
+		violations = []taxonomy.Violation{{Kind: "model", Detail: err.Error()}}
+	}
+	if len(violations) == 0 {
+		return res
+	}
+
+	res.outcome = OutcomeViolated
+	f := &Failure{
+		RunIndex:      idx,
+		Seed:          pl.seed,
+		Inputs:        pl.inputs,
+		Injections:    pl.failures,
+		Outcome:       OutcomeViolated,
+		Violations:    violations,
+		Schedule:      append(sim.Schedule(nil), run.Schedule...),
+		OriginalSteps: len(run.Schedule),
+	}
+	if minimize {
+		shrunk, vs, tried := Shrink(proto, pl.inputs, f.Schedule, problem, violations[0].Kind)
+		f.Schedule = shrunk
+		f.Violations = vs
+		f.ShrinkCandidates = tried
+	}
+	res.failure = f
+	return res
+}

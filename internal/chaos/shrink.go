@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// verdict is the outcome of replaying a candidate schedule from scratch.
+type verdict struct {
+	// applicable reports whether every event of the schedule applied in
+	// order. An inapplicable candidate (e.g. a delivery whose message was
+	// never sent because the send was dropped) is simply invalid — not a
+	// pass, not a violation.
+	applicable bool
+	// complete reports whether the final configuration is quiescent, i.e.
+	// whether liveness could be judged.
+	complete bool
+	// run is the replayed execution (the applied prefix on model errors).
+	run *sim.Run
+	// violations is what the run violates: the problem's verdicts, plus a
+	// synthetic "model" violation when the protocol broke a model
+	// contract mid-replay.
+	violations []taxonomy.Violation
+}
+
+// Evaluate replays a schedule from the initial configuration on the given
+// inputs and judges it against the problem. Liveness (termination) is only
+// judged when the replay ends quiescent. Panics in protocol code are
+// recovered and render the candidate inapplicable.
+func Evaluate(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem taxonomy.Problem) (v verdict) {
+	defer func() {
+		if recover() != nil {
+			v = verdict{}
+		}
+	}()
+	run := &sim.Run{Proto: proto, Configs: []*sim.Config{sim.NewConfig(proto, inputs)}}
+	if err := run.Extend(sched); err != nil {
+		if errors.Is(err, sim.ErrNotApplicable) {
+			return verdict{run: run}
+		}
+		return verdict{
+			applicable: true,
+			run:        run,
+			violations: []taxonomy.Violation{{Kind: "model", Detail: err.Error()}},
+		}
+	}
+	complete := run.Final().Quiescent()
+	return verdict{
+		applicable: true,
+		complete:   complete,
+		run:        run,
+		violations: problem.Validate(run, complete),
+	}
+}
+
+// hasKind reports whether any violation has the given kind.
+func hasKind(vs []taxonomy.Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Violates reports whether the schedule is applicable and exhibits a
+// violation of the given kind — the predicate the shrinker preserves.
+func Violates(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem taxonomy.Problem, kind string) bool {
+	v := Evaluate(proto, inputs, sched, problem)
+	return v.applicable && hasKind(v.violations, kind)
+}
+
+// Shrink delta-debugs a violating schedule to a locally minimal
+// counterexample that still exhibits a violation of the given kind. It
+// alternates two deterministic passes until neither makes progress:
+//
+//   - removal: drop windows of events (halving window sizes down to single
+//     events, ddmin-style), keeping any candidate that still violates. This
+//     covers both ordinary events and Fail injections — dropping a Fail
+//     event is exactly dropping the injection.
+//
+//   - retiming: move each Fail event to the earliest position at which the
+//     violation survives, canonicalizing when the failure is injected.
+//
+// The result is 1-minimal with respect to single-event removal: deleting
+// any one event either makes the schedule inapplicable or makes the
+// violation disappear. Shrink returns the minimal schedule, its violations,
+// and the number of candidates evaluated. If the input schedule does not
+// violate (which a correct caller never passes), it is returned unchanged.
+func Shrink(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem taxonomy.Problem, kind string) (sim.Schedule, []taxonomy.Violation, int) {
+	tried := 0
+	violates := func(cand sim.Schedule) bool {
+		tried++
+		return Violates(proto, inputs, cand, problem, kind)
+	}
+
+	cur := append(sim.Schedule(nil), sched...)
+	if !violates(cur) {
+		v := Evaluate(proto, inputs, cur, problem)
+		return cur, v.violations, tried
+	}
+
+	removePass := func() bool {
+		shrunkAny := false
+		for window := (len(cur) + 1) / 2; window >= 1; window /= 2 {
+			for {
+				removed := false
+				for start := 0; start+window <= len(cur); {
+					cand := make(sim.Schedule, 0, len(cur)-window)
+					cand = append(cand, cur[:start]...)
+					cand = append(cand, cur[start+window:]...)
+					if violates(cand) {
+						cur = cand
+						removed = true
+						shrunkAny = true
+					} else {
+						start++
+					}
+				}
+				if !removed {
+					break
+				}
+			}
+		}
+		return shrunkAny
+	}
+
+	retimePass := func() bool {
+		moved := false
+		for i := 0; i < len(cur); i++ {
+			if cur[i].Type != sim.Fail {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				cand := append(sim.Schedule(nil), cur...)
+				e := cand[i]
+				copy(cand[j+1:i+1], cand[j:i])
+				cand[j] = e
+				if violates(cand) {
+					cur = cand
+					moved = true
+					break
+				}
+			}
+		}
+		return moved
+	}
+
+	// Each removal strictly shortens the schedule and each retime strictly
+	// decreases the sum of Fail positions, so the loop terminates.
+	for {
+		removed := removePass()
+		moved := retimePass()
+		if !removed && !moved {
+			break
+		}
+	}
+
+	v := Evaluate(proto, inputs, cur, problem)
+	return cur, v.violations, tried
+}

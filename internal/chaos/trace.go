@@ -1,0 +1,289 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// TraceVersion is the trace format version this package writes.
+const TraceVersion = 1
+
+// TraceMsg identifies a delivered message: the paper's triple (p, q, k).
+type TraceMsg struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Seq  int `json:"seq"`
+}
+
+// TraceEvent is one schedule element in serialized form.
+type TraceEvent struct {
+	// Proc is the processor taking the step.
+	Proc int `json:"proc"`
+	// Type is "send", "deliver", or "fail".
+	Type string `json:"type"`
+	// Msg identifies the delivered message for "deliver" events.
+	Msg *TraceMsg `json:"msg,omitempty"`
+}
+
+// TraceViolation is a serialized taxonomy violation.
+type TraceViolation struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Trace is a replayable counterexample: everything needed to re-execute a
+// violating run byte-for-byte and re-assert its violation. Traces with a
+// schedule replay deterministically by applying the schedule; panic traces
+// (empty schedule, non-empty Panic) replay by re-running the seeded
+// scheduler with the recorded injections.
+type Trace struct {
+	Version int `json:"version"`
+	// Protocol is the canonical protocol name (proto.Name()).
+	Protocol string `json:"protocol"`
+	// ProtoArg is the CLI name that resolves the protocol (ProtocolByName);
+	// set by cmd/ccchaos so cmd/cccheck -replay can rebuild it.
+	ProtoArg string `json:"protoArg,omitempty"`
+	N        int    `json:"n"`
+	// Problem is the paper's T-C notation, e.g. "ST-IC".
+	Problem string `json:"problem"`
+	// Inputs is the initial input vector, e.g. "101".
+	Inputs string `json:"inputs"`
+	// SweepSeed and RunSeed locate the run in its sweep; RunIndex is its
+	// position.
+	SweepSeed int64 `json:"sweepSeed"`
+	RunSeed   int64 `json:"runSeed"`
+	RunIndex  int   `json:"runIndex"`
+	// MaxSteps is the per-run step budget the sweep used (needed to
+	// re-execute panic traces faithfully).
+	MaxSteps int `json:"maxSteps"`
+	// Injections is the planned failure schedule.
+	Injections []TraceInjection `json:"injections,omitempty"`
+	// Shrunk reports whether Schedule was minimized; OriginalSteps is the
+	// pre-shrink length.
+	Shrunk        bool `json:"shrunk"`
+	OriginalSteps int  `json:"originalSteps"`
+	// Schedule is the violating schedule (empty for panic traces).
+	Schedule []TraceEvent `json:"schedule"`
+	// Violations is what replaying the schedule must reproduce.
+	Violations []TraceViolation `json:"violations"`
+	// Panic holds the recovered panic value for panic traces.
+	Panic string `json:"panic,omitempty"`
+}
+
+// TraceInjection is a serialized FailureAt.
+type TraceInjection struct {
+	Proc      int `json:"proc"`
+	AfterStep int `json:"afterStep"`
+}
+
+// BuildTrace serializes one failure of a report into a replayable trace.
+// maxSteps must be the sweep's effective per-run budget.
+func BuildTrace(rep *Report, f *Failure, maxSteps int) *Trace {
+	t := &Trace{
+		Version:       TraceVersion,
+		Protocol:      rep.Proto,
+		N:             len(f.Inputs),
+		Problem:       rep.Problem.Name(),
+		Inputs:        inputsString(f.Inputs),
+		SweepSeed:     rep.Seed,
+		RunSeed:       f.Seed,
+		RunIndex:      f.RunIndex,
+		MaxSteps:      maxSteps,
+		Shrunk:        f.ShrinkCandidates > 0,
+		OriginalSteps: f.OriginalSteps,
+		Panic:         f.PanicValue,
+	}
+	for _, inj := range f.Injections {
+		t.Injections = append(t.Injections, TraceInjection{Proc: int(inj.Proc), AfterStep: inj.AfterStep})
+	}
+	for _, e := range f.Schedule {
+		t.Schedule = append(t.Schedule, encodeEvent(e))
+	}
+	for _, v := range f.Violations {
+		t.Violations = append(t.Violations, TraceViolation{Kind: v.Kind, Detail: v.Detail})
+	}
+	return t
+}
+
+func inputsString(inputs []sim.Bit) string {
+	buf := make([]byte, len(inputs))
+	for i, b := range inputs {
+		if b == sim.One {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+func encodeEvent(e sim.Event) TraceEvent {
+	switch e.Type {
+	case sim.Deliver:
+		return TraceEvent{Proc: int(e.Proc), Type: "deliver", Msg: &TraceMsg{
+			From: int(e.Msg.From), To: int(e.Msg.To), Seq: e.Msg.Seq,
+		}}
+	case sim.Fail:
+		return TraceEvent{Proc: int(e.Proc), Type: "fail"}
+	default:
+		return TraceEvent{Proc: int(e.Proc), Type: "send"}
+	}
+}
+
+// DecodeEvent converts a serialized event back to a schedule element.
+func (te TraceEvent) DecodeEvent() (sim.Event, error) {
+	switch te.Type {
+	case "send":
+		return sim.Event{Proc: sim.ProcID(te.Proc), Type: sim.SendStepEvent}, nil
+	case "fail":
+		return sim.Event{Proc: sim.ProcID(te.Proc), Type: sim.Fail}, nil
+	case "deliver":
+		if te.Msg == nil {
+			return sim.Event{}, errors.New("chaos: deliver event without msg")
+		}
+		return sim.Event{Proc: sim.ProcID(te.Proc), Type: sim.Deliver, Msg: sim.MsgID{
+			From: sim.ProcID(te.Msg.From), To: sim.ProcID(te.Msg.To), Seq: te.Msg.Seq,
+		}}, nil
+	default:
+		return sim.Event{}, fmt.Errorf("chaos: unknown event type %q", te.Type)
+	}
+}
+
+// Encode renders the trace as canonical indented JSON. The encoding is a
+// pure function of the trace contents, so equal sweeps produce byte-equal
+// trace files.
+func (t *Trace) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: encoding trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeTrace parses a serialized trace and checks its version.
+func DecodeTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("chaos: decoding trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("chaos: trace version %d, want %d", t.Version, TraceVersion)
+	}
+	return &t, nil
+}
+
+// ScheduleEvents decodes the trace's schedule.
+func (t *Trace) ScheduleEvents() (sim.Schedule, error) {
+	sched := make(sim.Schedule, 0, len(t.Schedule))
+	for i, te := range t.Schedule {
+		e, err := te.DecodeEvent()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: schedule event %d: %w", i, err)
+		}
+		sched = append(sched, e)
+	}
+	return sched, nil
+}
+
+// ReplayResult is the outcome of re-executing a trace.
+type ReplayResult struct {
+	// Run is the replayed execution (nil for reproduced panics).
+	Run *sim.Run
+	// Complete reports whether the replay ended quiescent.
+	Complete bool
+	// Violations is what the replay violated.
+	Violations []taxonomy.Violation
+	// PanicValue holds the re-recovered panic for panic traces.
+	PanicValue string
+	// Reproduced reports whether the replay matches the recorded
+	// violations exactly (kind and detail, in order).
+	Reproduced bool
+}
+
+// Replay re-executes a trace against the given protocol (which must match
+// the trace's canonical name and size) and re-asserts its violation.
+// Schedule traces are applied event by event; panic traces re-run the
+// seeded scheduler with the recorded injections.
+func Replay(t *Trace, proto sim.Protocol, problem taxonomy.Problem) (*ReplayResult, error) {
+	if proto.Name() != t.Protocol {
+		return nil, fmt.Errorf("chaos: trace is for %s, got protocol %s", t.Protocol, proto.Name())
+	}
+	if proto.N() != t.N {
+		return nil, fmt.Errorf("chaos: trace wants N=%d, protocol has N=%d", t.N, proto.N())
+	}
+	if problem.Name() != t.Problem {
+		return nil, fmt.Errorf("chaos: trace is for problem %s, got %s", t.Problem, problem.Name())
+	}
+	inputs, err := sim.InputsFromString(t.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: trace inputs: %w", err)
+	}
+	if len(inputs) != t.N {
+		return nil, fmt.Errorf("chaos: trace inputs %q do not match n=%d", t.Inputs, t.N)
+	}
+
+	if t.Panic != "" {
+		return replayPanic(t, proto, inputs)
+	}
+
+	sched, err := t.ScheduleEvents()
+	if err != nil {
+		return nil, err
+	}
+	v := Evaluate(proto, inputs, sched, problem)
+	if !v.applicable {
+		return nil, fmt.Errorf("chaos: trace schedule no longer applies to %s — protocol changed since recording", proto.Name())
+	}
+	res := &ReplayResult{Run: v.run, Complete: v.complete, Violations: v.violations}
+	res.Reproduced = violationsMatch(v.violations, t.Violations)
+	return res, nil
+}
+
+// replayPanic re-executes a panic trace through the seeded scheduler and
+// checks the same panic value recurs.
+func replayPanic(t *Trace, proto sim.Protocol, inputs []sim.Bit) (res *ReplayResult, err error) {
+	failures := make([]sim.FailureAt, 0, len(t.Injections))
+	for _, inj := range t.Injections {
+		failures = append(failures, sim.FailureAt{Proc: sim.ProcID(inj.Proc), AfterStep: inj.AfterStep})
+	}
+	res = &ReplayResult{}
+	defer func() {
+		if r := recover(); r != nil {
+			res.PanicValue = fmt.Sprintf("%v", r)
+			res.Violations = []taxonomy.Violation{{Kind: "panic", Detail: "protocol panicked: " + res.PanicValue}}
+			res.Reproduced = violationsMatch(res.Violations, t.Violations)
+			err = nil
+		}
+	}()
+	rng := rand.New(rand.NewSource(t.RunSeed))
+	choose := func(r *sim.Run, enabled []sim.Event) int { return rng.Intn(len(enabled)) }
+	run, runErr := sim.RandomRun(proto, inputs, sim.RunnerOptions{
+		Seed:     t.RunSeed,
+		MaxSteps: t.MaxSteps,
+		Failures: failures,
+		Choose:   choose,
+	})
+	res.Run = run
+	if runErr == nil && run != nil {
+		res.Complete = run.Final().Quiescent()
+	}
+	return res, fmt.Errorf("chaos: panic trace did not panic on replay — protocol changed since recording")
+}
+
+// violationsMatch compares replayed violations to the recorded ones.
+func violationsMatch(got []taxonomy.Violation, want []TraceViolation) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Kind != want[i].Kind || got[i].Detail != want[i].Detail {
+			return false
+		}
+	}
+	return true
+}

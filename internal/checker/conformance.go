@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -16,6 +17,14 @@ import (
 func Check(proto sim.Protocol, problem taxonomy.Problem, opts Options) (*Exploration, error) {
 	opts.Problem = &problem
 	return Explore(proto, opts)
+}
+
+// CheckContext is Check with graceful degradation: on cancellation or budget
+// exhaustion the partial Exploration (with Status set and all violations
+// found so far) accompanies the error. See ExploreContext.
+func CheckContext(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, opts Options) (*Exploration, error) {
+	opts.Problem = &problem
+	return ExploreContext(ctx, proto, opts)
 }
 
 // checkDecisionEdge validates the decision rule at the moment a decision is

@@ -7,6 +7,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -101,11 +102,52 @@ type ConfigRecord struct {
 	Terminal  bool
 }
 
+// Status reports how an exploration ended. The zero value is Complete so
+// that explorations which ran to the end need no special handling.
+type Status int
+
+const (
+	// StatusComplete means the reachable space was fully explored (or the
+	// exploration stopped at the first violation, as requested).
+	StatusComplete Status = iota
+	// StatusInterrupted means the context was cancelled mid-exploration;
+	// the Exploration holds everything visited up to that point.
+	StatusInterrupted
+	// StatusExhausted means the node budget ran out; the Exploration holds
+	// the visited prefix of the space.
+	StatusExhausted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusInterrupted:
+		return "interrupted"
+	case StatusExhausted:
+		return "budget-exhausted"
+	default:
+		return "invalid"
+	}
+}
+
+// Partial reports whether the exploration covered only part of the space.
+func (s Status) Partial() bool { return s != StatusComplete }
+
 // Exploration is the result of exploring a protocol's configuration space.
 type Exploration struct {
 	Proto     sim.Protocol
 	Opts      Options
 	NodeCount int
+	// Status records whether the exploration completed, was interrupted by
+	// context cancellation, or exhausted its node budget. When Status is
+	// partial, every aggregate below still describes the visited prefix —
+	// partial results are returned, never discarded.
+	Status Status
+	// FrontierSize is the number of unexpanded nodes left on the stack
+	// when a partial exploration stopped (0 for complete explorations).
+	FrontierSize int
 	// States maps canonical state key → aggregate info.
 	States map[string]*StateInfo
 	// stateKeys interns state keys for ConfigRecord.
@@ -213,6 +255,16 @@ func inputsKey(inputs []sim.Bit) string {
 // every point, and aggregates states, concurrency sets, and configuration
 // records.
 func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
+	return ExploreContext(context.Background(), proto, opts)
+}
+
+// ExploreContext is Explore with graceful degradation: on context
+// cancellation or budget exhaustion it returns the partial Exploration —
+// visited nodes, aggregated states, and every violation found so far, with
+// Status and FrontierSize set — alongside a non-nil error (the context's
+// error or a *BudgetError). Callers that can use partial results should
+// inspect the returned Exploration even when err != nil.
+func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exploration, error) {
 	n := proto.N()
 	maxFail := opts.MaxFailures
 	if maxFail < 0 {
@@ -263,8 +315,17 @@ func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
 				x.NodeCount = len(seen)
 				return x, nil
 			}
+			if err := ctx.Err(); err != nil {
+				x.Status = StatusInterrupted
+				x.FrontierSize = len(stack)
+				x.NodeCount = len(seen)
+				return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), err)
+			}
 			if len(seen) > opts.maxNodes() {
-				return nil, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+				x.Status = StatusExhausted
+				x.FrontierSize = len(stack)
+				x.NodeCount = len(seen)
+				return x, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
 			}
 			nd := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]

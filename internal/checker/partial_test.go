@@ -1,0 +1,70 @@
+package checker
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/taxonomy"
+)
+
+func TestCancelledExploreReturnsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x, err := ExploreContext(ctx, protocols.Tree{Procs: 3}, Options{MaxFailures: 2})
+	if x == nil {
+		t.Fatal("cancelled exploration must still return the partial Exploration")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if x.Status != StatusInterrupted || !x.Status.Partial() {
+		t.Fatalf("status = %v, want interrupted (partial)", x.Status)
+	}
+	// Consistency of the partial snapshot: the visited count covers at
+	// least the recorded root, and the unexpanded frontier is reported.
+	if x.NodeCount < 1 || x.FrontierSize < 1 {
+		t.Fatalf("partial snapshot inconsistent: %d nodes, %d frontier", x.NodeCount, x.FrontierSize)
+	}
+}
+
+// TestBudgetExhaustionKeepsPartialResults pins the graceful-degradation
+// contract: hitting MaxNodes returns the partial exploration — including
+// violations already found — instead of discarding it. The budget is chosen
+// between the star protocol's first WT-TC violation (node 34 047) and its
+// full space (39 503 nodes), so the run is exhausted with violations in hand.
+func TestBudgetExhaustionKeepsPartialResults(t *testing.T) {
+	x, err := CheckContext(context.Background(), protocols.Star{Procs: 3},
+		problem(taxonomy.WT, taxonomy.TC),
+		Options{MaxFailures: 2, MaxNodes: 36_000})
+	if x == nil {
+		t.Fatal("exhausted exploration must still return the partial Exploration")
+	}
+	var budget *BudgetError
+	if !errors.As(err, &budget) || budget.Nodes != 36_000 {
+		t.Fatalf("err = %v, want *BudgetError with Nodes=36000", err)
+	}
+	if x.Status != StatusExhausted || !x.Status.Partial() {
+		t.Fatalf("status = %v, want exhausted (partial)", x.Status)
+	}
+	if x.NodeCount <= 36_000 {
+		t.Fatalf("NodeCount = %d, want > budget", x.NodeCount)
+	}
+	if x.FrontierSize == 0 {
+		t.Fatal("exhausted mid-space but FrontierSize = 0")
+	}
+	if len(x.Violations) == 0 {
+		t.Fatal("violations found before exhaustion were lost")
+	}
+}
+
+func TestCompleteExplorationHasCompleteStatus(t *testing.T) {
+	x := mustCheck(t, protocols.Tree{Procs: 3}, problem(taxonomy.WT, taxonomy.TC), Options{MaxFailures: 1})
+	if x.Status != StatusComplete || x.Status.Partial() {
+		t.Fatalf("status = %v, want complete", x.Status)
+	}
+	if x.FrontierSize != 0 {
+		t.Fatalf("complete exploration left %d frontier nodes", x.FrontierSize)
+	}
+}

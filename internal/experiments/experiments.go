@@ -270,7 +270,7 @@ func E4Figure4Perverse(opts Options) Report {
 			r.OK = false
 			r.Measured = append(r.Measured, "WT-TC violated: "+x.Violations[0].String())
 		} else {
-			r.Measured = append(r.Measured, fmt.Sprintf("perverse conforms to WT-TC over %d failure-free configurations (failure runs sampled)", x.NodeCount))
+			r.Measured = append(r.Measured, fmt.Sprintf("perverse conforms to WT-TC over %d failure-free configurations (failure runs covered by the seeded chaos sweep)", x.NodeCount))
 		}
 	}
 	return r

@@ -1,0 +1,55 @@
+package scheme
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestCancelledEnumerateReturnsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := EnumerateContext(ctx, protocols.Tree{Procs: 3}, allOnes(3), Options{})
+	if e == nil {
+		t.Fatal("cancelled enumeration must still return the partial Enumeration")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Status != StatusInterrupted || !e.Status.Partial() {
+		t.Fatalf("status = %v, want interrupted (partial)", e.Status)
+	}
+	if e.Set == nil {
+		t.Fatal("partial enumeration lost its pattern set")
+	}
+}
+
+func TestCancelledOfReturnsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := OfContext(ctx, protocols.Tree{Procs: 3}, Options{})
+	if e == nil || err == nil {
+		t.Fatalf("OfContext = (%v, %v), want partial enumeration and error", e, err)
+	}
+	if !e.Status.Partial() {
+		t.Fatalf("status = %v, want partial", e.Status)
+	}
+}
+
+func TestCompleteEnumerationStatus(t *testing.T) {
+	e, err := EnumerateContext(context.Background(), protocols.Tree{Procs: 3}, allOnes(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Status != StatusComplete || e.Status.Partial() {
+		t.Fatalf("status = %v, want complete", e.Status)
+	}
+	if e.Set.Len() == 0 || e.Visited == 0 {
+		t.Fatalf("complete enumeration reported %d patterns over %d nodes", e.Set.Len(), e.Visited)
+	}
+	if e.Frontier != 0 {
+		t.Fatalf("complete enumeration left %d frontier nodes", e.Frontier)
+	}
+}

@@ -10,6 +10,7 @@
 package scheme
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -114,6 +115,47 @@ func (e *BudgetError) Error() string {
 	return fmt.Sprintf("scheme: enumeration of %s exceeded %d nodes", e.Protocol, e.Nodes)
 }
 
+// Status reports how an enumeration ended; the zero value is Complete.
+type Status int
+
+const (
+	// StatusComplete means every failure-free execution was enumerated.
+	StatusComplete Status = iota
+	// StatusInterrupted means the context was cancelled mid-enumeration.
+	StatusInterrupted
+	// StatusExhausted means the node budget ran out.
+	StatusExhausted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusInterrupted:
+		return "interrupted"
+	case StatusExhausted:
+		return "budget-exhausted"
+	default:
+		return "invalid"
+	}
+}
+
+// Partial reports whether the enumeration covered only part of the space.
+func (s Status) Partial() bool { return s != StatusComplete }
+
+// Enumeration is the (possibly partial) result of enumerating failure-free
+// executions: the patterns of every maximal execution reached so far,
+// together with how the walk ended. A partial Set is a genuine subset of the
+// scheme — useful for under-approximation — and is returned instead of being
+// discarded on cancellation or budget exhaustion.
+type Enumeration struct {
+	Set      *Set
+	Status   Status
+	Visited  int
+	Frontier int
+}
+
 // node is one exploration state: a configuration plus the causal bookkeeping
 // needed to extend the pattern (which messages each processor may know, and
 // the pattern of sends so far).
@@ -176,8 +218,21 @@ func (nd *node) clone() *node {
 }
 
 // Enumerate computes the set of communication patterns of all failure-free
-// executions of the protocol from the given inputs.
+// executions of the protocol from the given inputs. On budget exhaustion the
+// partial set accompanies the *BudgetError.
 func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error) {
+	en, err := EnumerateContext(context.Background(), proto, inputs, opts)
+	if en == nil {
+		return nil, err
+	}
+	return en.Set, err
+}
+
+// EnumerateContext enumerates with graceful degradation: on context
+// cancellation or budget exhaustion it returns the partial Enumeration —
+// every pattern completed so far, with Status and Frontier set — alongside a
+// non-nil error.
+func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, opts Options) (*Enumeration, error) {
 	if len(inputs) != proto.N() {
 		return nil, fmt.Errorf("scheme: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
 	}
@@ -191,19 +246,28 @@ func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error)
 		start.known[i] = make(map[sim.MsgID]struct{})
 	}
 
-	out := NewSet()
+	en := &Enumeration{Set: NewSet()}
 	seen := map[string]struct{}{start.key(): {}}
 	stack := []*node{start}
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			en.Status = StatusInterrupted
+			en.Visited = len(seen)
+			en.Frontier = len(stack)
+			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), err)
+		}
 		if len(seen) > opts.maxNodes() {
-			return nil, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+			en.Status = StatusExhausted
+			en.Visited = len(seen)
+			en.Frontier = len(stack)
+			return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
 		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
 		events := sim.Enabled(nd.cfg)
 		if len(events) == 0 {
-			out.Add(nd.pat)
+			en.Set.Add(nd.pat)
 			continue
 		}
 		for _, e := range events {
@@ -222,7 +286,8 @@ func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error)
 			stack = append(stack, nxt)
 		}
 	}
-	return out, nil
+	en.Visited = len(seen)
+	return en, nil
 }
 
 // applyEffect updates a node's causal bookkeeping for one applied event.
@@ -251,13 +316,29 @@ func applyEffect(nd *node, eff sim.Effect) {
 // over every input vector (all failure-free executions from every initial
 // configuration).
 func Of(proto sim.Protocol, opts Options) (*Set, error) {
-	out := NewSet()
+	en, err := OfContext(context.Background(), proto, opts)
+	if en == nil {
+		return nil, err
+	}
+	return en.Set, err
+}
+
+// OfContext computes the full scheme with graceful degradation: on
+// cancellation or budget exhaustion the union of every pattern found so far
+// accompanies the error, with Status naming the cutoff.
+func OfContext(ctx context.Context, proto sim.Protocol, opts Options) (*Enumeration, error) {
+	out := &Enumeration{Set: NewSet()}
 	for _, inputs := range sim.AllInputs(proto.N()) {
-		s, err := Enumerate(proto, inputs, opts)
-		if err != nil {
-			return nil, err
+		en, err := EnumerateContext(ctx, proto, inputs, opts)
+		if en != nil {
+			out.Set.Union(en.Set)
+			out.Visited += en.Visited
+			out.Frontier += en.Frontier
+			out.Status = en.Status
 		}
-		out.Union(s)
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

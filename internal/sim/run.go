@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
@@ -13,6 +14,11 @@ type Run struct {
 	Schedule Schedule
 	Configs  []*Config
 	Effects  []Effect
+	// Unfired lists the failure injections the scheduler never applied:
+	// their AfterStep lies beyond the point where the run quiesced (or was
+	// cut off). A sweep that treats such a run as failure-tested would be
+	// fooling itself, so RandomRun always reports them.
+	Unfired []FailureAt
 }
 
 // Final returns the last configuration of the run.
@@ -124,13 +130,31 @@ type RunnerOptions struct {
 	MaxSteps int
 	// Failures injects fail-stop failures at fixed points in the run.
 	Failures []FailureAt
+	// Choose, if non-nil, replaces the PRNG's uniform event choice: it is
+	// called with the run so far and the enabled events and must return
+	// the index of the event to apply. Returning an out-of-range index
+	// aborts the run with ErrRunAborted (the partial run is still
+	// returned), which is how chaos sweeps cut off runs on cancellation.
+	Choose func(run *Run, enabled []Event) int
 }
+
+// ErrRunAborted reports that a Choose callback cut the run short; the
+// partial run accompanies the error.
+var ErrRunAborted = errors.New("sim: run aborted by scheduler callback")
+
+// ErrStepBudget reports that a run hit MaxSteps without quiescing; the
+// partial run accompanies the error.
+var ErrStepBudget = errors.New("sim: run did not quiesce within the step budget")
 
 // RandomRun executes the protocol on the given inputs under a fair random
 // scheduler until the configuration is quiescent (or MaxSteps is hit),
 // returning the complete run. Fairness holds with probability 1: every
 // enabled event is chosen uniformly, so no buffered message is discriminated
 // against forever.
+//
+// Failure injections whose AfterStep lies beyond quiescence (or beyond the
+// cutoff) never fire; they are reported in the returned Run's Unfired field
+// rather than silently dropped.
 func RandomRun(proto Protocol, inputs []Bit, opts RunnerOptions) (*Run, error) {
 	if len(inputs) != proto.N() {
 		return nil, fmt.Errorf("sim: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
@@ -139,11 +163,24 @@ func RandomRun(proto Protocol, inputs []Bit, opts RunnerOptions) (*Run, error) {
 	if maxSteps == 0 {
 		maxSteps = 100_000
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	var rng *rand.Rand
+	if opts.Choose == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	c := NewConfig(proto, inputs)
 	run := &Run{Proto: proto, Configs: []*Config{c}}
 
 	injected := make([]bool, len(opts.Failures))
+	// recordUnfired notes, at any exit point, which injections never got
+	// their turn. An injection "handled" because its target had already
+	// failed counts as fired: the intended failure is in the run.
+	recordUnfired := func() {
+		for i, f := range opts.Failures {
+			if !injected[i] {
+				run.Unfired = append(run.Unfired, f)
+			}
+		}
+	}
 	// injectFailures fires every failure scheduled at or before the given
 	// count of normal (non-failure) events.
 	injectFailures := func(normalSteps int) error {
@@ -164,19 +201,32 @@ func RandomRun(proto Protocol, inputs []Bit, opts RunnerOptions) (*Run, error) {
 
 	for step := 0; step < maxSteps; step++ {
 		if err := injectFailures(step); err != nil {
+			recordUnfired()
 			return run, err
 		}
 		enabled := Enabled(run.Final())
 		if len(enabled) == 0 {
+			recordUnfired()
 			return run, nil
 		}
-		e := enabled[rng.Intn(len(enabled))]
-		if err := run.Extend(Schedule{e}); err != nil {
+		var idx int
+		if opts.Choose != nil {
+			idx = opts.Choose(run, enabled)
+			if idx < 0 || idx >= len(enabled) {
+				recordUnfired()
+				return run, ErrRunAborted
+			}
+		} else {
+			idx = rng.Intn(len(enabled))
+		}
+		if err := run.Extend(Schedule{enabled[idx]}); err != nil {
+			recordUnfired()
 			return run, err
 		}
 	}
+	recordUnfired()
 	if !run.Final().Quiescent() {
-		return run, fmt.Errorf("sim: %s did not quiesce within %d steps", proto.Name(), maxSteps)
+		return run, fmt.Errorf("%w: %s after %d steps", ErrStepBudget, proto.Name(), maxSteps)
 	}
 	return run, nil
 }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestUnfiredInjectionsReported pins the fix for silently dropped failure
+// plans: an injection whose AfterStep lies beyond quiescence must come back
+// in Run.Unfired instead of vanishing.
+func TestUnfiredInjectionsReported(t *testing.T) {
+	late := FailureAt{Proc: 0, AfterStep: 1000}
+	run, err := RandomRun(pingProto{}, []Bit{One, One}, RunnerOptions{
+		Seed:     1,
+		Failures: []FailureAt{{Proc: 1, AfterStep: 0}, late},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FailureFree() {
+		t.Error("the AfterStep=0 injection should have fired")
+	}
+	if len(run.Unfired) != 1 || run.Unfired[0] != late {
+		t.Fatalf("Unfired = %v, want [%v]", run.Unfired, late)
+	}
+}
+
+func TestAllInjectionsFiredMeansNoUnfired(t *testing.T) {
+	run, err := RandomRun(pingProto{}, []Bit{One, One}, RunnerOptions{
+		Seed:     1,
+		Failures: []FailureAt{{Proc: 1, AfterStep: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Unfired) != 0 {
+		t.Fatalf("Unfired = %v, want none", run.Unfired)
+	}
+}
+
+func TestChooseCallbackDrivesScheduling(t *testing.T) {
+	calls := 0
+	run, err := RandomRun(pingProto{}, []Bit{One, One}, RunnerOptions{
+		Choose: func(r *Run, enabled []Event) int {
+			calls++
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Choose was never consulted")
+	}
+	if !run.Final().Quiescent() {
+		t.Error("run should quiesce under the first-enabled policy")
+	}
+}
+
+func TestChooseOutOfRangeAbortsRun(t *testing.T) {
+	run, err := RandomRun(pingProto{}, []Bit{One, One}, RunnerOptions{
+		Choose: func(r *Run, enabled []Event) int { return -1 },
+	})
+	if !errors.Is(err, ErrRunAborted) {
+		t.Fatalf("err = %v, want ErrRunAborted", err)
+	}
+	if run == nil {
+		t.Fatal("aborted run must still return the partial run")
+	}
+	if run.Steps() != 0 {
+		t.Fatalf("aborted at first choice but run has %d steps", run.Steps())
+	}
+}
