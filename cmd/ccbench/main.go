@@ -1,0 +1,211 @@
+// Command ccbench benchmarks the exhaustive explorer and maintains the
+// tracked throughput baseline. Each configured run explores a protocol's
+// full reachable space at a given worker count and reports nodes/second;
+// the results are written as JSON (BENCH_explore.json) so CI can archive
+// them and compare against the committed baseline.
+//
+// Because the parallel explorer is deterministic — byte-identical results
+// at any -parallel setting — the node counts in two runs of the same
+// configuration must agree exactly; ccbench verifies that across the
+// parallelism levels it measures, so a throughput number can never come
+// from a divergent exploration.
+//
+// Usage:
+//
+//	ccbench -proto tree -n 3 -maxfail 2 -parallel 1,4 -o BENCH_explore.json
+//	ccbench -against BENCH_explore.json -tolerance 0.30
+//
+// Exit codes: 0 ok, 1 error, 2 throughput regressed more than -tolerance
+// against the -against baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	consensus "repro"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Protocol    string  `json:"protocol"`
+	N           int     `json:"n"`
+	MaxFailures int     `json:"maxFailures"`
+	Parallelism int     `json:"parallelism"`
+	Nodes       int     `json:"nodes"`
+	States      int     `json:"states"`
+	WallMs      float64 `json:"wallMs"`
+	NodesPerSec float64 `json:"nodesPerSec"`
+}
+
+// File is the on-disk shape of BENCH_explore.json.
+type File struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Repeat     int      `json:"repeat"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protoName = flag.String("proto", "tree", "protocol to explore")
+		n         = flag.Int("n", 3, "number of processors")
+		maxFail   = flag.Int("maxfail", 2, "maximum injected failures")
+		parallel  = flag.String("parallel", "1,4", "comma-separated worker counts to measure")
+		repeat    = flag.Int("repeat", 3, "runs per configuration; the fastest is reported")
+		out       = flag.String("o", "BENCH_explore.json", "output file (- for stdout only)")
+		against   = flag.String("against", "", "baseline BENCH_explore.json to compare against")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional nodes/sec regression vs the baseline")
+	)
+	flag.Parse()
+
+	levels, err := parseLevels(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		return 1
+	}
+	proto, err := consensus.ProtocolByName(*protoName, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		return 1
+	}
+
+	f := File{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeat:     *repeat,
+	}
+	wantNodes := -1
+	for _, par := range levels {
+		res, err := measure(proto, *maxFail, par, *repeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		if wantNodes == -1 {
+			wantNodes = res.Nodes
+		} else if res.Nodes != wantNodes {
+			fmt.Fprintf(os.Stderr, "ccbench: determinism breach: parallelism %d explored %d nodes, parallelism %d explored %d\n",
+				levels[0], wantNodes, par, res.Nodes)
+			return 1
+		}
+		fmt.Printf("%-16s maxfail=%d parallel=%d  %8d nodes  %8.0f ms  %10.0f nodes/sec\n",
+			res.Protocol, res.MaxFailures, res.Parallelism, res.Nodes, res.WallMs, res.NodesPerSec)
+		f.Results = append(f.Results, res)
+	}
+
+	if *out != "-" {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *against != "" {
+		return compare(f, *against, *tolerance)
+	}
+	return 0
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -parallel entry %q (want positive integers)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-parallel names no worker counts")
+	}
+	return out, nil
+}
+
+func measure(proto consensus.Protocol, maxFail, par, repeat int) (Result, error) {
+	best := Result{
+		Protocol:    proto.Name(),
+		N:           proto.N(),
+		MaxFailures: maxFail,
+		Parallelism: par,
+	}
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		x, err := consensus.Explore(proto, consensus.CheckOptions{MaxFailures: maxFail, Parallelism: par})
+		wall := time.Since(start)
+		if err != nil {
+			return best, err
+		}
+		ms := float64(wall.Microseconds()) / 1000
+		if best.Nodes != 0 && x.NodeCount != best.Nodes {
+			return best, fmt.Errorf("determinism breach: repeat %d explored %d nodes, previous runs %d", i, x.NodeCount, best.Nodes)
+		}
+		if best.Nodes == 0 || ms < best.WallMs {
+			best.Nodes = x.NodeCount
+			best.States = len(x.States)
+			best.WallMs = ms
+			best.NodesPerSec = float64(x.NodeCount) / wall.Seconds()
+		}
+	}
+	return best, nil
+}
+
+// compare checks every current result against the matching baseline row
+// (same protocol, failure bound, and parallelism). Rows missing from the
+// baseline are reported but not failed, so new configurations can land
+// before the baseline is regenerated.
+func compare(cur File, path string, tolerance float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		return 1
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		return 1
+	}
+	baseline := make(map[string]Result)
+	for _, r := range base.Results {
+		baseline[fmt.Sprintf("%s/f%d/p%d", r.Protocol, r.MaxFailures, r.Parallelism)] = r
+	}
+	regressed := false
+	for _, r := range cur.Results {
+		key := fmt.Sprintf("%s/f%d/p%d", r.Protocol, r.MaxFailures, r.Parallelism)
+		b, ok := baseline[key]
+		if !ok {
+			fmt.Printf("%s: no baseline row, skipping comparison\n", key)
+			continue
+		}
+		floor := b.NodesPerSec * (1 - tolerance)
+		if r.NodesPerSec < floor {
+			fmt.Printf("%s: REGRESSION %.0f nodes/sec vs baseline %.0f (floor %.0f at tolerance %.0f%%)\n",
+				key, r.NodesPerSec, b.NodesPerSec, floor, tolerance*100)
+			regressed = true
+		} else {
+			fmt.Printf("%s: ok %.0f nodes/sec vs baseline %.0f\n", key, r.NodesPerSec, b.NodesPerSec)
+		}
+	}
+	if regressed {
+		return 2
+	}
+	return 0
+}

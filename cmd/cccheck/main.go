@@ -42,6 +42,7 @@ func run() int {
 		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
 		maxFail   = flag.Int("maxfail", 2, "maximum injected failures per run")
 		maxNodes  = flag.Int("maxnodes", 0, "node budget (0 = default)")
+		parallel  = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS); results are identical at any setting")
 		timeout   = flag.Duration("timeout", 0, "exploration wall-clock budget (0 = none); on expiry partial results are reported")
 		trace     = flag.Bool("trace", false, "print the event trace to the first violation")
 		safety    = flag.Bool("safety", false, "run the Theorem 2 safe-state analysis")
@@ -71,7 +72,7 @@ func run() int {
 		defer cancel()
 	}
 
-	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, TrackTraces: *trace}
+	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, Parallelism: *parallel, TrackTraces: *trace}
 	x, err := consensus.CheckContext(ctx, proto, prob, opts)
 	if err != nil && (x == nil || !x.Status.Partial()) {
 		fmt.Fprintln(os.Stderr, "cccheck:", err)

@@ -8,6 +8,8 @@
 //	ccexp               # all experiments, exhaustive
 //	ccexp -quick        # all experiments, skipping the exhaustive passes
 //	ccexp -e E4         # a single experiment
+//	ccexp -deep         # add the N=4 failure-free solver checks to E1–E3
+//	ccexp -parallel 4   # explore with 4 workers (identical results)
 package main
 
 import (
@@ -29,12 +31,14 @@ func main() {
 
 func run() error {
 	var (
-		which = flag.String("e", "all", "experiment to run: E1..E9 or all")
-		quick = flag.Bool("quick", false, "skip the exhaustive model-checking passes")
+		which    = flag.String("e", "all", "experiment to run: E1..E9 or all")
+		quick    = flag.Bool("quick", false, "skip the exhaustive model-checking passes")
+		deep     = flag.Bool("deep", false, "add the N=4 failure-free solver checks to E1–E3 (ignored with -quick)")
+		parallel = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS); results are identical at any setting")
 	)
 	flag.Parse()
 
-	opts := consensus.ExperimentOptions{Quick: *quick}
+	opts := consensus.ExperimentOptions{Quick: *quick, Deep: *deep, Parallelism: *parallel}
 	runners := map[string]func(experiments.Options) experiments.Report{
 		"E1": experiments.E1Figure1Tree,
 		"E2": experiments.E2Figure2Star,

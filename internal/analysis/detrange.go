@@ -36,6 +36,7 @@ var detRangePackages = []string{
 	"internal/scheme",
 	"internal/core",
 	"internal/chaos",
+	"internal/frontier",
 	"cmd/ccchaos",
 }
 

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// resolveTrace maps a trace's canonical protocol and problem names back to
+// live values. Resolution happens by exact Name() match (the same check
+// Replay enforces), over the library protocols at the trace's N. The root
+// package's ProtocolByName cannot be used here — it imports this package.
+func resolveTrace(tr *Trace) (sim.Protocol, taxonomy.Problem, bool) {
+	if tr.N < 1 || tr.N > 6 {
+		return nil, taxonomy.Problem{}, false
+	}
+	candidates := []sim.Protocol{
+		protocols.Tree{Procs: tr.N},
+		protocols.Tree{Procs: tr.N, ST: true},
+		protocols.Star{Procs: tr.N},
+		protocols.Chain{Procs: tr.N},
+		protocols.Chain{Procs: tr.N, ST: true},
+		protocols.Perverse{},
+		protocols.AckCommit{Procs: tr.N},
+		protocols.FullExchange{Procs: tr.N},
+		protocols.HaltingCommit{Procs: tr.N},
+	}
+	var proto sim.Protocol
+	for _, c := range candidates {
+		if c.Name() == tr.Protocol && c.N() == tr.N {
+			proto = c
+			break
+		}
+	}
+	if proto == nil {
+		return nil, taxonomy.Problem{}, false
+	}
+	for _, p := range taxonomy.SixProblems() {
+		if p.Name() == tr.Problem {
+			return proto, p, true
+		}
+	}
+	return nil, taxonomy.Problem{}, false
+}
+
+// FuzzTraceReplay fuzzes the chaos trace lifecycle: arbitrary bytes are
+// decoded as trace JSON, and whatever decodes must (1) survive an
+// encode/decode round trip byte-stably and (2) replay without panicking,
+// reaching the same verdict on every replay — the determinism contract that
+// makes committed traces trustworthy counterexamples.
+func FuzzTraceReplay(f *testing.F) {
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"protocol":"tree(3)","n":3,"problem":"WT-TC","inputs":"111","maxSteps":64,"schedule":[{"type":"send","proc":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		enc, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("Encode failed on a decoded trace: %v", err)
+		}
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("re-decode of encoded trace failed: %v", err)
+		}
+		enc2, err := tr2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode/decode round trip is not byte-stable:\n%s\nvs\n%s", enc, enc2)
+		}
+
+		// Replay only bounded traces: a fuzzed MaxSteps or schedule can
+		// otherwise demand arbitrarily long executions.
+		if tr.MaxSteps < 0 || tr.MaxSteps > 2048 || len(tr.Schedule) > 2048 {
+			return
+		}
+		proto, problem, ok := resolveTrace(tr)
+		if !ok {
+			return
+		}
+		r1, err1 := Replay(tr, proto, problem)
+		r2, err2 := Replay(tr, proto, problem)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("replay verdict flapped: err1=%v err2=%v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("replay errors differ: %v vs %v", err1, err2)
+			}
+			return
+		}
+		if r1.Reproduced != r2.Reproduced || r1.Complete != r2.Complete ||
+			r1.PanicValue != r2.PanicValue || len(r1.Violations) != len(r2.Violations) {
+			t.Fatalf("replay is not deterministic: %+v vs %+v", r1, r2)
+		}
+		for i := range r1.Violations {
+			if r1.Violations[i] != r2.Violations[i] {
+				t.Fatalf("replay violation %d differs: %v vs %v", i, r1.Violations[i], r2.Violations[i])
+			}
+		}
+	})
+}

@@ -27,12 +27,14 @@ func CheckContext(ctx context.Context, proto sim.Protocol, problem taxonomy.Prob
 	return ExploreContext(ctx, proto, opts)
 }
 
-// checkDecisionEdge validates the decision rule at the moment a decision is
-// made: applying one event turned some processor's ledger entry from
-// undecided to decided. A failure "has occurred" for the purposes of the
-// rule if any processor is already faulty in the pre-configuration (the
+// decisionEdgeViolations validates the decision rule at the moment a
+// decision is made: applying one event turned some processor's ledger entry
+// from undecided to decided. A failure "has occurred" for the purposes of
+// the rule if any processor is already faulty in the pre-configuration (the
 // event itself cannot simultaneously fail a processor and decide another).
-func (x *Exploration) checkDecisionEdge(problem taxonomy.Problem, prev, next *node, inputs []sim.Bit) {
+// Pure — safe to run on expansion workers.
+func decisionEdgeViolations(problem taxonomy.Problem, prev, next *node) []taxonomy.Violation {
+	var out []taxonomy.Violation
 	failureSeen := false
 	for p := 0; p < prev.cfg.N(); p++ {
 		if prev.cfg.Faulty(sim.ProcID(p)) {
@@ -45,20 +47,22 @@ func (x *Exploration) checkDecisionEdge(problem taxonomy.Problem, prev, next *no
 			continue
 		}
 		d := next.ledger[p]
-		if !problem.Rule.Permits(d, inputs, failureSeen) {
-			x.addViolation(taxonomy.Violation{
+		if !problem.Rule.Permits(d, prev.inputs, failureSeen) {
+			out = append(out, taxonomy.Violation{
 				Kind: "rule",
 				Detail: fmt.Sprintf("%s decided %s on inputs %v (failureSeen=%v), forbidden by %s",
-					sim.ProcID(p), d, inputs, failureSeen, problem.Rule.Name()),
-			}, next.key())
+					sim.ProcID(p), d, prev.inputs, failureSeen, problem.Rule.Name()),
+			})
 		}
 	}
+	return out
 }
 
-// checkNode validates the consistency constraint on one accessible
+// nodeViolations validates the consistency constraint on one accessible
 // configuration, and the termination condition if the configuration is
-// terminal.
-func (x *Exploration) checkNode(problem taxonomy.Problem, nd *node) {
+// terminal. Pure — safe to run on expansion workers.
+func nodeViolations(problem taxonomy.Problem, nd *node) []taxonomy.Violation {
+	var out []taxonomy.Violation
 	switch problem.Consistency {
 	case taxonomy.TC:
 		// Total consistency constrains every decision ever made,
@@ -75,11 +79,10 @@ func (x *Exploration) checkNode(problem taxonomy.Problem, nd *node) {
 				continue
 			}
 			if d != seen {
-				x.addViolation(taxonomy.Violation{
+				return append(out, taxonomy.Violation{
 					Kind:   "TC",
 					Detail: fmt.Sprintf("%s decided %s but %s decided %s", seenBy, seen, sim.ProcID(p), d),
-				}, nd.key())
-				return
+				})
 			}
 		}
 	case taxonomy.IC:
@@ -107,17 +110,16 @@ func (x *Exploration) checkNode(problem taxonomy.Problem, nd *node) {
 				continue
 			}
 			if d != seen {
-				x.addViolation(taxonomy.Violation{
+				return append(out, taxonomy.Violation{
 					Kind:   "IC",
 					Detail: fmt.Sprintf("%s occupies %s while %s occupies %s", seenBy, seen, sim.ProcID(p), d),
-				}, nd.key())
-				return
+				})
 			}
 		}
 	}
 
 	if !nd.cfg.Quiescent() {
-		return
+		return out
 	}
 	// Terminal node: a maximal fair run ends here (the scheduler may
 	// inject no further failures), so the termination condition must
@@ -128,23 +130,24 @@ func (x *Exploration) checkNode(problem taxonomy.Problem, nd *node) {
 			continue
 		}
 		if nd.ledger[p] == sim.NoDecision {
-			x.addViolation(taxonomy.Violation{
+			out = append(out, taxonomy.Violation{
 				Kind:   "WT",
 				Detail: fmt.Sprintf("terminal configuration with nonfaulty %s undecided (state %s)", pid, s.Key()),
-			}, nd.key())
+			})
 			continue
 		}
 		if problem.Termination >= taxonomy.ST && !s.Amnesic() && s.Kind() != sim.Halted {
-			x.addViolation(taxonomy.Violation{
+			out = append(out, taxonomy.Violation{
 				Kind:   "ST",
 				Detail: fmt.Sprintf("terminal configuration with nonfaulty %s not amnesic (state %s)", pid, s.Key()),
-			}, nd.key())
+			})
 		}
 		if problem.Termination >= taxonomy.HT && s.Kind() != sim.Halted {
-			x.addViolation(taxonomy.Violation{
+			out = append(out, taxonomy.Violation{
 				Kind:   "HT",
 				Detail: fmt.Sprintf("terminal configuration with nonfaulty %s not halted (state %s)", pid, s.Key()),
-			}, nd.key())
+			})
 		}
 	}
+	return out
 }

@@ -4,13 +4,24 @@
 // the safe-state analysis of Theorem 2, bias/committability, and a
 // scenario-replay engine for the indistinguishability arguments of Theorems
 // 8 and 13.
+//
+// The walk is a level-synchronous breadth-first search: each frontier level
+// is expanded by a worker pool (Options.Parallelism), and the per-worker
+// results are folded into the Exploration by a sequential merge in frontier
+// order. The merge order is canonical, so the final Exploration — node
+// counts, state census, violation order, FirstTrace — is byte-identical at
+// every parallelism level, including the partial results returned on
+// cancellation or budget exhaustion. See internal/frontier for the
+// expansion/merge discipline.
 package checker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
+	"repro/internal/frontier"
 	"repro/internal/sim"
 	"repro/internal/taxonomy"
 )
@@ -24,9 +35,14 @@ type Options struct {
 	FailProcs []sim.ProcID
 	// Inputs restricts the initial input vectors (nil = all 2^N).
 	Inputs [][]sim.Bit
-	// MaxNodes caps the exploration (default 4_000_000). Exceeding it is
-	// an error, never a silent truncation.
+	// MaxNodes caps the exploration (default sim.DefaultMaxNodes, the
+	// budget shared with scheme.Options). Exceeding it is an error, never
+	// a silent truncation.
 	MaxNodes int
+	// Parallelism is the number of worker goroutines expanding each
+	// frontier level (0 = GOMAXPROCS). The result is byte-identical at
+	// any setting; parallelism only changes wall-clock time.
+	Parallelism int
 	// Problem, if non-nil, enables inline conformance checking: the
 	// decision rule is checked at every decision transition, consistency
 	// at every node, and termination at every terminal node. Violations
@@ -34,7 +50,8 @@ type Options struct {
 	Problem *taxonomy.Problem
 	// TrackTraces records parent links so the first violation comes with
 	// a full event trace (FirstTrace). Costs memory proportional to the
-	// node count.
+	// node count. Under breadth-first exploration the recorded trace is a
+	// shortest path to the violating configuration.
 	TrackTraces bool
 	// StopAtFirstViolation ends the exploration as soon as one violation
 	// is found — useful when only the existence of a counterexample
@@ -44,7 +61,7 @@ type Options struct {
 
 func (o Options) maxNodes() int {
 	if o.MaxNodes == 0 {
-		return 4_000_000
+		return sim.DefaultMaxNodes
 	}
 	return o.MaxNodes
 }
@@ -143,9 +160,16 @@ type Exploration struct {
 	// Status records whether the exploration completed, was interrupted by
 	// context cancellation, or exhausted its node budget. When Status is
 	// partial, every aggregate below still describes the visited prefix —
-	// partial results are returned, never discarded.
+	// partial results are returned, never discarded. One caveat: on a
+	// partial stop, States may additionally aggregate occurrence data from
+	// configurations generated on the final frontier level but never
+	// accepted into Configs; budget-exhausted explorations remain
+	// byte-identical at every parallelism level, while a mid-run
+	// cancellation may catch the workers at an arbitrary point and leave
+	// scheduling-dependent fringe data in States (Configs, Violations,
+	// NodeCount, and FrontierSize stay deterministic in both cases).
 	Status Status
-	// FrontierSize is the number of unexpanded nodes left on the stack
+	// FrontierSize is the number of unexpanded nodes left on the frontier
 	// when a partial exploration stopped (0 for complete explorations).
 	FrontierSize int
 	// States maps canonical state key → aggregate info.
@@ -153,7 +177,8 @@ type Exploration struct {
 	// stateKeys interns state keys for ConfigRecord.
 	stateKeys []string
 	stateIdx  map[string]int32
-	// Configs records every distinct explored node.
+	// Configs records every distinct explored node, in breadth-first
+	// discovery order.
 	Configs []ConfigRecord
 	// Terminals counts quiescent nodes.
 	Terminals int
@@ -215,10 +240,14 @@ func (x *Exploration) StateKeyAt(i int32) string { return x.stateKeys[i] }
 
 // node is one exploration state: configuration plus the decision ledger
 // (needed because total consistency constrains decisions that failure or
-// amnesia later hide).
+// amnesia later hide). The initial input vector rides along because the
+// decision rule is a predicate over it.
 type node struct {
 	cfg    *sim.Config
 	ledger []sim.Decision
+	inputs []sim.Bit // shared, read-only
+	vec    string    // inputsKey(inputs)
+	ckey   string    // memoized key()
 }
 
 func (nd *node) key() string {
@@ -258,6 +287,210 @@ func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
 	return ExploreContext(context.Background(), proto, opts)
 }
 
+// succ is one edge generated while expanding a frontier node: the successor
+// key, the event, and — when the successor was not already visited before
+// this level — the precomputed node, its interned per-processor state keys,
+// and its violations. Everything here is computed by the worker; the merge
+// only orders and accepts.
+type succ struct {
+	key      string
+	event    sim.Event
+	edgeViol []taxonomy.Violation
+	// nd is nil when the successor was already in the visited set when the
+	// level was expanded (it may still be a within-level duplicate, which
+	// the merge detects).
+	nd        *node
+	stateKeys []string
+	terminal  bool
+	nodeViol  []taxonomy.Violation
+}
+
+// expansion is one frontier node's worth of generated edges.
+type expansion struct {
+	parentKey string
+	succs     []succ
+	err       error
+}
+
+// explorer bundles the shared machinery of one exploration: the visited set
+// and state aggregates are written concurrently by workers (commutative
+// updates only); everything on x is written solely by the sequential merge.
+type explorer struct {
+	proto       sim.Protocol
+	n           int
+	opts        Options
+	maxFail     int
+	failAllowed []bool
+	x           *Exploration
+	visited     *frontier.VisitedSet
+	interner    *frontier.Interner
+	states      *frontier.ShardedMap[*StateInfo]
+}
+
+// aggregate folds one newly generated configuration into the concurrent
+// state census and returns its interned per-processor state keys. Every
+// update is a set union, so aggregating the same configuration twice (two
+// workers generating the same within-level duplicate) is harmless.
+func (e *explorer) aggregate(nd *node) []string {
+	keys := make([]string, e.n)
+	for p := 0; p < e.n; p++ {
+		keys[p] = e.interner.Intern(nd.cfg.States[p].Key())
+	}
+	for p := 0; p < e.n; p++ {
+		pid := sim.ProcID(p)
+		sample := nd.cfg.States[p]
+		emptyBuffer := len(nd.cfg.Buffers[p]) == 0
+		e.states.Update(keys[p], func(si *StateInfo) *StateInfo {
+			if si == nil {
+				si = &StateInfo{
+					Key:    keys[p],
+					Sample: sample,
+					Procs:  make(map[sim.ProcID]struct{}),
+					Inputs: make(map[string]struct{}),
+					Conc:   make(map[string]struct{}),
+				}
+			}
+			si.Procs[pid] = struct{}{}
+			si.Inputs[nd.vec] = struct{}{}
+			if emptyBuffer {
+				si.SeenEmptyBuffer = true
+			}
+			// Concurrency sets: every pair of states in this
+			// configuration is mutually concurrent.
+			for q := 0; q < e.n; q++ {
+				if q != p {
+					si.Conc[keys[q]] = struct{}{}
+				}
+			}
+			return si
+		})
+	}
+	return keys
+}
+
+// expand generates all successors of one frontier node. Runs on a worker:
+// it must not touch e.x, and its only writes go through the commutative
+// interner/state aggregates.
+func (e *explorer) expand(nd *node) expansion {
+	out := expansion{parentKey: nd.ckey}
+	events := sim.Enabled(nd.cfg)
+	failedCount := 0
+	for p := 0; p < e.n; p++ {
+		if nd.cfg.Faulty(sim.ProcID(p)) {
+			failedCount++
+		}
+	}
+	if failedCount < e.maxFail {
+		for p := 0; p < e.n; p++ {
+			if e.failAllowed[p] && !nd.cfg.Faulty(sim.ProcID(p)) {
+				events = append(events, sim.Event{Proc: sim.ProcID(p), Type: sim.Fail})
+			}
+		}
+	}
+	out.succs = make([]succ, 0, len(events))
+	for _, ev := range events {
+		cfg, _, err := sim.Apply(e.proto, nd.cfg, ev)
+		if err != nil {
+			out.err = fmt.Errorf("checker: exploring %s: %w", e.proto.Name(), err)
+			return out
+		}
+		nxt := &node{cfg: cfg, ledger: updateLedger(nd.ledger, cfg), inputs: nd.inputs, vec: nd.vec}
+		nxt.ckey = nxt.key()
+		s := succ{key: nxt.ckey, event: ev}
+		if e.opts.Problem != nil {
+			s.edgeViol = decisionEdgeViolations(*e.opts.Problem, nd, nxt)
+		}
+		if !e.visited.Seen(nxt.ckey) {
+			s.nd = nxt
+			s.terminal = cfg.Quiescent()
+			s.stateKeys = e.aggregate(nxt)
+			if e.opts.Problem != nil {
+				s.nodeViol = nodeViolations(*e.opts.Problem, nxt)
+			}
+		}
+		out.succs = append(out.succs, s)
+	}
+	return out
+}
+
+// mergeLevel folds one level's expansions into the exploration, walking them
+// in frontier order (and each node's edges in event order) so the result is
+// independent of which worker expanded what. It returns the next frontier;
+// stop is set when the exploration should end with the current partial
+// result (first violation reached, or budget exhausted — the latter also
+// carries a *BudgetError).
+func (e *explorer) mergeLevel(exps []expansion) (next []*node, stop bool, err error) {
+	x := e.x
+	for i := range exps {
+		exp := &exps[i]
+		if exp.err != nil {
+			return nil, false, exp.err
+		}
+		for j := range exp.succs {
+			s := &exp.succs[j]
+			if x.parents != nil && exp.parentKey != "" {
+				if _, ok := x.parents[s.key]; !ok {
+					x.parents[s.key] = parentLink{parent: exp.parentKey, event: s.event}
+				}
+			}
+			for _, v := range s.edgeViol {
+				x.addViolation(v, s.key)
+			}
+			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
+				return next, true, nil
+			}
+			if s.nd == nil || !e.visited.Add(s.key) {
+				continue
+			}
+			if len(x.Configs) >= e.opts.maxNodes() {
+				x.Status = StatusExhausted
+				x.FrontierSize = len(next) + 1
+				return next, true, &BudgetError{Protocol: e.proto.Name(), Nodes: e.opts.maxNodes()}
+			}
+			e.record(s)
+			for _, v := range s.nodeViol {
+				x.addViolation(v, s.key)
+			}
+			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
+				return next, true, nil
+			}
+			next = append(next, s.nd)
+		}
+	}
+	return next, false, nil
+}
+
+// record accepts one newly discovered configuration: assigns interned state
+// indices in discovery order and appends the ConfigRecord. Merge-phase only.
+func (e *explorer) record(s *succ) {
+	x := e.x
+	idx := make([]int32, len(s.stateKeys))
+	for p, key := range s.stateKeys {
+		id, ok := x.stateIdx[key]
+		if !ok {
+			id = int32(len(x.stateKeys))
+			x.stateIdx[key] = id
+			x.stateKeys = append(x.stateKeys, key)
+		}
+		idx[p] = id
+	}
+	x.Configs = append(x.Configs, ConfigRecord{
+		StateIdx:  idx,
+		Ledger:    append([]sim.Decision(nil), s.nd.ledger...),
+		InputsVec: s.nd.vec,
+		Terminal:  s.terminal,
+	})
+	if s.terminal {
+		x.Terminals++
+	}
+}
+
+// finalize publishes the aggregate state census and the node count.
+func (e *explorer) finalize() {
+	e.x.States = e.states.Snapshot()
+	e.x.NodeCount = len(e.x.Configs)
+}
+
 // ExploreContext is Explore with graceful degradation: on context
 // cancellation or budget exhaustion it returns the partial Exploration —
 // visited nodes, aggregated states, and every violation found so far, with
@@ -288,87 +521,66 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 	x := &Exploration{
 		Proto:    proto,
 		Opts:     opts,
-		States:   make(map[string]*StateInfo),
 		stateIdx: make(map[string]int32),
 	}
 	if opts.TrackTraces {
 		x.parents = make(map[string]parentLink)
 	}
-	seen := make(map[string]struct{})
+	e := &explorer{
+		proto:       proto,
+		n:           n,
+		opts:        opts,
+		maxFail:     maxFail,
+		failAllowed: failAllowed,
+		x:           x,
+		visited:     frontier.NewVisitedSet(),
+		interner:    frontier.NewInterner(),
+		states:      frontier.NewShardedMap[*StateInfo](),
+	}
 
+	// Level 0: one root per requested input vector, merged through the
+	// same path as every other level (no parent links, no decision edge).
+	roots := expansion{}
 	for _, inputs := range inputVecs {
 		if len(inputs) != n {
 			return nil, fmt.Errorf("checker: input vector %v has length %d, want %d", inputs, len(inputs), n)
 		}
-		vec := inputsKey(inputs)
-		start := &node{cfg: sim.NewConfig(proto, inputs), ledger: make([]sim.Decision, n)}
-		k := start.key()
-		if _, ok := seen[k]; ok {
-			continue
+		start := &node{cfg: sim.NewConfig(proto, inputs), ledger: make([]sim.Decision, n), inputs: inputs, vec: inputsKey(inputs)}
+		start.ckey = start.key()
+		s := succ{key: start.ckey, nd: start, terminal: start.cfg.Quiescent(), stateKeys: e.aggregate(start)}
+		if opts.Problem != nil {
+			s.nodeViol = nodeViolations(*opts.Problem, start)
 		}
-		seen[k] = struct{}{}
-		stack := []*node{start}
-		x.record(start, vec)
-
-		for len(stack) > 0 {
-			if opts.StopAtFirstViolation && len(x.Violations) > 0 {
-				x.NodeCount = len(seen)
-				return x, nil
-			}
-			if err := ctx.Err(); err != nil {
-				x.Status = StatusInterrupted
-				x.FrontierSize = len(stack)
-				x.NodeCount = len(seen)
-				return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), err)
-			}
-			if len(seen) > opts.maxNodes() {
-				x.Status = StatusExhausted
-				x.FrontierSize = len(stack)
-				x.NodeCount = len(seen)
-				return x, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
-			}
-			nd := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-
-			events := sim.Enabled(nd.cfg)
-			failedCount := 0
-			for p := 0; p < n; p++ {
-				if nd.cfg.Faulty(sim.ProcID(p)) {
-					failedCount++
-				}
-			}
-			if failedCount < maxFail {
-				for p := 0; p < n; p++ {
-					if failAllowed[p] && !nd.cfg.Faulty(sim.ProcID(p)) {
-						events = append(events, sim.Event{Proc: sim.ProcID(p), Type: sim.Fail})
-					}
-				}
-			}
-			for _, e := range events {
-				cfg, _, err := sim.Apply(proto, nd.cfg, e)
-				if err != nil {
-					return nil, fmt.Errorf("checker: exploring %s: %w", proto.Name(), err)
-				}
-				nxt := &node{cfg: cfg, ledger: updateLedger(nd.ledger, cfg)}
-				nk := nxt.key()
-				if x.parents != nil {
-					if _, ok := x.parents[nk]; !ok {
-						x.parents[nk] = parentLink{parent: nd.key(), event: e}
-					}
-				}
-				if opts.Problem != nil {
-					x.checkDecisionEdge(*opts.Problem, nd, nxt, inputs)
-				}
-				if _, ok := seen[nk]; ok {
-					continue
-				}
-				seen[nk] = struct{}{}
-				x.record(nxt, vec)
-				stack = append(stack, nxt)
-			}
-		}
+		roots.succs = append(roots.succs, s)
 	}
-	x.NodeCount = len(seen)
+	front, stop, err := e.mergeLevel([]expansion{roots})
+	for err == nil && !stop && len(front) > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			x.Status = StatusInterrupted
+			x.FrontierSize = len(front)
+			e.finalize()
+			return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), cerr)
+		}
+		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, e.expand)
+		if mapErr != nil {
+			x.Status = StatusInterrupted
+			x.FrontierSize = len(front)
+			e.finalize()
+			return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), mapErr)
+		}
+		front, stop, err = e.mergeLevel(exps)
+	}
+	if err != nil {
+		var be *BudgetError
+		if errors.As(err, &be) {
+			e.finalize()
+			return x, be
+		}
+		// A protocol error (sim.Apply failed) aborts with no result,
+		// matching the previous explorer.
+		return nil, err
+	}
+	e.finalize()
 	return x, nil
 }
 
@@ -393,56 +605,6 @@ func updateLedger(old []sim.Decision, cfg *sim.Config) []sim.Decision {
 		}
 	}
 	return out
-}
-
-// record aggregates one explored node into the exploration result.
-func (x *Exploration) record(nd *node, vec string) {
-	n := nd.cfg.N()
-	idx := make([]int32, n)
-	for p, s := range nd.cfg.States {
-		key := s.Key()
-		si, ok := x.States[key]
-		if !ok {
-			si = &StateInfo{
-				Key:    key,
-				Sample: s,
-				Procs:  make(map[sim.ProcID]struct{}),
-				Inputs: make(map[string]struct{}),
-				Conc:   make(map[string]struct{}),
-			}
-			x.States[key] = si
-			x.stateIdx[key] = int32(len(x.stateKeys))
-			x.stateKeys = append(x.stateKeys, key)
-		}
-		si.Procs[sim.ProcID(p)] = struct{}{}
-		si.Inputs[vec] = struct{}{}
-		if len(nd.cfg.Buffers[p]) == 0 {
-			si.SeenEmptyBuffer = true
-		}
-		idx[p] = x.stateIdx[key]
-	}
-	// Concurrency sets: every pair of states in this configuration is
-	// mutually concurrent.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			x.States[x.stateKeys[idx[i]]].Conc[x.stateKeys[idx[j]]] = struct{}{}
-		}
-	}
-	x.Configs = append(x.Configs, ConfigRecord{
-		StateIdx:  idx,
-		Ledger:    append([]sim.Decision(nil), nd.ledger...),
-		InputsVec: vec,
-		Terminal:  nd.cfg.Quiescent(),
-	})
-	if nd.cfg.Quiescent() {
-		x.Terminals++
-	}
-	if x.Opts.Problem != nil {
-		x.checkNode(*x.Opts.Problem, nd)
-	}
 }
 
 // kindOf returns the state kind for an interned index.

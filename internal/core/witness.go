@@ -22,6 +22,9 @@ type WitnessOptions struct {
 	// MaxFailures bounds failure injection for the exhaustive checks
 	// (default 2).
 	MaxFailures int
+	// Parallelism is the worker count for the exhaustive explorations
+	// (0 = GOMAXPROCS). Results are byte-identical at any setting.
+	Parallelism int
 }
 
 func (o WitnessOptions) maxFailures() int {
@@ -127,7 +130,7 @@ func solverWitnesses(opts WitnessOptions) []Evidence {
 	out = append(out, perverseFailureAgreement())
 	for _, c := range cases {
 		for _, p := range c.problems {
-			copts := checker.Options{MaxFailures: opts.maxFailures()}
+			copts := checker.Options{MaxFailures: opts.maxFailures(), Parallelism: opts.Parallelism}
 			if c.proto.Name() == (protocols.Perverse{}).Name() {
 				// The perverse protocol's race bookkeeping makes its
 				// failure-injected space intractable to enumerate; it
@@ -171,7 +174,7 @@ func Theorem8StarChecker(opts WitnessOptions) Evidence {
 		Claim: "the Figure 2 star protocol violates total consistency under failures",
 	}
 	x, err := checker.Check(protocols.Star{Procs: 3}, problemOf(taxonomy.WT, taxonomy.TC),
-		checker.Options{MaxFailures: opts.maxFailures(), StopAtFirstViolation: true})
+		checker.Options{MaxFailures: opts.maxFailures(), Parallelism: opts.Parallelism, StopAtFirstViolation: true})
 	if err != nil {
 		ev.Details = append(ev.Details, err.Error())
 		return ev

@@ -51,6 +51,13 @@ func (r Report) String() string {
 type Options struct {
 	// Quick skips the exhaustive model-checking passes.
 	Quick bool
+	// Deep adds the N=4 exhaustive solver checks to E1–E3 (failure-free:
+	// with failure injection the N=4 spaces exceed the node budget).
+	// Ignored when Quick is set.
+	Deep bool
+	// Parallelism is the worker count for exhaustive explorations
+	// (0 = GOMAXPROCS). Results are byte-identical at any setting.
+	Parallelism int
 }
 
 // All runs every experiment in order.
@@ -70,6 +77,26 @@ func All(opts Options) []Report {
 
 func unanimity(t taxonomy.Termination, c taxonomy.Consistency) taxonomy.Problem {
 	return taxonomy.Problem{Rule: taxonomy.UnanimityRule{}, Termination: t, Consistency: c}
+}
+
+// deepCheck runs the Deep-mode N=4 exhaustive conformance pass. It is
+// failure-free: at N=4 even a single injected failure pushes these spaces
+// past the node budget (star(4) and chain(4) both exceed 4M nodes at
+// MaxFailures=1), while the failure-free space stays exhaustive over all
+// 16 input vectors.
+func deepCheck(r Report, proto sim.Protocol, p taxonomy.Problem, opts Options) Report {
+	x, err := checker.Check(proto, p, checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
+	if err != nil {
+		return fail(r, err)
+	}
+	if !x.Conforms() {
+		r.OK = false
+		r.Measured = append(r.Measured, fmt.Sprintf("deep: %s violated: %s", p.Name(), x.Violations[0].String()))
+	} else {
+		r.Measured = append(r.Measured, fmt.Sprintf("deep: %s conforms to %s over %d failure-free configurations (all %d input vectors)",
+			proto.Name(), p.Name(), x.NodeCount, 1<<proto.N()))
+	}
+	return r
 }
 
 func ones(n int) []sim.Bit {
@@ -93,7 +120,7 @@ func E1Figure1Tree(opts Options) Report {
 	proto := protocols.Tree{Procs: 7}
 
 	// Regenerate the all-ones (commit) pattern of the figure.
-	set, err := scheme.Enumerate(proto, ones(7), scheme.Options{})
+	set, err := scheme.Enumerate(proto, ones(7), scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -112,7 +139,8 @@ func E1Figure1Tree(opts Options) Report {
 	r.Measured = append(r.Measured, fmt.Sprintf("failure-free commit run: %d messages, %d events", run.MessagesSent(), run.Steps()))
 
 	if !opts.Quick {
-		x, err := checker.Check(protocols.Tree{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC), checker.Options{MaxFailures: 2})
+		x, err := checker.Check(protocols.Tree{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
+			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -121,6 +149,9 @@ func E1Figure1Tree(opts Options) Report {
 			r.Measured = append(r.Measured, "WT-TC violated: "+x.Violations[0].String())
 		} else {
 			r.Measured = append(r.Measured, fmt.Sprintf("tree(3) conforms to WT-TC over %d configurations (≤2 failures, all inputs)", x.NodeCount))
+		}
+		if opts.Deep {
+			r = deepCheck(r, protocols.Tree{Procs: 4}, unanimity(taxonomy.WT, taxonomy.TC), opts)
 		}
 	}
 
@@ -152,7 +183,8 @@ func E2Figure2Star(opts Options) Report {
 	if opts.Quick {
 		return r
 	}
-	x, err := checker.Check(protocols.Star{Procs: 3}, unanimity(taxonomy.HT, taxonomy.IC), checker.Options{MaxFailures: 2})
+	x, err := checker.Check(protocols.Star{Procs: 3}, unanimity(taxonomy.HT, taxonomy.IC),
+		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -162,9 +194,12 @@ func E2Figure2Star(opts Options) Report {
 	} else {
 		r.Measured = append(r.Measured, fmt.Sprintf("star(3) conforms to HT-IC over %d configurations", x.NodeCount))
 	}
+	if opts.Deep {
+		r = deepCheck(r, protocols.Star{Procs: 4}, unanimity(taxonomy.HT, taxonomy.IC), opts)
+	}
 
 	xTC, err := checker.Check(protocols.Star{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
-		checker.Options{MaxFailures: 2, StopAtFirstViolation: true})
+		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism, StopAtFirstViolation: true})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -175,7 +210,7 @@ func E2Figure2Star(opts Options) Report {
 		r.Measured = append(r.Measured, "WT-TC violation found: "+xTC.Violations[0].Detail)
 	}
 
-	xS, err := checker.Explore(protocols.Star{Procs: 3}, checker.Options{MaxFailures: 2})
+	xS, err := checker.Explore(protocols.Star{Procs: 3}, checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -199,7 +234,7 @@ func E3Figure3Chain(opts Options) Report {
 		Claim:    "one failure-free pattern (inputs to p0, then a decision chain); solves WT-IC; the pattern cannot support ST-IC",
 		OK:       true,
 	}
-	set, err := scheme.Of(protocols.Chain{Procs: 4}, scheme.Options{})
+	set, err := scheme.Of(protocols.Chain{Procs: 4}, scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -212,7 +247,8 @@ func E3Figure3Chain(opts Options) Report {
 			set.Len(), pat.Size(), pat.Depth()))
 
 	if !opts.Quick {
-		x, err := checker.Check(protocols.Chain{Procs: 3}, unanimity(taxonomy.WT, taxonomy.IC), checker.Options{MaxFailures: 2})
+		x, err := checker.Check(protocols.Chain{Procs: 3}, unanimity(taxonomy.WT, taxonomy.IC),
+			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -221,6 +257,9 @@ func E3Figure3Chain(opts Options) Report {
 			r.Measured = append(r.Measured, "WT-IC violated: "+x.Violations[0].String())
 		} else {
 			r.Measured = append(r.Measured, fmt.Sprintf("chain(3) conforms to WT-IC over %d configurations", x.NodeCount))
+		}
+		if opts.Deep {
+			r = deepCheck(r, protocols.Chain{Procs: 4}, unanimity(taxonomy.WT, taxonomy.IC), opts)
 		}
 	}
 
@@ -242,7 +281,7 @@ func E4Figure4Perverse(opts Options) Report {
 		Claim:    "exactly 4 failure-free patterns (none / m1 / m2 / m1,m2,m3); no ST-TC protocol shares the scheme",
 		OK:       true,
 	}
-	set, err := scheme.Enumerate(protocols.Perverse{}, ones(4), scheme.Options{})
+	set, err := scheme.Enumerate(protocols.Perverse{}, ones(4), scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -262,7 +301,8 @@ func E4Figure4Perverse(opts Options) Report {
 		// intractable (the race bookkeeping multiplies the space), so
 		// the exhaustive pass is failure-free; randomized failure
 		// injection covers the rest (see the lattice witnesses).
-		x, err := checker.Check(protocols.Perverse{}, unanimity(taxonomy.WT, taxonomy.TC), checker.Options{MaxFailures: 0})
+		x, err := checker.Check(protocols.Perverse{}, unanimity(taxonomy.WT, taxonomy.TC),
+			checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -285,7 +325,7 @@ func E5Lattice(opts Options) Report {
 		OK:       true,
 	}
 	l := core.BuildLattice()
-	evidence := core.Witnesses(core.WitnessOptions{Exhaustive: !opts.Quick})
+	evidence := core.Witnesses(core.WitnessOptions{Exhaustive: !opts.Quick, Parallelism: opts.Parallelism})
 	l.Evidence = evidence
 	if !core.AllOK(evidence) {
 		r.OK = false
@@ -377,7 +417,7 @@ func E7Theorem2(opts Options) Report {
 	}
 	r.Measured = append(r.Measured, fmt.Sprintf("%-18s %8s %8s %8s %10s", "protocol", "states", "unsafe", "cor6", "as claimed"))
 	for _, row := range rows {
-		x, err := checker.Explore(row.proto, checker.Options{MaxFailures: row.maxFail})
+		x, err := checker.Explore(row.proto, checker.Options{MaxFailures: row.maxFail, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -483,15 +523,15 @@ func E9Transforms(opts Options) Report {
 		OK:       true,
 	}
 	inner := protocols.Chain{Procs: 3}
-	s0, err := scheme.Of(inner, scheme.Options{})
+	s0, err := scheme.Of(inner, scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
-	sTC, err := scheme.Of(transform.TotalComm{Inner: inner}, scheme.Options{})
+	sTC, err := scheme.Of(transform.TotalComm{Inner: inner}, scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
-	sEB, err := scheme.Of(transform.EliminateEBar{Inner: inner}, scheme.Options{})
+	sEB, err := scheme.Of(transform.EliminateEBar{Inner: inner}, scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}

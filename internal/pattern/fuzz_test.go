@@ -1,0 +1,59 @@
+package pattern
+
+import (
+	"testing"
+)
+
+// FuzzPatternCanonical fuzzes the pattern encode/decode round trip and the
+// Validate invariants over mutated keys. Three properties:
+//
+//  1. ParseKey never panics; whatever parses must survive Validate without
+//     panicking (invalid orders are reported as *InvalidOrderError, mutated
+//     triples as parse errors — never a crash).
+//  2. Encoding is idempotent: re-encoding a parsed pattern and parsing it
+//     again reproduces the same canonical key, and validity is preserved
+//     across the round trip.
+//  3. For valid orders, rebuilding through Add (the transitive-closing
+//     constructor) from Messages/Preds reproduces the identical key.
+func FuzzPatternCanonical(f *testing.F) {
+	f.Add("")
+	f.Add("(p0,p1,1)<")
+	f.Add("(p0,p1,1)< (p1,p2,1)<(p0,p1,1)")
+	f.Add("(p0,p1,1)< (p0,p2,1)< (p2,p0,1)<(p0,p2,1) (p1,p0,1)<(p0,p1,1)")
+	f.Add("(p0,p1,1)<(p0,p1,1)")                                // irreflexive violation
+	f.Add("(p0,p1,1)<(p1,p0,1) (p1,p0,1)<(p0,p1,1)")            // antisymmetry violation
+	f.Add("(p0,p1,1)< (p1,p2,1)<(p0,p1,1) (p2,p0,1)<(p1,p2,1)") // transitivity violation
+	f.Add("(p0,p1,1)<(p9,p9,9)")                                // dangling predecessor
+	f.Add("(p0,p1,x)<")                                         // mutated triple
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		valid := p.Validate() == nil
+
+		k1 := p.Key()
+		q, err := ParseKey(k1)
+		if err != nil {
+			t.Fatalf("ParseKey rejected a re-encoded key %q: %v", k1, err)
+		}
+		if k2 := q.Key(); k2 != k1 {
+			t.Fatalf("encoding not idempotent: %q -> %q", k1, k2)
+		}
+		if (q.Validate() == nil) != valid {
+			t.Fatalf("validity not preserved across round trip of %q", k1)
+		}
+		if !valid {
+			return
+		}
+		// A valid order's Preds are complete causal pasts, so the
+		// transitive closure in Add is a no-op and the rebuild is exact.
+		r := New()
+		for _, id := range p.Messages() {
+			r.Add(id, p.Preds(id)...)
+		}
+		if rk := r.Key(); rk != k1 {
+			t.Fatalf("Add-rebuild diverges: %q -> %q", k1, rk)
+		}
+	})
+}

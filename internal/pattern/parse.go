@@ -1,0 +1,106 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParseKey decodes a canonical pattern key — the output of Key — back into a
+// Pattern. The stored relation is taken verbatim: ParseKey neither closes it
+// transitively nor checks that it is a strict partial order, so a key that
+// was hand-mutated can parse successfully and still fail Validate. For every
+// pattern p, ParseKey(p.Key()) succeeds and re-encodes to the same key.
+func ParseKey(s string) (*Pattern, error) {
+	p := New()
+	if s == "" {
+		return p, nil
+	}
+	for _, entry := range strings.Split(s, " ") {
+		id, preds, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		if p.Has(id) {
+			return nil, fmt.Errorf("pattern: duplicate message %s in key", id)
+		}
+		set := make(idSet, len(preds))
+		for _, q := range preds {
+			set.add(q)
+		}
+		p.past[id] = set
+	}
+	return p, nil
+}
+
+// parseEntry decodes one "triple<past" element of a key. The '<' separating
+// a message from its causal past is unambiguous because triples contain none.
+func parseEntry(entry string) (sim.MsgID, []sim.MsgID, error) {
+	i := strings.IndexByte(entry, '<')
+	if i < 0 {
+		return sim.MsgID{}, nil, fmt.Errorf("pattern: entry %q missing '<'", entry)
+	}
+	id, err := parseMsgID(entry[:i])
+	if err != nil {
+		return sim.MsgID{}, nil, err
+	}
+	rest := entry[i+1:]
+	if rest == "" {
+		return id, nil, nil
+	}
+	// The past is comma-separated, but triples contain commas too; the
+	// unambiguous separator is the "),(" between consecutive triples.
+	parts := strings.Split(rest, "),(")
+	preds := make([]sim.MsgID, 0, len(parts))
+	for j, part := range parts {
+		if j > 0 {
+			part = "(" + part
+		}
+		if j < len(parts)-1 {
+			part += ")"
+		}
+		q, err := parseMsgID(part)
+		if err != nil {
+			return sim.MsgID{}, nil, err
+		}
+		preds = append(preds, q)
+	}
+	return id, preds, nil
+}
+
+// parseMsgID decodes one "(p<i>,p<j>,k)" triple.
+func parseMsgID(s string) (sim.MsgID, error) {
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return sim.MsgID{}, fmt.Errorf("pattern: malformed triple %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	if len(parts) != 3 {
+		return sim.MsgID{}, fmt.Errorf("pattern: triple %q has %d fields, want 3", s, len(parts))
+	}
+	from, err := parseProcID(parts[0])
+	if err != nil {
+		return sim.MsgID{}, fmt.Errorf("pattern: triple %q: %w", s, err)
+	}
+	to, err := parseProcID(parts[1])
+	if err != nil {
+		return sim.MsgID{}, fmt.Errorf("pattern: triple %q: %w", s, err)
+	}
+	seq, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return sim.MsgID{}, fmt.Errorf("pattern: triple %q: bad sequence number: %w", s, err)
+	}
+	return sim.MsgID{From: from, To: to, Seq: seq}, nil
+}
+
+func parseProcID(s string) (sim.ProcID, error) {
+	if !strings.HasPrefix(s, "p") {
+		return 0, fmt.Errorf("bad processor %q", s)
+	}
+	i, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad processor %q: %w", s, err)
+	}
+	return sim.ProcID(i), nil
+}

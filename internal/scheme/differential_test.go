@@ -1,0 +1,115 @@
+package scheme
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+var diffParallelism = []int{1, 2, 8}
+
+// enumDigest renders an Enumeration canonically so byte-identity across
+// parallelism levels is a string comparison.
+func enumDigest(en *Enumeration) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "status=%v visited=%d frontier=%d patterns=%d\n",
+		en.Status, en.Visited, en.Frontier, en.Set.Len())
+	for _, k := range en.Set.Keys() {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type enumDiffCase struct {
+	name  string
+	proto sim.Protocol
+	opts  Options
+}
+
+func enumDiffCases() []enumDiffCase {
+	return []enumDiffCase{
+		{"tree", protocols.Tree{Procs: 3}, Options{}},
+		{"star", protocols.Star{Procs: 3}, Options{}},
+		{"chain", protocols.Chain{Procs: 3}, Options{}},
+		{"perverse", protocols.Perverse{}, Options{}},
+		{"ackcommit", protocols.AckCommit{Procs: 3}, Options{}},
+		// Full exchange is the densest failure-free space; a budget cap
+		// bounds the test and exercises the deterministic exhaustion stop.
+		{"fullexchange", protocols.FullExchange{Procs: 3}, Options{MaxNodes: 6000}},
+		{"haltingcommit", protocols.HaltingCommit{Procs: 3}, Options{}},
+	}
+}
+
+// TestEnumerateDifferential asserts that enumerating every library
+// protocol's failure-free executions (all-ones inputs) at parallelism 1, 2,
+// and 8 yields byte-identical Enumerations: the pattern set, visited count,
+// frontier, and status.
+func TestEnumerateDifferential(t *testing.T) {
+	for _, tc := range enumDiffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.proto.N()
+			inputs := make([]sim.Bit, n)
+			for i := range inputs {
+				inputs[i] = sim.One
+			}
+			var baseDigest, baseErr string
+			for _, par := range diffParallelism {
+				opts := tc.opts
+				opts.Parallelism = par
+				en, err := EnumerateContext(context.Background(), tc.proto, inputs, opts)
+				if en == nil {
+					t.Fatalf("parallelism %d: nil enumeration (err=%v)", par, err)
+				}
+				errStr := ""
+				if err != nil {
+					errStr = err.Error()
+				}
+				d := enumDigest(en)
+				if par == diffParallelism[0] {
+					baseDigest, baseErr = d, errStr
+					continue
+				}
+				if errStr != baseErr {
+					t.Errorf("parallelism %d: err = %q, want %q", par, errStr, baseErr)
+				}
+				if d != baseDigest {
+					t.Errorf("parallelism %d: enumeration diverges from sequential (digest mismatch)\nseq:\n%s\npar:\n%s", par, baseDigest, d)
+				}
+			}
+		})
+	}
+}
+
+// TestEnumerateDifferentialCancelled asserts a cancelled context yields the
+// same partial Enumeration (status, visited, frontier) at every parallelism.
+func TestEnumerateDifferentialCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inputs := []sim.Bit{sim.One, sim.One, sim.One}
+	var baseDigest string
+	for _, par := range diffParallelism {
+		en, err := EnumerateContext(ctx, protocols.Tree{Procs: 3}, inputs, Options{Parallelism: par})
+		if en == nil {
+			t.Fatalf("parallelism %d: nil enumeration", par)
+		}
+		if err == nil || en.Status != StatusInterrupted {
+			t.Fatalf("parallelism %d: status = %v, err = %v, want interrupted", par, en.Status, err)
+		}
+		d := enumDigest(en)
+		if par == diffParallelism[0] {
+			baseDigest = d
+			if en.Visited < 1 || en.Frontier < 1 {
+				t.Fatalf("cancelled enumeration lost its partial snapshot: %d visited, %d frontier", en.Visited, en.Frontier)
+			}
+			continue
+		}
+		if d != baseDigest {
+			t.Errorf("parallelism %d: cancelled partial result diverges:\nseq:\n%s\npar:\n%s", par, baseDigest, d)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/frontier"
 	"repro/internal/pattern"
 	"repro/internal/sim"
 )
@@ -94,13 +95,19 @@ func (s *Set) Keys() []string {
 // Options bounds scheme enumeration.
 type Options struct {
 	// MaxNodes caps the number of distinct exploration nodes (default
-	// 2_000_000). Enumeration fails rather than silently truncating.
+	// sim.DefaultMaxNodes, the budget shared with checker.Options).
+	// Enumeration fails rather than silently truncating.
 	MaxNodes int
+	// Parallelism is the number of worker goroutines expanding each
+	// frontier level (0 = GOMAXPROCS). The resulting Enumeration is
+	// byte-identical at any setting; parallelism only changes wall-clock
+	// time.
+	Parallelism int
 }
 
 func (o Options) maxNodes() int {
 	if o.MaxNodes == 0 {
-		return 2_000_000
+		return sim.DefaultMaxNodes
 	}
 	return o.MaxNodes
 }
@@ -228,10 +235,59 @@ func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error)
 	return en.Set, err
 }
 
+// enumSucc is one successor generated while expanding a frontier node. nd is
+// nil when the successor was already visited before this level (it may still
+// be a within-level duplicate, which the merge detects).
+type enumSucc struct {
+	key string
+	nd  *node
+}
+
+// enumExpansion is one frontier node's worth of results: either the node was
+// maximal (no enabled events — its pattern belongs to the scheme) or it
+// produced successors.
+type enumExpansion struct {
+	maximal *pattern.Pattern
+	succs   []enumSucc
+	err     error
+}
+
+// expandEnum generates one node's successors. Runs on a worker: reads the
+// visited set but never writes it.
+func expandEnum(proto sim.Protocol, visited *frontier.VisitedSet, nd *node) enumExpansion {
+	events := sim.Enabled(nd.cfg)
+	if len(events) == 0 {
+		return enumExpansion{maximal: nd.pat}
+	}
+	out := enumExpansion{succs: make([]enumSucc, 0, len(events))}
+	for _, e := range events {
+		nxt := nd.clone()
+		cfg, eff, err := sim.Apply(proto, nd.cfg, e)
+		if err != nil {
+			out.err = fmt.Errorf("scheme: exploring %s: %w", proto.Name(), err)
+			return out
+		}
+		nxt.cfg = cfg
+		applyEffect(nxt, eff)
+		k := nxt.key()
+		s := enumSucc{key: k}
+		if !visited.Seen(k) {
+			s.nd = nxt
+		}
+		out.succs = append(out.succs, s)
+	}
+	return out
+}
+
 // EnumerateContext enumerates with graceful degradation: on context
 // cancellation or budget exhaustion it returns the partial Enumeration —
 // every pattern completed so far, with Status and Frontier set — alongside a
 // non-nil error.
+//
+// The walk is a level-synchronous breadth-first search: each frontier level
+// is expanded by Options.Parallelism workers and merged sequentially in
+// frontier order, so the Enumeration (patterns, Visited, Frontier, Status)
+// is byte-identical at every parallelism level. See internal/frontier.
 func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, opts Options) (*Enumeration, error) {
 	if len(inputs) != proto.N() {
 		return nil, fmt.Errorf("scheme: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
@@ -247,46 +303,59 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 	}
 
 	en := &Enumeration{Set: NewSet()}
-	seen := map[string]struct{}{start.key(): {}}
-	stack := []*node{start}
-	for len(stack) > 0 {
+	visited := frontier.NewVisitedSet()
+	if opts.maxNodes() < 1 {
+		en.Status = StatusExhausted
+		en.Frontier = 1
+		return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+	}
+	visited.Add(start.key())
+	accepted := 1
+	front := []*node{start}
+	for len(front) > 0 {
 		if err := ctx.Err(); err != nil {
 			en.Status = StatusInterrupted
-			en.Visited = len(seen)
-			en.Frontier = len(stack)
+			en.Visited = accepted
+			en.Frontier = len(front)
 			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), err)
 		}
-		if len(seen) > opts.maxNodes() {
-			en.Status = StatusExhausted
-			en.Visited = len(seen)
-			en.Frontier = len(stack)
-			return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, func(nd *node) enumExpansion {
+			return expandEnum(proto, visited, nd)
+		})
+		if mapErr != nil {
+			en.Status = StatusInterrupted
+			en.Visited = accepted
+			en.Frontier = len(front)
+			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), mapErr)
 		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		events := sim.Enabled(nd.cfg)
-		if len(events) == 0 {
-			en.Set.Add(nd.pat)
-			continue
-		}
-		for _, e := range events {
-			nxt := nd.clone()
-			cfg, eff, err := sim.Apply(proto, nd.cfg, e)
-			if err != nil {
-				return nil, fmt.Errorf("scheme: exploring %s: %w", proto.Name(), err)
+		var next []*node
+		for i := range exps {
+			exp := &exps[i]
+			if exp.err != nil {
+				return nil, exp.err
 			}
-			nxt.cfg = cfg
-			applyEffect(nxt, eff)
-			k := nxt.key()
-			if _, ok := seen[k]; ok {
+			if exp.maximal != nil {
+				en.Set.Add(exp.maximal)
 				continue
 			}
-			seen[k] = struct{}{}
-			stack = append(stack, nxt)
+			for j := range exp.succs {
+				s := &exp.succs[j]
+				if s.nd == nil || !visited.Add(s.key) {
+					continue
+				}
+				if accepted >= opts.maxNodes() {
+					en.Status = StatusExhausted
+					en.Visited = accepted
+					en.Frontier = len(next) + 1
+					return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
+				}
+				accepted++
+				next = append(next, s.nd)
+			}
 		}
+		front = next
 	}
-	en.Visited = len(seen)
+	en.Visited = accepted
 	return en, nil
 }
 

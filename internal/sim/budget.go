@@ -1,0 +1,10 @@
+package sim
+
+// DefaultMaxNodes is the node budget shared by the repo's exhaustive walks
+// when their Options leave MaxNodes zero: checker.Options (configuration-
+// space exploration) and scheme.Options (failure-free pattern enumeration)
+// both default to this single constant, so "how far will an unbounded-looking
+// walk actually go" has one answer everywhere. Exceeding the budget is
+// always a reported error (*checker.BudgetError / *scheme.BudgetError with
+// partial results attached), never a silent truncation.
+const DefaultMaxNodes = 4_000_000
