@@ -1,22 +1,24 @@
 // Command ccbench benchmarks the exhaustive explorer and maintains the
 // tracked throughput baseline. Each configured run explores a protocol's
-// full reachable space at a given worker count and reports nodes/second;
-// the results are written as JSON (BENCH_explore.json) so CI can archive
-// them and compare against the committed baseline.
+// full reachable space at a given worker count and reports nodes/second
+// plus allocation intensity (allocations and bytes per explored node); the
+// results are written as JSON (BENCH_explore.json) so CI can archive them
+// and compare against the committed baseline.
 //
 // Because the parallel explorer is deterministic — byte-identical results
-// at any -parallel setting — the node counts in two runs of the same
-// configuration must agree exactly; ccbench verifies that across the
-// parallelism levels it measures, so a throughput number can never come
-// from a divergent exploration.
+// at any -parallel setting and under any -dedup engine — the node counts in
+// two runs of the same configuration must agree exactly; ccbench verifies
+// that across the parallelism levels it measures, so a throughput number
+// can never come from a divergent exploration.
 //
 // Usage:
 //
-//	ccbench -proto tree -n 3 -maxfail 2 -parallel 1,4 -o BENCH_explore.json
-//	ccbench -against BENCH_explore.json -tolerance 0.30
+//	ccbench -proto tree,star,chain -n 3 -maxfail 2 -parallel 1,2,4,8 -o BENCH_explore.json
+//	ccbench -against BENCH_explore.json -tolerance 0.30 -alloc-tolerance 0.20
+//	ccbench -proto tree -parallel 1 -cpuprofile cpu.out -memprofile mem.out
 //
-// Exit codes: 0 ok, 1 error, 2 throughput regressed more than -tolerance
-// against the -against baseline.
+// Exit codes: 0 ok, 1 error, 2 throughput or allocation regression beyond
+// tolerance against the -against baseline.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,23 +35,30 @@ import (
 	consensus "repro"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. AllocsPerNode and BytesPerNode are
+// taken from the fastest repeat: total heap allocations (and bytes) during
+// the exploration divided by the number of explored nodes.
 type Result struct {
-	Protocol    string  `json:"protocol"`
-	N           int     `json:"n"`
-	MaxFailures int     `json:"maxFailures"`
-	Parallelism int     `json:"parallelism"`
-	Nodes       int     `json:"nodes"`
-	States      int     `json:"states"`
-	WallMs      float64 `json:"wallMs"`
-	NodesPerSec float64 `json:"nodesPerSec"`
+	Protocol      string  `json:"protocol"`
+	N             int     `json:"n"`
+	MaxFailures   int     `json:"maxFailures"`
+	Parallelism   int     `json:"parallelism"`
+	Nodes         int     `json:"nodes"`
+	States        int     `json:"states"`
+	WallMs        float64 `json:"wallMs"`
+	NodesPerSec   float64 `json:"nodesPerSec"`
+	AllocsPerNode float64 `json:"allocsPerNode"`
+	BytesPerNode  float64 `json:"bytesPerNode"`
 }
 
-// File is the on-disk shape of BENCH_explore.json.
+// File is the on-disk shape of BENCH_explore.json. GOMAXPROCS records the
+// actual runtime value at measurement time, so a baseline taken on a
+// different machine is recognizably foreign.
 type File struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Dedup      string   `json:"dedup"`
 	Repeat     int      `json:"repeat"`
 	Results    []Result `json:"results"`
 }
@@ -59,14 +69,18 @@ func main() {
 
 func run() int {
 	var (
-		protoName = flag.String("proto", "tree", "protocol to explore")
-		n         = flag.Int("n", 3, "number of processors")
-		maxFail   = flag.Int("maxfail", 2, "maximum injected failures")
-		parallel  = flag.String("parallel", "1,4", "comma-separated worker counts to measure")
-		repeat    = flag.Int("repeat", 3, "runs per configuration; the fastest is reported")
-		out       = flag.String("o", "BENCH_explore.json", "output file (- for stdout only)")
-		against   = flag.String("against", "", "baseline BENCH_explore.json to compare against")
-		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional nodes/sec regression vs the baseline")
+		protoNames = flag.String("proto", "tree,star,chain", "comma-separated protocols to explore")
+		n          = flag.Int("n", 3, "number of processors")
+		maxFail    = flag.Int("maxfail", 2, "maximum injected failures")
+		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker counts to measure")
+		repeat     = flag.Int("repeat", 3, "runs per configuration; the fastest is reported")
+		dedupName  = flag.String("dedup", "fingerprint", "visited-set engine: fingerprint, verified, or strings")
+		out        = flag.String("o", "BENCH_explore.json", "output file (- for stdout only)")
+		against    = flag.String("against", "", "baseline BENCH_explore.json to compare against")
+		tolerance  = flag.Float64("tolerance", 0.30, "allowed fractional nodes/sec regression vs the baseline")
+		allocTol   = flag.Float64("alloc-tolerance", 0.20, "allowed fractional allocs/node regression vs the baseline")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	)
 	flag.Parse()
 
@@ -75,35 +89,76 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ccbench:", err)
 		return 1
 	}
-	proto, err := consensus.ProtocolByName(*protoName, *n)
+	dedup, err := parseDedup(*dedupName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccbench:", err)
 		return 1
+	}
+	var protos []consensus.Protocol
+	for _, name := range strings.Split(*protoNames, ",") {
+		proto, err := consensus.ProtocolByName(strings.TrimSpace(name), *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		protos = append(protos, proto)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	f := File{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dedup:      dedup.String(),
 		Repeat:     *repeat,
 	}
-	wantNodes := -1
-	for _, par := range levels {
-		res, err := measure(proto, *maxFail, par, *repeat)
+	for _, proto := range protos {
+		wantNodes := -1
+		for _, par := range levels {
+			res, err := measure(proto, *maxFail, par, *repeat, dedup)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench:", err)
+				return 1
+			}
+			if wantNodes == -1 {
+				wantNodes = res.Nodes
+			} else if res.Nodes != wantNodes {
+				fmt.Fprintf(os.Stderr, "ccbench: determinism breach: parallelism %d explored %d nodes, parallelism %d explored %d\n",
+					levels[0], wantNodes, par, res.Nodes)
+				return 1
+			}
+			fmt.Printf("%-16s maxfail=%d parallel=%d  %8d nodes  %8.0f ms  %10.0f nodes/sec  %6.1f allocs/node  %7.0f B/node\n",
+				res.Protocol, res.MaxFailures, res.Parallelism, res.Nodes, res.WallMs, res.NodesPerSec,
+				res.AllocsPerNode, res.BytesPerNode)
+			f.Results = append(f.Results, res)
+		}
+	}
+
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccbench:", err)
 			return 1
 		}
-		if wantNodes == -1 {
-			wantNodes = res.Nodes
-		} else if res.Nodes != wantNodes {
-			fmt.Fprintf(os.Stderr, "ccbench: determinism breach: parallelism %d explored %d nodes, parallelism %d explored %d\n",
-				levels[0], wantNodes, par, res.Nodes)
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
 			return 1
 		}
-		fmt.Printf("%-16s maxfail=%d parallel=%d  %8d nodes  %8.0f ms  %10.0f nodes/sec\n",
-			res.Protocol, res.MaxFailures, res.Parallelism, res.Nodes, res.WallMs, res.NodesPerSec)
-		f.Results = append(f.Results, res)
 	}
 
 	if *out != "-" {
@@ -120,7 +175,7 @@ func run() int {
 	}
 
 	if *against != "" {
-		return compare(f, *against, *tolerance)
+		return compare(f, *against, *tolerance, *allocTol)
 	}
 	return 0
 }
@@ -140,17 +195,33 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
-func measure(proto consensus.Protocol, maxFail, par, repeat int) (Result, error) {
+func parseDedup(s string) (consensus.Dedup, error) {
+	switch s {
+	case "fingerprint":
+		return consensus.DedupFingerprint, nil
+	case "verified":
+		return consensus.DedupVerified, nil
+	case "strings":
+		return consensus.DedupStrings, nil
+	}
+	return 0, fmt.Errorf("bad -dedup %q (want fingerprint, verified, or strings)", s)
+}
+
+func measure(proto consensus.Protocol, maxFail, par, repeat int, dedup consensus.Dedup) (Result, error) {
 	best := Result{
 		Protocol:    proto.Name(),
 		N:           proto.N(),
 		MaxFailures: maxFail,
 		Parallelism: par,
 	}
+	var before, after runtime.MemStats
 	for i := 0; i < repeat; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
 		start := time.Now()
-		x, err := consensus.Explore(proto, consensus.CheckOptions{MaxFailures: maxFail, Parallelism: par})
+		x, err := consensus.Explore(proto, consensus.CheckOptions{MaxFailures: maxFail, Parallelism: par, Dedup: dedup})
 		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return best, err
 		}
@@ -163,16 +234,20 @@ func measure(proto consensus.Protocol, maxFail, par, repeat int) (Result, error)
 			best.States = len(x.States)
 			best.WallMs = ms
 			best.NodesPerSec = float64(x.NodeCount) / wall.Seconds()
+			best.AllocsPerNode = float64(after.Mallocs-before.Mallocs) / float64(x.NodeCount)
+			best.BytesPerNode = float64(after.TotalAlloc-before.TotalAlloc) / float64(x.NodeCount)
 		}
 	}
 	return best, nil
 }
 
 // compare checks every current result against the matching baseline row
-// (same protocol, failure bound, and parallelism). Rows missing from the
-// baseline are reported but not failed, so new configurations can land
-// before the baseline is regenerated.
-func compare(cur File, path string, tolerance float64) int {
+// (same protocol, failure bound, and parallelism): throughput must stay
+// within -tolerance of the baseline, and allocations per node within
+// -alloc-tolerance. Rows missing from the baseline are reported but not
+// failed, so new configurations can land before the baseline is
+// regenerated.
+func compare(cur File, path string, tolerance, allocTol float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccbench:", err)
@@ -202,6 +277,16 @@ func compare(cur File, path string, tolerance float64) int {
 			regressed = true
 		} else {
 			fmt.Printf("%s: ok %.0f nodes/sec vs baseline %.0f\n", key, r.NodesPerSec, b.NodesPerSec)
+		}
+		if b.AllocsPerNode > 0 {
+			ceil := b.AllocsPerNode * (1 + allocTol)
+			if r.AllocsPerNode > ceil {
+				fmt.Printf("%s: ALLOC REGRESSION %.1f allocs/node vs baseline %.1f (ceiling %.1f at tolerance %.0f%%)\n",
+					key, r.AllocsPerNode, b.AllocsPerNode, ceil, allocTol*100)
+				regressed = true
+			} else {
+				fmt.Printf("%s: ok %.1f allocs/node vs baseline %.1f\n", key, r.AllocsPerNode, b.AllocsPerNode)
+			}
 		}
 	}
 	if regressed {

@@ -171,6 +171,39 @@ func (Proto) Receive(p ProcID, s State, m int) State {
 	wantFindings(t, vetFixture(t, PurityAnalyzer, src), 1, "backing array")
 }
 
+// digestHeader declares an Add/Sub/Mixed trio: the shape of
+// fingerprint.Digest, which the purity analyzer covers alongside protocol
+// transitions.
+const digestHeader = `package fixture
+
+type Digest struct{ Lo, Hi uint64 }
+
+func (d Digest) Add(o Digest) Digest { return Digest{Lo: d.Lo + o.Lo, Hi: d.Hi + o.Hi} }
+func (d Digest) Sub(o Digest) Digest { return Digest{Lo: d.Lo - o.Lo, Hi: d.Hi - o.Hi} }
+`
+
+func TestPurityFlagsImpureDigestAlgebra(t *testing.T) {
+	src := digestHeader + `
+var mixes int
+
+func (d Digest) Mixed(salt uint64) Digest {
+	mixes++ // ambient state: Mixed is no longer a function of (d, salt)
+	return Digest{Lo: d.Lo ^ salt, Hi: d.Hi ^ salt}
+}
+`
+	got := vetFixture(t, PurityAnalyzer, src)
+	wantFindings(t, got, 1, "package-level mutable variable")
+}
+
+func TestPurityAcceptsPureDigestAlgebra(t *testing.T) {
+	src := digestHeader + `
+func (d Digest) Mixed(salt uint64) Digest {
+	return Digest{Lo: d.Lo ^ salt, Hi: d.Hi ^ salt}
+}
+`
+	wantFindings(t, vetFixture(t, PurityAnalyzer, src), 0, "")
+}
+
 func TestPurityIgnoreSuppresses(t *testing.T) {
 	src := purityHeader + `
 func (Proto) Receive(p ProcID, s State, m int) State {

@@ -29,32 +29,48 @@ import (
 // The analyzer recognizes the repo's copy-on-write idiom: a local assigned
 // from a call result (`s = s.clone()`, `s.out = appendOut(s.out, x)`) is
 // fresh, so subsequent writes through it are pure.
+//
+// The same checks cover the digest algebra that fingerprint-keyed
+// exploration is built on: every type whose method set includes Add, Sub,
+// and Mixed — the shape of fingerprint.Digest — has those bodies held to
+// the identical contract. Incremental fingerprints are sound only if digest
+// composition is a pure function of its operands; a digest method that
+// mutated shared state or read a package-level variable would silently
+// desynchronize fingerprints from canonical keys.
 var PurityAnalyzer = &Analyzer{
 	Name: "purity",
-	Doc:  "transition functions δ/β must be pure: no mutation of arguments or shared state, no package-level variables",
+	Doc:  "transition functions δ/β and digest algebra must be pure: no mutation of arguments or shared state, no package-level variables",
 	Run:  runPurity,
 }
 
 // transitionMethodNames is the δ/β trio every sim.Protocol implements.
 var transitionMethodNames = map[string]bool{"Init": true, "Receive": true, "SendStep": true}
 
+// digestMethodNames is the algebra trio of fingerprint.Digest. A type
+// declaring all three is treated as a digest implementation and its algebra
+// is held to the purity contract.
+var digestMethodNames = map[string]bool{"Add": true, "Sub": true, "Mixed": true}
+
 func runPurity(pass *Pass) {
-	for _, decl := range protocolMethods(pass) {
+	for _, decl := range methodTrios(pass, transitionMethodNames) {
+		checkTransitionBody(pass, decl)
+	}
+	for _, decl := range methodTrios(pass, digestMethodNames) {
 		checkTransitionBody(pass, decl)
 	}
 }
 
-// protocolMethods returns the Init/Receive/SendStep declarations of every
-// type in the package that declares all three (a sim.Protocol implementation
-// by structure; matching by method-set shape keeps the analyzer independent
-// of the sim package itself, so fixtures and future protocol packages are
-// covered alike).
-func protocolMethods(pass *Pass) []*ast.FuncDecl {
+// methodTrios returns the declarations named in want of every type in the
+// package that declares all of them (a sim.Protocol or fingerprint.Digest
+// implementation by structure; matching by method-set shape keeps the
+// analyzer independent of the sim and fingerprint packages themselves, so
+// fixtures and future implementations are covered alike).
+func methodTrios(pass *Pass, want map[string]bool) []*ast.FuncDecl {
 	byType := map[string][]*ast.FuncDecl{}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || !transitionMethodNames[fd.Name.Name] {
+			if !ok || fd.Recv == nil || !want[fd.Name.Name] {
 				continue
 			}
 			tn := receiverTypeName(fd)
@@ -69,7 +85,11 @@ func protocolMethods(pass *Pass) []*ast.FuncDecl {
 		for _, d := range decls {
 			names[d.Name.Name] = true
 		}
-		if names["Init"] && names["Receive"] && names["SendStep"] {
+		all := true
+		for name := range want {
+			all = all && names[name]
+		}
+		if all {
 			out = append(out, decls...)
 		}
 	}

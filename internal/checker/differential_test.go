@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/frontier"
 	"repro/internal/protocols"
 	"repro/internal/sim"
 	"repro/internal/taxonomy"
@@ -95,39 +96,55 @@ func diffCases() []diffCase {
 	}
 }
 
-// TestExploreDifferential asserts that exploring every library protocol at
-// parallelism 1, 2, and 8 produces byte-identical results: node counts,
-// interned state keys, configuration records, the aggregate state census,
-// violations in order, and FirstTrace.
+// diffDedups is the set of dedup engines the differential suite pits
+// against each other: the string-keyed reference engine, the default
+// fingerprint engine, and the collision-verification engine. Crossed with
+// diffParallelism, every (engine, worker count) pair must reproduce the
+// reference result byte for byte.
+var diffDedups = []frontier.Dedup{frontier.DedupStrings, frontier.DedupFingerprint, frontier.DedupVerified}
+
+// TestExploreDifferential asserts that exploring every library protocol
+// with every dedup engine at parallelism 1, 2, and 8 produces
+// byte-identical results: node counts, interned state keys, configuration
+// records, the aggregate state census, violations in order, and
+// FirstTrace. The string-keyed sequential run is the reference.
 func TestExploreDifferential(t *testing.T) {
 	for _, tc := range diffCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			prob := problem(taxonomy.WT, taxonomy.TC)
 			var baseDigest, baseErr string
-			for _, par := range diffParallelism {
-				opts := tc.opts
-				opts.Parallelism = par
-				opts.Problem = &prob
-				opts.TrackTraces = true
-				x, err := ExploreContext(context.Background(), tc.proto, opts)
-				if x == nil {
-					t.Fatalf("parallelism %d: nil exploration (err=%v)", par, err)
-				}
-				errStr := ""
-				if err != nil {
-					errStr = err.Error()
-				}
-				d := exploreDigest(x)
-				if par == diffParallelism[0] {
-					baseDigest, baseErr = d, errStr
-					continue
-				}
-				if errStr != baseErr {
-					t.Errorf("parallelism %d: err = %q, want %q", par, errStr, baseErr)
-				}
-				if d != baseDigest {
-					t.Errorf("parallelism %d: exploration diverges from sequential:\n%s",
-						par, firstDiff(baseDigest, d))
+			first := true
+			for _, dedup := range diffDedups {
+				for _, par := range diffParallelism {
+					opts := tc.opts
+					opts.Parallelism = par
+					opts.Dedup = dedup
+					opts.Problem = &prob
+					opts.TrackTraces = true
+					x, err := ExploreContext(context.Background(), tc.proto, opts)
+					if x == nil {
+						t.Fatalf("%v/parallelism %d: nil exploration (err=%v)", dedup, par, err)
+					}
+					if x.Collisions != 0 {
+						t.Errorf("%v/parallelism %d: %d fingerprint collisions", dedup, par, x.Collisions)
+					}
+					errStr := ""
+					if err != nil {
+						errStr = err.Error()
+					}
+					d := exploreDigest(x)
+					if first {
+						baseDigest, baseErr = d, errStr
+						first = false
+						continue
+					}
+					if errStr != baseErr {
+						t.Errorf("%v/parallelism %d: err = %q, want %q", dedup, par, errStr, baseErr)
+					}
+					if d != baseDigest {
+						t.Errorf("%v/parallelism %d: exploration diverges from string-keyed sequential:\n%s",
+							dedup, par, firstDiff(baseDigest, d))
+					}
 				}
 			}
 		})

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
+	"repro/internal/fingerprint"
 	"repro/internal/frontier"
 	"repro/internal/sim"
 	"repro/internal/taxonomy"
@@ -57,6 +59,18 @@ type Options struct {
 	// is found — useful when only the existence of a counterexample
 	// matters.
 	StopAtFirstViolation bool
+	// Dedup selects the visited-set engine. The default,
+	// frontier.DedupFingerprint, admits nodes by 128-bit incremental
+	// fingerprint and never builds canonical key strings on the hot path;
+	// frontier.DedupVerified additionally verifies every fingerprint hit
+	// against the full canonical key (collisions are counted in
+	// Exploration.Collisions and never merge states); and
+	// frontier.DedupStrings is the collision-proof reference engine keyed
+	// by full canonical strings. All three produce byte-identical
+	// Explorations (the differential suite enforces it); they differ only
+	// in speed and in the astronomically unlikely event of a 128-bit
+	// collision.
+	Dedup frontier.Dedup
 }
 
 func (o Options) maxNodes() int {
@@ -188,12 +202,27 @@ type Exploration struct {
 	// FirstTrace is the event trace leading to the first violation, when
 	// Options.TrackTraces was set.
 	FirstTrace []string
+	// Collisions counts verified fingerprint collisions (always 0 except
+	// under frontier.DedupVerified, and genuinely expected to stay 0 —
+	// a nonzero value means a 2^-128-probability event, or a broken hash).
+	Collisions int64
 
-	parents map[string]parentLink
+	// parents records trace links keyed by canonical node key (strings and
+	// verified dedup); parentsFP records them keyed by node fingerprint
+	// (fingerprint dedup), with rootKeys resolving root fingerprints back
+	// to the canonical keys printed in a trace's "initial:" line.
+	parents   map[string]parentLink
+	parentsFP map[fingerprint.Digest]parentLinkFP
+	rootKeys  map[fingerprint.Digest]string
 }
 
 type parentLink struct {
 	parent string
+	event  sim.Event
+}
+
+type parentLinkFP struct {
+	parent fingerprint.Digest
 	event  sim.Event
 }
 
@@ -221,11 +250,42 @@ func (x *Exploration) traceTo(key string) []string {
 	return out
 }
 
+// traceToFP is traceTo for fingerprint-linked parents. The trace renders
+// the same strings as the key-linked walk: event lines from the links and
+// the root's canonical key from rootKeys.
+func (x *Exploration) traceToFP(fp fingerprint.Digest) []string {
+	if x.parentsFP == nil {
+		return nil
+	}
+	var events []sim.Event
+	cur := fp
+	for {
+		link, ok := x.parentsFP[cur]
+		if !ok {
+			break
+		}
+		events = append(events, link.event)
+		cur = link.parent
+	}
+	out := make([]string, 0, len(events)+1)
+	out = append(out, "initial: "+x.rootKeys[cur])
+	for i := len(events) - 1; i >= 0; i-- {
+		out = append(out, events[i].String())
+	}
+	return out
+}
+
 // addViolation appends a violation, respecting the cap, and records the
-// trace to the first violating node when trace tracking is on.
-func (x *Exploration) addViolation(v taxonomy.Violation, nodeKey string) {
-	if len(x.Violations) == 0 && x.parents != nil {
-		x.FirstTrace = x.traceTo(nodeKey)
+// trace to the first violating node when trace tracking is on. The
+// violating node is identified by whichever handle the dedup mode tracks
+// (canonical key or fingerprint).
+func (x *Exploration) addViolation(v taxonomy.Violation, s *succ) {
+	if len(x.Violations) == 0 {
+		if x.parents != nil {
+			x.FirstTrace = x.traceTo(s.key)
+		} else if x.parentsFP != nil {
+			x.FirstTrace = x.traceToFP(s.fp)
+		}
 	}
 	if len(x.Violations) < 100 {
 		x.Violations = append(x.Violations, v)
@@ -245,9 +305,10 @@ func (x *Exploration) StateKeyAt(i int32) string { return x.stateKeys[i] }
 type node struct {
 	cfg    *sim.Config
 	ledger []sim.Decision
-	inputs []sim.Bit // shared, read-only
-	vec    string    // inputsKey(inputs)
-	ckey   string    // memoized key()
+	inputs []sim.Bit          // shared, read-only
+	vec    string             // inputsKey(inputs)
+	ckey   string             // memoized key(); empty under fingerprint dedup
+	fp     fingerprint.Digest // memoized nodeFP(); zero under strings dedup
 }
 
 func (nd *node) key() string {
@@ -265,6 +326,31 @@ func (nd *node) key() string {
 		}
 	}
 	return sb.String()
+}
+
+// saltLedger salts per-processor ledger contributions into node
+// fingerprints; spaced away from the sim package's salt bases.
+const saltLedger uint64 = 0x04_0000_0000
+
+// ledgerFP fingerprints a decision ledger as a sum of salted per-processor
+// decision terms. Undecided entries contribute nothing, so a successor's
+// ledger fingerprint differs from its parent's by at most the one term the
+// stepping processor's new decision adds.
+func ledgerFP(ledger []sim.Decision) fingerprint.Digest {
+	var d fingerprint.Digest
+	for p, dec := range ledger {
+		if dec != sim.NoDecision {
+			d = d.Add(fingerprint.OfUint64(uint64(dec)).Mixed(saltLedger + uint64(p)))
+		}
+	}
+	return d
+}
+
+// nodeFP fingerprints an exploration node: the configuration fingerprint
+// plus the ledger terms. It is the hash analogue of node.key, covering
+// exactly what the key string covers.
+func nodeFP(nd *node) fingerprint.Digest {
+	return nd.cfg.Fingerprint().Add(ledgerFP(nd.ledger))
 }
 
 func inputsKey(inputs []sim.Bit) string {
@@ -293,23 +379,41 @@ func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
 // and its violations. Everything here is computed by the worker; the merge
 // only orders and accepts.
 type succ struct {
-	key      string
+	key      string             // canonical node key; empty under fingerprint dedup
+	fp       fingerprint.Digest // node fingerprint; zero under strings dedup
 	event    sim.Event
 	edgeViol []taxonomy.Violation
 	// nd is nil when the successor was already in the visited set when the
 	// level was expanded (it may still be a within-level duplicate, which
-	// the merge detects).
+	// the merge detects). Under fingerprint dedup a nil nd additionally
+	// means the successor was never materialized at all: its fingerprint
+	// was derived from the parent's and found already visited.
 	nd        *node
 	stateKeys []string
 	terminal  bool
 	nodeViol  []taxonomy.Violation
 }
 
-// expansion is one frontier node's worth of generated edges.
+// expansion is one frontier node's worth of generated edges. isRoot marks
+// the synthetic level-0 expansion whose succs are initial configurations
+// (they get no parent links).
 type expansion struct {
 	parentKey string
+	parentFP  fingerprint.Digest
+	isRoot    bool
 	succs     []succ
 	err       error
+}
+
+func (exp *expansion) root() bool { return exp.isRoot }
+
+// eventScratch pools per-expansion event slices so enumerating enabled
+// events allocates nothing in steady state.
+var eventScratch = sync.Pool{
+	New: func() any {
+		s := make([]sim.Event, 0, 64)
+		return &s
+	},
 }
 
 // explorer bundles the shared machinery of one exploration: the visited set
@@ -322,9 +426,46 @@ type explorer struct {
 	maxFail     int
 	failAllowed []bool
 	x           *Exploration
-	visited     *frontier.VisitedSet
+	dedup       frontier.Dedup
+	visited     *frontier.VisitedSet   // strings dedup
+	fpVisited   *frontier.FPVisitedSet // fingerprint dedup
+	fpVerified  *frontier.FPVerifiedSet
 	interner    *frontier.Interner
 	states      *frontier.ShardedMap[*StateInfo]
+	// keyCache memoizes state digest → interned state Key string, so the
+	// fingerprint engine builds each distinct state's key exactly once for
+	// the census instead of once per occurrence.
+	keyCache *frontier.FPShardedMap[string]
+	// predictor memoizes transition outcomes by input digests, so the fast
+	// path's successor fingerprints cost map probes instead of protocol
+	// callbacks plus state hashing. Fingerprint dedup only.
+	predictor *sim.Predictor
+}
+
+// seen reports whether the successor's dedup handle was already visited
+// when the level started expanding (workers only read; the merge writes).
+func (e *explorer) seen(s *succ) bool {
+	switch e.dedup {
+	case frontier.DedupFingerprint:
+		return e.fpVisited.Seen(s.fp)
+	case frontier.DedupVerified:
+		return e.fpVerified.Seen(s.fp, s.key)
+	default:
+		return e.visited.Seen(s.key)
+	}
+}
+
+// admit marks the successor visited, reporting whether it was new. Merge
+// phase only.
+func (e *explorer) admit(s *succ) bool {
+	switch e.dedup {
+	case frontier.DedupFingerprint:
+		return e.fpVisited.Add(s.fp)
+	case frontier.DedupVerified:
+		return e.fpVerified.Add(s.fp, s.key)
+	default:
+		return e.visited.Add(s.key)
+	}
 }
 
 // aggregate folds one newly generated configuration into the concurrent
@@ -334,7 +475,7 @@ type explorer struct {
 func (e *explorer) aggregate(nd *node) []string {
 	keys := make([]string, e.n)
 	for p := 0; p < e.n; p++ {
-		keys[p] = e.interner.Intern(nd.cfg.States[p].Key())
+		keys[p] = e.stateKey(nd, p)
 	}
 	for p := 0; p < e.n; p++ {
 		pid := sim.ProcID(p)
@@ -368,12 +509,32 @@ func (e *explorer) aggregate(nd *node) []string {
 	return keys
 }
 
+// stateKey returns the interned canonical key of nd's processor-p state.
+// The fingerprint engine resolves it through the digest-keyed cache so a
+// state's Key string is built once per distinct state, not once per
+// occurrence; the other engines intern directly (verified mode stays free
+// of any digest-keyed shortcut so its results are exact even under a
+// hash collision).
+func (e *explorer) stateKey(nd *node, p int) string {
+	if e.dedup == frontier.DedupFingerprint {
+		return e.keyCache.GetOrInsert(nd.cfg.StateDigestAt(p), func() string {
+			return e.interner.Intern(nd.cfg.States[p].Key())
+		})
+	}
+	return e.interner.Intern(nd.cfg.States[p].Key())
+}
+
 // expand generates all successors of one frontier node. Runs on a worker:
 // it must not touch e.x, and its only writes go through the commutative
-// interner/state aggregates.
+// interner/state/key-cache aggregates.
 func (e *explorer) expand(nd *node) expansion {
-	out := expansion{parentKey: nd.ckey}
-	events := sim.Enabled(nd.cfg)
+	out := expansion{parentKey: nd.ckey, parentFP: nd.fp}
+	scratch := eventScratch.Get().(*[]sim.Event)
+	defer func() {
+		*scratch = (*scratch)[:0]
+		eventScratch.Put(scratch)
+	}()
+	events := sim.AppendEnabled((*scratch)[:0], nd.cfg)
 	failedCount := 0
 	for p := 0; p < e.n; p++ {
 		if nd.cfg.Faulty(sim.ProcID(p)) {
@@ -387,20 +548,49 @@ func (e *explorer) expand(nd *node) expansion {
 			}
 		}
 	}
+	*scratch = events
 	out.succs = make([]succ, 0, len(events))
+	// The fast path predicts each successor's fingerprint incrementally
+	// from the parent's and skips materialization for already-visited
+	// successors — the bulk of all edges in a dense state space. It is
+	// sound only when nothing but the fingerprint is needed per seen edge:
+	// fingerprint dedup, no inline conformance checking (edge violations
+	// need the materialized successor).
+	fast := e.dedup == frontier.DedupFingerprint && e.opts.Problem == nil
 	for _, ev := range events {
-		cfg, _, err := sim.Apply(e.proto, nd.cfg, ev)
+		var cfg *sim.Config
+		var err error
+		if fast {
+			if fp, ok := e.predictSeen(nd, ev); ok {
+				out.succs = append(out.succs, succ{fp: fp, event: ev})
+				continue
+			}
+			cfg, _, err = e.predictor.Materialize(e.proto, nd.cfg, ev)
+		} else {
+			cfg, _, err = sim.Apply(e.proto, nd.cfg, ev)
+		}
 		if err != nil {
 			out.err = fmt.Errorf("checker: exploring %s: %w", e.proto.Name(), err)
 			return out
 		}
 		nxt := &node{cfg: cfg, ledger: updateLedger(nd.ledger, cfg), inputs: nd.inputs, vec: nd.vec}
-		nxt.ckey = nxt.key()
-		s := succ{key: nxt.ckey, event: ev}
+		s := succ{event: ev}
+		switch e.dedup {
+		case frontier.DedupFingerprint:
+			nxt.fp = nodeFP(nxt)
+			s.fp = nxt.fp
+		case frontier.DedupVerified:
+			nxt.ckey = nxt.key()
+			nxt.fp = nodeFP(nxt)
+			s.key, s.fp = nxt.ckey, nxt.fp
+		default:
+			nxt.ckey = nxt.key()
+			s.key = nxt.ckey
+		}
 		if e.opts.Problem != nil {
 			s.edgeViol = decisionEdgeViolations(*e.opts.Problem, nd, nxt)
 		}
-		if !e.visited.Seen(nxt.ckey) {
+		if !e.seen(&s) {
 			s.nd = nxt
 			s.terminal = cfg.Quiescent()
 			s.stateKeys = e.aggregate(nxt)
@@ -411,6 +601,36 @@ func (e *explorer) expand(nd *node) expansion {
 		out.succs = append(out.succs, s)
 	}
 	return out
+}
+
+// predictSeen derives the fingerprint that ev's successor node would have
+// — configuration fingerprint via the memoizing sim.Predictor, ledger
+// delta from the predicted post-state's decision — and reports whether
+// that successor is already in the visited set. ok=false means the caller
+// must materialize: the successor is new, the event is irregular (Apply
+// must produce the exact error), or the ledger transition is one the delta
+// rule cannot predict.
+func (e *explorer) predictSeen(nd *node, ev sim.Event) (fingerprint.Digest, bool) {
+	pred, ok := e.predictor.Predict(e.proto, nd.cfg, ev)
+	if !ok {
+		return fingerprint.Digest{}, false
+	}
+	fp := nd.fp.Sub(nd.cfg.Fingerprint()).Add(pred.CfgFP)
+	if d := pred.Decision; pred.Decided {
+		if old := nd.ledger[ev.Proc]; old != d {
+			if old != sim.NoDecision {
+				// A decision change by way of an amnesic detour; the
+				// ledger delta is not a single added term, so fall back
+				// to the materializing path.
+				return fingerprint.Digest{}, false
+			}
+			fp = fp.Add(fingerprint.OfUint64(uint64(d)).Mixed(saltLedger + uint64(ev.Proc)))
+		}
+	}
+	if !e.fpVisited.Seen(fp) {
+		return fingerprint.Digest{}, false
+	}
+	return fp, true
 }
 
 // mergeLevel folds one level's expansions into the exploration, walking them
@@ -428,18 +648,24 @@ func (e *explorer) mergeLevel(exps []expansion) (next []*node, stop bool, err er
 		}
 		for j := range exp.succs {
 			s := &exp.succs[j]
-			if x.parents != nil && exp.parentKey != "" {
-				if _, ok := x.parents[s.key]; !ok {
-					x.parents[s.key] = parentLink{parent: exp.parentKey, event: s.event}
+			if !exp.root() {
+				if x.parents != nil {
+					if _, ok := x.parents[s.key]; !ok {
+						x.parents[s.key] = parentLink{parent: exp.parentKey, event: s.event}
+					}
+				} else if x.parentsFP != nil {
+					if _, ok := x.parentsFP[s.fp]; !ok {
+						x.parentsFP[s.fp] = parentLinkFP{parent: exp.parentFP, event: s.event}
+					}
 				}
 			}
 			for _, v := range s.edgeViol {
-				x.addViolation(v, s.key)
+				x.addViolation(v, s)
 			}
 			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
 				return next, true, nil
 			}
-			if s.nd == nil || !e.visited.Add(s.key) {
+			if s.nd == nil || !e.admit(s) {
 				continue
 			}
 			if len(x.Configs) >= e.opts.maxNodes() {
@@ -449,7 +675,7 @@ func (e *explorer) mergeLevel(exps []expansion) (next []*node, stop bool, err er
 			}
 			e.record(s)
 			for _, v := range s.nodeViol {
-				x.addViolation(v, s.key)
+				x.addViolation(v, s)
 			}
 			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
 				return next, true, nil
@@ -485,10 +711,14 @@ func (e *explorer) record(s *succ) {
 	}
 }
 
-// finalize publishes the aggregate state census and the node count.
+// finalize publishes the aggregate state census, the node count, and (in
+// verified mode) the collision count.
 func (e *explorer) finalize() {
 	e.x.States = e.states.Snapshot()
 	e.x.NodeCount = len(e.x.Configs)
+	if e.fpVerified != nil {
+		e.x.Collisions = e.fpVerified.Collisions()
+	}
 }
 
 // ExploreContext is Explore with graceful degradation: on context
@@ -524,7 +754,12 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		stateIdx: make(map[string]int32),
 	}
 	if opts.TrackTraces {
-		x.parents = make(map[string]parentLink)
+		if opts.Dedup == frontier.DedupFingerprint {
+			x.parentsFP = make(map[fingerprint.Digest]parentLinkFP)
+			x.rootKeys = make(map[fingerprint.Digest]string)
+		} else {
+			x.parents = make(map[string]parentLink)
+		}
 	}
 	e := &explorer{
 		proto:       proto,
@@ -533,21 +768,46 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		maxFail:     maxFail,
 		failAllowed: failAllowed,
 		x:           x,
-		visited:     frontier.NewVisitedSet(),
+		dedup:       opts.Dedup,
 		interner:    frontier.NewInterner(),
 		states:      frontier.NewShardedMap[*StateInfo](),
+	}
+	switch opts.Dedup {
+	case frontier.DedupFingerprint:
+		e.fpVisited = frontier.NewFPVisitedSet()
+		e.keyCache = frontier.NewFPShardedMap[string]()
+		e.predictor = sim.NewPredictor()
+	case frontier.DedupVerified:
+		e.fpVerified = frontier.NewFPVerifiedSet()
+	default:
+		e.visited = frontier.NewVisitedSet()
 	}
 
 	// Level 0: one root per requested input vector, merged through the
 	// same path as every other level (no parent links, no decision edge).
-	roots := expansion{}
+	roots := expansion{isRoot: true}
 	for _, inputs := range inputVecs {
 		if len(inputs) != n {
 			return nil, fmt.Errorf("checker: input vector %v has length %d, want %d", inputs, len(inputs), n)
 		}
 		start := &node{cfg: sim.NewConfig(proto, inputs), ledger: make([]sim.Decision, n), inputs: inputs, vec: inputsKey(inputs)}
-		start.ckey = start.key()
-		s := succ{key: start.ckey, nd: start, terminal: start.cfg.Quiescent(), stateKeys: e.aggregate(start)}
+		s := succ{nd: start, terminal: start.cfg.Quiescent()}
+		switch opts.Dedup {
+		case frontier.DedupFingerprint:
+			start.fp = nodeFP(start)
+			s.fp = start.fp
+			if x.rootKeys != nil {
+				x.rootKeys[start.fp] = start.key()
+			}
+		case frontier.DedupVerified:
+			start.ckey = start.key()
+			start.fp = nodeFP(start)
+			s.key, s.fp = start.ckey, start.fp
+		default:
+			start.ckey = start.key()
+			s.key = start.ckey
+		}
+		s.stateKeys = e.aggregate(start)
 		if opts.Problem != nil {
 			s.nodeViol = nodeViolations(*opts.Problem, start)
 		}

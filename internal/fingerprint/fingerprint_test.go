@@ -1,0 +1,154 @@
+package fingerprint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeterminism: fingerprints are pure functions of the data, stable
+// across calls — the property the differential suites depend on.
+func TestDeterminism(t *testing.T) {
+	if OfString("hello") != OfString("hello") {
+		t.Fatal("OfString is not deterministic")
+	}
+	if OfUint64(42) != OfUint64(42) {
+		t.Fatal("OfUint64 is not deterministic")
+	}
+	h1, h2 := New(), New()
+	h1.WriteString("ab")
+	h1.WriteUint64(7)
+	h2.WriteString("ab")
+	h2.WriteUint64(7)
+	if h1.Sum() != h2.Sum() {
+		t.Fatal("Hasher is not deterministic")
+	}
+}
+
+// TestAddSub: Add and Sub are exact inverses, and sums are order
+// independent — the algebra behind incremental multiset fingerprints.
+func TestAddSub(t *testing.T) {
+	a, b, c := OfString("a"), OfString("b"), OfString("c")
+	if got := a.Add(b).Sub(b); got != a {
+		t.Fatalf("Add/Sub not inverse: %v != %v", got, a)
+	}
+	if a.Add(b).Add(c) != c.Add(a).Add(b) {
+		t.Fatal("Add is order dependent")
+	}
+	var zero Digest
+	if !zero.IsZero() || zero.Add(a) != a {
+		t.Fatal("zero digest is not the additive identity")
+	}
+}
+
+// TestMixedSaltSeparation: the same digest under different salts, and
+// different digests under the same salt, must not collide; and mixing must
+// not map anything to the zero digest for these inputs (zero means "no
+// contribution").
+func TestMixedSaltSeparation(t *testing.T) {
+	seen := make(map[Digest]string)
+	for i := 0; i < 64; i++ {
+		d := OfUint64(uint64(i))
+		for salt := uint64(0); salt < 64; salt++ {
+			m := d.Mixed(salt)
+			if m.IsZero() {
+				t.Fatalf("Mixed(%d, salt %d) is zero", i, salt)
+			}
+			key := fmt.Sprintf("%d/%d", i, salt)
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("collision: %s and %s both map to %v", prev, key, m)
+			}
+			seen[m] = key
+		}
+	}
+}
+
+// TestLaneIndependence: the two lanes must not be correlated. Two FNV
+// lanes differing only in offset would keep a data-independent difference;
+// here the lanes use distinct multipliers, so Lo and Hi must diverge
+// independently across inputs.
+func TestLaneIndependence(t *testing.T) {
+	d1, d2 := OfString("x"), OfString("y")
+	if d1.Lo-d2.Lo == d1.Hi-d2.Hi {
+		t.Fatal("lanes moved in lockstep across inputs x/y")
+	}
+	if d1.Lo^d2.Lo == d1.Hi^d2.Hi {
+		t.Fatal("lanes xor-correlated across inputs x/y")
+	}
+}
+
+// TestNoCollisionsSmoke hashes a few hundred thousand distinct short
+// strings and words; any 128-bit collision here would indicate a broken
+// mixer, not bad luck.
+func TestNoCollisionsSmoke(t *testing.T) {
+	seen := make(map[Digest]struct{}, 1<<19)
+	add := func(d Digest, what string) {
+		if _, dup := seen[d]; dup {
+			t.Fatalf("collision at %s", what)
+		}
+		seen[d] = struct{}{}
+	}
+	for i := 0; i < 200_000; i++ {
+		add(OfUint64(uint64(i)), fmt.Sprintf("uint %d", i))
+	}
+	for i := 0; i < 100_000; i++ {
+		add(OfString(fmt.Sprintf("s%d", i)), fmt.Sprintf("string %d", i))
+	}
+	base := OfString("base")
+	for salt := uint64(0); salt < 100_000; salt++ {
+		add(base.Mixed(salt), fmt.Sprintf("salt %d", salt))
+	}
+}
+
+// TestStringParse: String and Parse round-trip.
+func TestStringParse(t *testing.T) {
+	d := OfString("roundtrip")
+	s := d.String()
+	if len(s) != 32 {
+		t.Fatalf("String() length = %d, want 32", len(s))
+	}
+	got, ok := Parse(s)
+	if !ok || got != d {
+		t.Fatalf("Parse(%q) = %v, %v; want %v", s, got, ok, d)
+	}
+	if _, ok := Parse("nope"); ok {
+		t.Fatal("Parse accepted malformed input")
+	}
+	if _, ok := Parse("zz" + s[2:]); ok {
+		t.Fatal("Parse accepted non-hex input")
+	}
+}
+
+// TestSumIsIdempotent: Sum must not consume or perturb the hasher.
+func TestSumIsIdempotent(t *testing.T) {
+	h := New()
+	h.WriteString("abc")
+	first := h.Sum()
+	if h.Sum() != first {
+		t.Fatal("second Sum differs from first")
+	}
+	h.WriteUint64(1)
+	if h.Sum() == first {
+		t.Fatal("Sum ignored writes after a previous Sum")
+	}
+}
+
+// TestAvalanche: flipping one input bit should flip roughly half the
+// output bits in each lane. A weak bound (≥ 16 of 64) still catches
+// broken finalization.
+func TestAvalanche(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		a := OfUint64(1 << uint(i))
+		b := OfUint64(0)
+		if popcount(a.Lo^b.Lo) < 16 || popcount(a.Hi^b.Hi) < 16 {
+			t.Fatalf("weak avalanche flipping bit %d", i)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

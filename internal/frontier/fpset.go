@@ -1,0 +1,268 @@
+// This file holds the fingerprint-keyed variants of the frontier's
+// sharded structures. They store 16-byte fingerprint.Digest keys instead
+// of full canonical strings, which is what makes the explorer's visited
+// set allocation-free per probe and cache-compact at millions of nodes.
+// The collision-verification variant (FPVerifiedSet) additionally retains
+// the canonical key strings and compares them lazily on fingerprint hits,
+// turning the (negligible, but nonzero) 128-bit collision risk into a
+// detected event instead of a silently merged pair of states.
+
+package frontier
+
+import (
+	"sync"
+
+	"repro/internal/fingerprint"
+)
+
+// Dedup selects how an explorer deduplicates visited nodes.
+type Dedup int
+
+const (
+	// DedupFingerprint (the default) admits nodes by 128-bit fingerprint
+	// alone. Two distinct nodes collide only with probability ~2^-128 per
+	// pair; canonical strings are never built for dedup.
+	DedupFingerprint Dedup = iota
+	// DedupVerified admits by fingerprint but verifies every fingerprint
+	// hit against the stored canonical key, so a collision downgrades to a
+	// counted event (and the colliding node is explored, not dropped).
+	DedupVerified
+	// DedupStrings is the reference engine: admission by full canonical
+	// key, collision-proof and allocation-heavy. The differential suites
+	// pit the other modes against it.
+	DedupStrings
+)
+
+// String names the mode.
+func (d Dedup) String() string {
+	switch d {
+	case DedupFingerprint:
+		return "fingerprint"
+	case DedupVerified:
+		return "verified"
+	case DedupStrings:
+		return "strings"
+	default:
+		return "invalid"
+	}
+}
+
+// shardIndexFP maps a digest to a shard. Digest bits are already uniform,
+// so masking the low bits suffices.
+func shardIndexFP(d fingerprint.Digest) int {
+	return int(d.Lo & (numShards - 1))
+}
+
+// FPVisitedSet is VisitedSet keyed by fingerprint: a set of 16-byte
+// digests sharded by digest bits. Same concurrency contract as
+// VisitedSet: Seen and Add are independently safe for concurrent use.
+type FPVisitedSet struct {
+	shards [numShards]fpVisitShard
+}
+
+type fpVisitShard struct {
+	mu sync.RWMutex
+	m  map[fingerprint.Digest]struct{}
+}
+
+// NewFPVisitedSet returns an empty set.
+func NewFPVisitedSet() *FPVisitedSet {
+	v := &FPVisitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[fingerprint.Digest]struct{})
+	}
+	return v
+}
+
+// Seen reports whether the digest has been added.
+func (v *FPVisitedSet) Seen(d fingerprint.Digest) bool {
+	sh := &v.shards[shardIndexFP(d)]
+	sh.mu.RLock()
+	_, ok := sh.m[d]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Add inserts the digest, reporting whether it was new.
+func (v *FPVisitedSet) Add(d fingerprint.Digest) bool {
+	sh := &v.shards[shardIndexFP(d)]
+	sh.mu.Lock()
+	_, ok := sh.m[d]
+	if !ok {
+		sh.m[d] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !ok
+}
+
+// Len returns the number of digests added.
+func (v *FPVisitedSet) Len() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// FPVerifiedSet is the collision-verification visited set: digests map to
+// the canonical keys that produced them. A fingerprint hit with a
+// mismatched key is a detected collision — the node is treated as unseen
+// and the collision counted — so explorations in verified mode are exact
+// even in the astronomically unlikely event of a 128-bit collision.
+type FPVerifiedSet struct {
+	shards     [numShards]fpVerifiedShard
+	collisions int64
+}
+
+type fpVerifiedShard struct {
+	mu sync.RWMutex
+	m  map[fingerprint.Digest][]string
+}
+
+// NewFPVerifiedSet returns an empty set.
+func NewFPVerifiedSet() *FPVerifiedSet {
+	v := &FPVerifiedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[fingerprint.Digest][]string)
+	}
+	return v
+}
+
+// SeenFingerprint reports whether any key has been added under the
+// digest; a false result needs no key comparison at all, which keeps the
+// common (miss) path as cheap as FPVisitedSet.
+func (v *FPVerifiedSet) SeenFingerprint(d fingerprint.Digest) bool {
+	sh := &v.shards[shardIndexFP(d)]
+	sh.mu.RLock()
+	_, ok := sh.m[d]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Seen reports whether this exact key has been added under the digest.
+func (v *FPVerifiedSet) Seen(d fingerprint.Digest, key string) bool {
+	sh := &v.shards[shardIndexFP(d)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, k := range sh.m[d] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts the key under the digest, reporting whether it was new. A
+// digest already holding a different key records a collision.
+func (v *FPVerifiedSet) Add(d fingerprint.Digest, key string) bool {
+	sh := &v.shards[shardIndexFP(d)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys := sh.m[d]
+	for _, k := range keys {
+		if k == key {
+			return false
+		}
+	}
+	if len(keys) > 0 {
+		v.collisions++
+	}
+	sh.m[d] = append(keys, key)
+	return true
+}
+
+// Len returns the number of distinct keys added.
+func (v *FPVerifiedSet) Len() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		for _, keys := range sh.m { //ccvet:ignore detrange summing lengths; order is unobservable
+			n += len(keys)
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Collisions returns the number of verified fingerprint collisions
+// detected so far. Callers that only Add from a single merge goroutine
+// (the level-synchronous explorers) may read it without synchronization
+// after the run.
+func (v *FPVerifiedSet) Collisions() int64 { return v.collisions }
+
+// FPShardedMap is ShardedMap keyed by fingerprint, for commutative
+// concurrent aggregation under 16-byte keys.
+type FPShardedMap[V any] struct {
+	shards [numShards]fpMapShard[V]
+}
+
+type fpMapShard[V any] struct {
+	mu sync.Mutex
+	m  map[fingerprint.Digest]V
+}
+
+// NewFPShardedMap returns an empty map.
+func NewFPShardedMap[V any]() *FPShardedMap[V] {
+	s := &FPShardedMap[V]{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[fingerprint.Digest]V)
+	}
+	return s
+}
+
+// Update applies fn to the value under d while holding the shard lock. fn
+// receives the zero value if d is absent and its return value is stored.
+// fn must not touch the FPShardedMap (the shard lock is held).
+func (s *FPShardedMap[V]) Update(d fingerprint.Digest, fn func(V) V) {
+	sh := &s.shards[shardIndexFP(d)]
+	sh.mu.Lock()
+	sh.m[d] = fn(sh.m[d])
+	sh.mu.Unlock()
+}
+
+// Get returns the value under d.
+func (s *FPShardedMap[V]) Get(d fingerprint.Digest) (V, bool) {
+	sh := &s.shards[shardIndexFP(d)]
+	sh.mu.Lock()
+	v, ok := sh.m[d]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// GetOrInsert returns the value under d, inserting the result of compute
+// on first use. compute runs outside the shard lock and may race with
+// another inserter; the first stored value wins and is returned, so
+// compute must be deterministic for a given digest.
+func (s *FPShardedMap[V]) GetOrInsert(d fingerprint.Digest, compute func() V) V {
+	sh := &s.shards[shardIndexFP(d)]
+	sh.mu.Lock()
+	v, ok := sh.m[d]
+	sh.mu.Unlock()
+	if ok {
+		return v
+	}
+	fresh := compute()
+	sh.mu.Lock()
+	if v, ok = sh.m[d]; !ok {
+		sh.m[d] = fresh
+		v = fresh
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// Len returns the number of digests.
+func (s *FPShardedMap[V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package frontier
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+func TestFPVisitedSet(t *testing.T) {
+	v := NewFPVisitedSet()
+	d1, d2 := fingerprint.OfString("a"), fingerprint.OfString("b")
+	if v.Seen(d1) {
+		t.Fatal("empty set claims to have seen a digest")
+	}
+	if !v.Add(d1) {
+		t.Fatal("first Add reported not-new")
+	}
+	if v.Add(d1) {
+		t.Fatal("second Add reported new")
+	}
+	if !v.Seen(d1) || v.Seen(d2) {
+		t.Fatal("Seen disagrees with Add history")
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", v.Len())
+	}
+}
+
+func TestFPVisitedSetConcurrent(t *testing.T) {
+	v := NewFPVisitedSet()
+	var wg sync.WaitGroup
+	var added [8]int
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if v.Add(fingerprint.OfUint64(uint64(i))) {
+					added[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range added {
+		total += n
+	}
+	if total != 2000 || v.Len() != 2000 {
+		t.Fatalf("winners = %d, Len = %d, want 2000/2000", total, v.Len())
+	}
+}
+
+func TestFPVerifiedSet(t *testing.T) {
+	v := NewFPVerifiedSet()
+	d := fingerprint.OfString("shared")
+	if v.SeenFingerprint(d) || v.Seen(d, "k1") {
+		t.Fatal("empty verified set claims prior sightings")
+	}
+	if !v.Add(d, "k1") {
+		t.Fatal("first Add reported not-new")
+	}
+	if v.Add(d, "k1") {
+		t.Fatal("duplicate Add reported new")
+	}
+	if !v.SeenFingerprint(d) || !v.Seen(d, "k1") || v.Seen(d, "k2") {
+		t.Fatal("Seen disagrees with Add history")
+	}
+	if v.Collisions() != 0 {
+		t.Fatalf("collisions = %d before any", v.Collisions())
+	}
+	// A second key under the same digest is a detected collision, and the
+	// colliding key is admitted as new rather than merged away.
+	if !v.Add(d, "k2") {
+		t.Fatal("colliding key was merged instead of admitted")
+	}
+	if v.Collisions() != 1 {
+		t.Fatalf("collisions = %d, want 1", v.Collisions())
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+	if !v.Seen(d, "k2") {
+		t.Fatal("collided key not found afterwards")
+	}
+}
+
+func TestFPShardedMap(t *testing.T) {
+	m := NewFPShardedMap[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Update(fingerprint.OfUint64(uint64(i%50)), func(v int) int { return v + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", m.Len())
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := m.Get(fingerprint.OfUint64(uint64(i)))
+		if !ok || v != 80 {
+			t.Fatalf("digest %d: value = %d, ok = %v, want 80", i, v, ok)
+		}
+	}
+}
+
+func TestFPShardedMapGetOrInsert(t *testing.T) {
+	m := NewFPShardedMap[string]()
+	var wg sync.WaitGroup
+	results := make([]string, 16)
+	d := fingerprint.OfString("x")
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = m.GetOrInsert(d, func() string { return "computed" })
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if r != "computed" {
+			t.Fatalf("worker %d saw %q", w, r)
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestDedupString(t *testing.T) {
+	names := map[Dedup]string{
+		DedupFingerprint: "fingerprint",
+		DedupVerified:    "verified",
+		DedupStrings:     "strings",
+		Dedup(99):        "invalid",
+	}
+	for d, want := range names { //ccvet:ignore detrange independent assertions; order is unobservable
+		if d.String() != want {
+			t.Fatalf("Dedup(%d).String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}

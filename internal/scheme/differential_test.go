@@ -6,11 +6,16 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/frontier"
 	"repro/internal/protocols"
 	"repro/internal/sim"
 )
 
 var diffParallelism = []int{1, 2, 8}
+
+// diffDedups crosses the three dedup engines into the differential matrix;
+// the string-keyed sequential run is the reference.
+var diffDedups = []frontier.Dedup{frontier.DedupStrings, frontier.DedupFingerprint, frontier.DedupVerified}
 
 // enumDigest renders an Enumeration canonically so byte-identity across
 // parallelism levels is a string comparison.
@@ -46,9 +51,9 @@ func enumDiffCases() []enumDiffCase {
 }
 
 // TestEnumerateDifferential asserts that enumerating every library
-// protocol's failure-free executions (all-ones inputs) at parallelism 1, 2,
-// and 8 yields byte-identical Enumerations: the pattern set, visited count,
-// frontier, and status.
+// protocol's failure-free executions (all-ones inputs) with every dedup
+// engine at parallelism 1, 2, and 8 yields byte-identical Enumerations:
+// the pattern set, visited count, frontier, and status.
 func TestEnumerateDifferential(t *testing.T) {
 	for _, tc := range enumDiffCases() {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,27 +63,35 @@ func TestEnumerateDifferential(t *testing.T) {
 				inputs[i] = sim.One
 			}
 			var baseDigest, baseErr string
-			for _, par := range diffParallelism {
-				opts := tc.opts
-				opts.Parallelism = par
-				en, err := EnumerateContext(context.Background(), tc.proto, inputs, opts)
-				if en == nil {
-					t.Fatalf("parallelism %d: nil enumeration (err=%v)", par, err)
-				}
-				errStr := ""
-				if err != nil {
-					errStr = err.Error()
-				}
-				d := enumDigest(en)
-				if par == diffParallelism[0] {
-					baseDigest, baseErr = d, errStr
-					continue
-				}
-				if errStr != baseErr {
-					t.Errorf("parallelism %d: err = %q, want %q", par, errStr, baseErr)
-				}
-				if d != baseDigest {
-					t.Errorf("parallelism %d: enumeration diverges from sequential (digest mismatch)\nseq:\n%s\npar:\n%s", par, baseDigest, d)
+			first := true
+			for _, dedup := range diffDedups {
+				for _, par := range diffParallelism {
+					opts := tc.opts
+					opts.Parallelism = par
+					opts.Dedup = dedup
+					en, err := EnumerateContext(context.Background(), tc.proto, inputs, opts)
+					if en == nil {
+						t.Fatalf("%v/parallelism %d: nil enumeration (err=%v)", dedup, par, err)
+					}
+					if en.Collisions != 0 {
+						t.Errorf("%v/parallelism %d: %d fingerprint collisions", dedup, par, en.Collisions)
+					}
+					errStr := ""
+					if err != nil {
+						errStr = err.Error()
+					}
+					d := enumDigest(en)
+					if first {
+						baseDigest, baseErr = d, errStr
+						first = false
+						continue
+					}
+					if errStr != baseErr {
+						t.Errorf("%v/parallelism %d: err = %q, want %q", dedup, par, errStr, baseErr)
+					}
+					if d != baseDigest {
+						t.Errorf("%v/parallelism %d: enumeration diverges from string-keyed sequential (digest mismatch)\nseq:\n%s\npar:\n%s", dedup, par, baseDigest, d)
+					}
 				}
 			}
 		})

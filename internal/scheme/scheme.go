@@ -15,9 +15,19 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fingerprint"
 	"repro/internal/frontier"
 	"repro/internal/pattern"
 	"repro/internal/sim"
+)
+
+// Fingerprint salts for the scheme-specific node components. Configuration
+// contributions are salted inside sim; these cover the causal bookkeeping a
+// scheme node adds on top (the pattern so far and each processor's
+// knowledge set), so a node fingerprint separates all three layers.
+const (
+	saltPat       uint64 = 0x06_0000_0000
+	saltKnownBase uint64 = 0x07_0000_0000 // + processor index
 )
 
 // Set is a set of communication patterns, keyed canonically.
@@ -103,6 +113,12 @@ type Options struct {
 	// byte-identical at any setting; parallelism only changes wall-clock
 	// time.
 	Parallelism int
+	// Dedup selects the visited-node representation, exactly as in
+	// checker.Options: fingerprint (default), verified, or canonical
+	// strings. All three produce byte-identical Enumerations (the
+	// differential suite proves it); they trade memory and speed against
+	// the astronomically unlikely fingerprint collision.
+	Dedup frontier.Dedup
 }
 
 func (o Options) maxNodes() int {
@@ -161,11 +177,19 @@ type Enumeration struct {
 	Status   Status
 	Visited  int
 	Frontier int
+	// Collisions counts fingerprint collisions detected under
+	// Options.Dedup == frontier.DedupVerified (always 0 otherwise).
+	Collisions int64
 }
 
 // node is one exploration state: a configuration plus the causal bookkeeping
 // needed to extend the pattern (which messages each processor may know, and
 // the pattern of sends so far).
+//
+// Nodes are cloned copy-on-write per successor edge: the pattern and
+// sendPast map are shared on deliveries (only sends extend them), the
+// knowledge sets are shared except the stepping processor's, and the
+// fingerprint components are maintained incrementally alongside.
 type node struct {
 	cfg   *sim.Config
 	pat   *pattern.Pattern
@@ -174,6 +198,46 @@ type node struct {
 	// deliveries can propagate knowledge. The pattern stores the same
 	// data; this map just avoids re-deriving it per delivery.
 	sendPast map[sim.MsgID][]sim.MsgID
+
+	// patFP is the multiset sum of entryDigest over the pattern's
+	// messages; knownSum[p] is the multiset sum of sim.MsgIDDigest over
+	// known[p]; knownFP is the salted sum of the knownSum terms. Together
+	// with cfg.Fingerprint they form the node fingerprint (see fp).
+	patFP    fingerprint.Digest
+	knownSum []fingerprint.Digest
+	knownFP  fingerprint.Digest
+}
+
+// fp is the node's 128-bit fingerprint: configuration, pattern, and
+// knowledge contributions under separating salts. It identifies exactly
+// what key identifies, up to hash collision.
+func (nd *node) fp() fingerprint.Digest {
+	return nd.cfg.Fingerprint().Add(nd.patFP.Mixed(saltPat)).Add(nd.knownFP)
+}
+
+// entryDigest fingerprints one pattern entry: a message identity plus the
+// multiset sum of its causal past's identities.
+func entryDigest(id sim.MsgID, pastSum fingerprint.Digest) fingerprint.Digest {
+	h := fingerprint.New()
+	h.WriteUint64(uint64(id.From)<<32 | uint64(uint32(id.To)))
+	h.WriteUint64(uint64(id.Seq))
+	h.WriteUint64(pastSum.Lo)
+	h.WriteUint64(pastSum.Hi)
+	return h.Sum()
+}
+
+// addKnown inserts id into p's knowledge set, keeping the knowledge
+// digests in step. The membership guard is what keeps the multiset sums
+// faithful to set semantics.
+func (nd *node) addKnown(p sim.ProcID, id sim.MsgID) {
+	if _, ok := nd.known[p][id]; ok {
+		return
+	}
+	nd.known[p][id] = struct{}{}
+	old := nd.knownSum[p]
+	nd.knownSum[p] = old.Add(sim.MsgIDDigest(id))
+	salt := saltKnownBase + uint64(p)
+	nd.knownFP = nd.knownFP.Sub(old.Mixed(salt)).Add(nd.knownSum[p].Mixed(salt))
 }
 
 func (nd *node) key() string {
@@ -201,25 +265,35 @@ func (nd *node) key() string {
 	return sb.String()
 }
 
-func (nd *node) clone() *node {
+// cloneFor clones the node for applying event e, copying only what e can
+// mutate. applyEffect touches exactly: the stepping processor's knowledge
+// set (any event), and the pattern plus sendPast (sending steps only — a
+// delivery reads them but never writes). Everything else — the other
+// knowledge sets, every stored past slice, every pattern entry — is
+// immutable once created and shared outright.
+func (nd *node) cloneFor(e sim.Event) *node {
 	out := &node{
-		cfg:      nd.cfg, // replaced by Apply's fresh config
-		pat:      pattern.New(),
-		known:    make([]map[sim.MsgID]struct{}, len(nd.known)),
-		sendPast: make(map[sim.MsgID][]sim.MsgID, len(nd.sendPast)),
+		cfg:      nd.cfg, // replaced by the applied config
+		pat:      nd.pat,
+		known:    append([]map[sim.MsgID]struct{}(nil), nd.known...),
+		sendPast: nd.sendPast,
+		patFP:    nd.patFP,
+		knownSum: append([]fingerprint.Digest(nil), nd.knownSum...),
+		knownFP:  nd.knownFP,
 	}
-	for _, id := range nd.pat.Messages() {
-		out.pat.Add(id, nd.pat.Preds(id)...)
+	p := e.Proc
+	cp := make(map[sim.MsgID]struct{}, len(nd.known[p])+2)
+	for id := range nd.known[p] { //ccvet:ignore detrange map copy; insertion order is unobservable
+		cp[id] = struct{}{}
 	}
-	for p, set := range nd.known {
-		cp := make(map[sim.MsgID]struct{}, len(set))
-		for id := range set { //ccvet:ignore detrange map copy; insertion order is unobservable
-			cp[id] = struct{}{}
+	out.known[p] = cp
+	if e.Type == sim.SendStepEvent {
+		out.pat = nd.pat.Clone()
+		sp := make(map[sim.MsgID][]sim.MsgID, len(nd.sendPast)+1)
+		for id, past := range nd.sendPast { //ccvet:ignore detrange map copy; insertion order is unobservable
+			sp[id] = past
 		}
-		out.known[p] = cp
-	}
-	for id, past := range nd.sendPast { //ccvet:ignore detrange map copy; insertion order is unobservable
-		out.sendPast[id] = past
+		out.sendPast = sp
 	}
 	return out
 }
@@ -240,6 +314,7 @@ func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error)
 // be a within-level duplicate, which the merge detects).
 type enumSucc struct {
 	key string
+	fp  fingerprint.Digest
 	nd  *node
 }
 
@@ -252,26 +327,157 @@ type enumExpansion struct {
 	err     error
 }
 
-// expandEnum generates one node's successors. Runs on a worker: reads the
-// visited set but never writes it.
-func expandEnum(proto sim.Protocol, visited *frontier.VisitedSet, nd *node) enumExpansion {
+// enumerator carries one enumeration's dedup machinery across workers and
+// the merge, mirroring the checker's three engines.
+type enumerator struct {
+	proto      sim.Protocol
+	dedup      frontier.Dedup
+	visited    *frontier.VisitedSet   // strings dedup
+	fpVisited  *frontier.FPVisitedSet // fingerprint dedup
+	fpVerified *frontier.FPVerifiedSet
+	pr         *sim.Predictor // fingerprint dedup only
+}
+
+func newEnumerator(proto sim.Protocol, dedup frontier.Dedup) *enumerator {
+	e := &enumerator{proto: proto, dedup: dedup}
+	switch dedup {
+	case frontier.DedupFingerprint:
+		e.fpVisited = frontier.NewFPVisitedSet()
+		e.pr = sim.NewPredictor()
+	case frontier.DedupVerified:
+		e.fpVerified = frontier.NewFPVerifiedSet()
+	default:
+		e.visited = frontier.NewVisitedSet()
+	}
+	return e
+}
+
+// seen reports whether the successor's dedup handle was already visited
+// when the level started expanding.
+func (e *enumerator) seen(s *enumSucc) bool {
+	switch e.dedup {
+	case frontier.DedupFingerprint:
+		return e.fpVisited.Seen(s.fp)
+	case frontier.DedupVerified:
+		return e.fpVerified.Seen(s.fp, s.key)
+	default:
+		return e.visited.Seen(s.key)
+	}
+}
+
+// admit marks the successor visited, reporting whether it was new. Merge
+// phase only.
+func (e *enumerator) admit(s *enumSucc) bool {
+	switch e.dedup {
+	case frontier.DedupFingerprint:
+		return e.fpVisited.Add(s.fp)
+	case frontier.DedupVerified:
+		return e.fpVerified.Add(s.fp, s.key)
+	default:
+		return e.visited.Add(s.key)
+	}
+}
+
+// admitRoot marks the initial node visited.
+func (e *enumerator) admitRoot(nd *node) {
+	s := enumSucc{}
+	switch e.dedup {
+	case frontier.DedupFingerprint:
+		s.fp = nd.fp()
+	case frontier.DedupVerified:
+		s.key, s.fp = nd.key(), nd.fp()
+	default:
+		s.key = nd.key()
+	}
+	e.admit(&s)
+}
+
+// predictSeen derives the fingerprint that ev's successor node would have
+// — configuration delta from the transition cache, pattern and knowledge
+// deltas from the node's incremental digests — and reports whether that
+// successor is already visited, all without cloning or applying. ok=false
+// means the caller must materialize.
+func (e *enumerator) predictSeen(nd *node, ev sim.Event) (fingerprint.Digest, bool) {
+	pred, ok := e.pr.Predict(e.proto, nd.cfg, ev)
+	if !ok {
+		return fingerprint.Digest{}, false
+	}
+	p := ev.Proc
+	salt := saltKnownBase + uint64(p)
+	patFP, knownFP := nd.patFP, nd.knownFP
+	switch ev.Type {
+	case sim.SendStepEvent:
+		if pred.Sent {
+			patFP = patFP.Add(entryDigest(pred.SentID, nd.knownSum[p]))
+			newSum := nd.knownSum[p].Add(sim.MsgIDDigest(pred.SentID))
+			knownFP = knownFP.Sub(nd.knownSum[p].Mixed(salt)).Add(newSum.Mixed(salt))
+		}
+	case sim.Deliver:
+		newSum := nd.knownSum[p]
+		known := nd.known[p]
+		for _, q := range nd.sendPast[ev.Msg] {
+			if _, has := known[q]; !has {
+				newSum = newSum.Add(sim.MsgIDDigest(q))
+			}
+		}
+		if _, has := known[ev.Msg]; !has {
+			newSum = newSum.Add(sim.MsgIDDigest(ev.Msg))
+		}
+		knownFP = knownFP.Sub(nd.knownSum[p].Mixed(salt)).Add(newSum.Mixed(salt))
+	default:
+		// Failure events never occur in failure-free enumeration.
+		return fingerprint.Digest{}, false
+	}
+	fp := pred.CfgFP.Add(patFP.Mixed(saltPat)).Add(knownFP)
+	if !e.fpVisited.Seen(fp) {
+		return fingerprint.Digest{}, false
+	}
+	return fp, true
+}
+
+// expand generates one node's successors. Runs on a worker: reads the
+// visited set but never writes it. Under fingerprint dedup, successors
+// whose predicted fingerprint is already visited are skipped without
+// cloning the node or applying the event.
+func (e *enumerator) expand(nd *node) enumExpansion {
 	events := sim.Enabled(nd.cfg)
 	if len(events) == 0 {
 		return enumExpansion{maximal: nd.pat}
 	}
 	out := enumExpansion{succs: make([]enumSucc, 0, len(events))}
-	for _, e := range events {
-		nxt := nd.clone()
-		cfg, eff, err := sim.Apply(proto, nd.cfg, e)
+	fast := e.dedup == frontier.DedupFingerprint
+	for _, ev := range events {
+		if fast {
+			if fp, ok := e.predictSeen(nd, ev); ok {
+				out.succs = append(out.succs, enumSucc{fp: fp})
+				continue
+			}
+		}
+		var cfg *sim.Config
+		var eff sim.Effect
+		var err error
+		if fast {
+			cfg, eff, err = e.pr.Materialize(e.proto, nd.cfg, ev)
+		} else {
+			cfg, eff, err = sim.Apply(e.proto, nd.cfg, ev)
+		}
 		if err != nil {
-			out.err = fmt.Errorf("scheme: exploring %s: %w", proto.Name(), err)
+			out.err = fmt.Errorf("scheme: exploring %s: %w", e.proto.Name(), err)
 			return out
 		}
+		nxt := nd.cloneFor(ev)
 		nxt.cfg = cfg
 		applyEffect(nxt, eff)
-		k := nxt.key()
-		s := enumSucc{key: k}
-		if !visited.Seen(k) {
+		s := enumSucc{}
+		switch e.dedup {
+		case frontier.DedupFingerprint:
+			s.fp = nxt.fp()
+		case frontier.DedupVerified:
+			s.key, s.fp = nxt.key(), nxt.fp()
+		default:
+			s.key = nxt.key()
+		}
+		if !e.seen(&s) {
 			s.nd = nxt
 		}
 		out.succs = append(out.succs, s)
@@ -297,19 +503,21 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 		pat:      pattern.New(),
 		known:    make([]map[sim.MsgID]struct{}, proto.N()),
 		sendPast: make(map[sim.MsgID][]sim.MsgID),
+		knownSum: make([]fingerprint.Digest, proto.N()),
 	}
 	for i := range start.known {
 		start.known[i] = make(map[sim.MsgID]struct{})
+		start.knownFP = start.knownFP.Add(start.knownSum[i].Mixed(saltKnownBase + uint64(i)))
 	}
 
 	en := &Enumeration{Set: NewSet()}
-	visited := frontier.NewVisitedSet()
+	e := newEnumerator(proto, opts.Dedup)
 	if opts.maxNodes() < 1 {
 		en.Status = StatusExhausted
 		en.Frontier = 1
 		return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
 	}
-	visited.Add(start.key())
+	e.admitRoot(start)
 	accepted := 1
 	front := []*node{start}
 	for len(front) > 0 {
@@ -319,9 +527,7 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 			en.Frontier = len(front)
 			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), err)
 		}
-		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, func(nd *node) enumExpansion {
-			return expandEnum(proto, visited, nd)
-		})
+		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, e.expand)
 		if mapErr != nil {
 			en.Status = StatusInterrupted
 			en.Visited = accepted
@@ -340,7 +546,7 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 			}
 			for j := range exp.succs {
 				s := &exp.succs[j]
-				if s.nd == nil || !visited.Add(s.key) {
+				if s.nd == nil || !e.admit(s) {
 					continue
 				}
 				if accepted >= opts.maxNodes() {
@@ -356,10 +562,14 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 		front = next
 	}
 	en.Visited = accepted
+	if e.fpVerified != nil {
+		en.Collisions = e.fpVerified.Collisions()
+	}
 	return en, nil
 }
 
-// applyEffect updates a node's causal bookkeeping for one applied event.
+// applyEffect updates a node's causal bookkeeping — sets and incremental
+// digests together — for one applied event.
 func applyEffect(nd *node, eff sim.Effect) {
 	p := eff.Event.Proc
 	for _, m := range eff.Sent {
@@ -370,14 +580,17 @@ func applyEffect(nd *node, eff sim.Effect) {
 		sort.Slice(past, func(i, j int) bool { return past[i].Less(past[j]) })
 		nd.sendPast[m.ID] = past
 		nd.pat.Add(m.ID, past...)
-		nd.known[p][m.ID] = struct{}{}
+		// The pattern entry's digest freezes the sender's knowledge sum
+		// before the new message joins it — the same set `past` captures.
+		nd.patFP = nd.patFP.Add(entryDigest(m.ID, nd.knownSum[p]))
+		nd.addKnown(p, m.ID)
 	}
 	if eff.Received != nil {
 		id := eff.Received.ID
 		for _, q := range nd.sendPast[id] {
-			nd.known[p][q] = struct{}{}
+			nd.addKnown(p, q)
 		}
-		nd.known[p][id] = struct{}{}
+		nd.addKnown(p, id)
 	}
 }
 

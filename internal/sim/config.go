@@ -1,41 +1,108 @@
 package sim
 
 import (
-	"sort"
 	"strings"
+
+	"repro/internal/fingerprint"
 )
 
 // Buffer is a processor's unordered message buffer: the multiset of messages
 // sent to it but not yet received. It is kept sorted by message key so that
 // configuration hashing is canonical; sortedness is an encoding detail, not
 // an ordering guarantee (delivery picks any element).
+//
+// Buffers are persistent: Add and Remove return a fresh exactly-sized
+// buffer and never mutate the receiver, so configurations can share buffer
+// slices freely (Clone copies only headers). The *Into variants accept a
+// caller-owned destination and reuse its capacity, for call sites that can
+// recycle scratch.
 type Buffer []Message
 
+// search returns the insertion slot for key: the first index whose message
+// key is not below it. Buffers are sorted by key, so this is a binary
+// search.
+func (b Buffer) search(key string) int {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid].Key() < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Add inserts a message, preserving canonical order, and returns the new
-// buffer. The receiver is not mutated beyond the usual append aliasing, so
-// callers must use the return value.
+// buffer. The receiver is not mutated; callers must use the return value.
 func (b Buffer) Add(m Message) Buffer {
-	key := m.Key()
-	i := sort.Search(len(b), func(i int) bool { return b[i].Key() >= key })
-	out := make(Buffer, 0, len(b)+1)
-	out = append(out, b[:i]...)
-	out = append(out, m)
-	out = append(out, b[i:]...)
+	return b.addInto(make(Buffer, len(b)+1), m)
+}
+
+// AddInto is Add writing into dst, reusing dst's capacity when it
+// suffices. The returned buffer aliases dst; the receiver is not mutated.
+func (b Buffer) AddInto(dst Buffer, m Message) Buffer {
+	if cap(dst) < len(b)+1 {
+		dst = make(Buffer, len(b)+1)
+	} else {
+		dst = dst[:len(b)+1]
+	}
+	return b.addInto(dst, m)
+}
+
+func (b Buffer) addInto(out Buffer, m Message) Buffer {
+	i := b.search(m.Key())
+	copy(out, b[:i])
+	out[i] = m
+	copy(out[i+1:], b[i:])
 	return out
 }
 
 // Remove deletes one occurrence of the message with the given ID and returns
-// the new buffer plus whether it was present.
+// the new buffer plus whether it was present. Removal by bare ID cannot
+// binary-search (buffers sort by full key, and ID order is not key-prefix
+// order), so this is a single linear pass; use RemoveMsg when the full
+// message is at hand.
 func (b Buffer) Remove(id MsgID) (Buffer, bool) {
-	for i, m := range b {
-		if m.ID == id {
-			out := make(Buffer, 0, len(b)-1)
-			out = append(out, b[:i]...)
-			out = append(out, b[i+1:]...)
-			return out, true
+	for i := range b {
+		if b[i].ID == id {
+			return b.removeAt(i, make(Buffer, len(b)-1)), true
 		}
 	}
 	return b, false
+}
+
+// RemoveMsg deletes one occurrence of message m, located by binary search
+// on its key, and returns the new buffer plus whether it was present.
+func (b Buffer) RemoveMsg(m Message) (Buffer, bool) {
+	i := b.search(m.Key())
+	if i >= len(b) || b[i].ID != m.ID {
+		return b, false
+	}
+	return b.removeAt(i, make(Buffer, len(b)-1)), true
+}
+
+// RemoveMsgInto is RemoveMsg writing into dst, reusing dst's capacity when
+// it suffices. The returned buffer aliases dst; the receiver is not
+// mutated.
+func (b Buffer) RemoveMsgInto(dst Buffer, m Message) (Buffer, bool) {
+	i := b.search(m.Key())
+	if i >= len(b) || b[i].ID != m.ID {
+		return b, false
+	}
+	if cap(dst) < len(b)-1 {
+		dst = make(Buffer, len(b)-1)
+	} else {
+		dst = dst[:len(b)-1]
+	}
+	return b.removeAt(i, dst), true
+}
+
+func (b Buffer) removeAt(i int, out Buffer) Buffer {
+	copy(out, b[:i])
+	copy(out[i:], b[i+1:])
+	return out
 }
 
 // Find returns the buffered message with the given ID.
@@ -60,6 +127,18 @@ func (b Buffer) Key() string {
 	return strings.Join(parts, "|")
 }
 
+// Digest fingerprints the buffer as an unsalted multiset sum of its
+// messages' digests. Callers mix the result (or the per-message terms)
+// under a buffer-position salt before folding it into a configuration
+// fingerprint.
+func (b Buffer) Digest() fingerprint.Digest {
+	var d fingerprint.Digest
+	for i := range b {
+		d = d.Add(b[i].Digest())
+	}
+	return d
+}
+
 // Config is a configuration as defined in Section 3: the N local states and
 // the N buffer contents. Inputs records the initial bits (they determine the
 // initial configuration and are consulted by decision-rule validators), and
@@ -70,6 +149,17 @@ type Config struct {
 	Buffers []Buffer
 	Inputs  []Bit
 	seq     []int // seq[from*n+to] = messages sent from→to so far
+
+	// Incremental fingerprint cache. Once Fingerprint is first called on a
+	// configuration, fp and the unmixed per-processor state digests are
+	// maintained across Apply, so successors derive their fingerprint from
+	// the parent's by updating only the changed contributions. fpOK false
+	// means the cache is cold and fingerprints are recomputed on demand;
+	// execution paths that never ask for fingerprints (random runs, chaos
+	// replay) pay nothing.
+	fp     fingerprint.Digest
+	stateD []fingerprint.Digest
+	fpOK   bool
 }
 
 // NewConfig builds the initial configuration of a protocol on the given
@@ -93,15 +183,21 @@ func NewConfig(proto Protocol, inputs []Bit) *Config {
 func (c *Config) N() int { return len(c.States) }
 
 // Clone returns an independent copy of the configuration. States and
-// messages are immutable values, so only the containers are copied.
+// messages are immutable values, so only the containers are copied; the
+// Inputs vector never changes after NewConfig and is shared outright.
 func (c *Config) Clone() *Config {
 	out := &Config{
 		States:  append([]State(nil), c.States...),
 		Buffers: make([]Buffer, len(c.Buffers)),
-		Inputs:  append([]Bit(nil), c.Inputs...),
+		Inputs:  c.Inputs,
 		seq:     append([]int(nil), c.seq...),
+		fp:      c.fp,
+		fpOK:    c.fpOK,
 	}
 	copy(out.Buffers, c.Buffers) // buffers are persistent; Add/Remove copy
+	if c.fpOK {
+		out.stateD = append([]fingerprint.Digest(nil), c.stateD...)
+	}
 	return out
 }
 
@@ -110,6 +206,90 @@ func (c *Config) nextSeq(from, to ProcID) int {
 	i := int(from)*c.N() + int(to)
 	c.seq[i]++
 	return c.seq[i]
+}
+
+// Fingerprint returns the configuration's 128-bit fingerprint: the salted
+// sum of the inputs digest, each processor's state digest, and each
+// buffered message's digest. It covers exactly what Key covers — states,
+// buffer multisets, inputs — and, like Key, excludes channel sequence
+// counters, so fingerprint equality tracks key equality. The first call
+// warms the incremental cache; Apply keeps it warm on successors.
+func (c *Config) Fingerprint() fingerprint.Digest {
+	if !c.fpOK {
+		c.initFingerprint()
+	}
+	return c.fp
+}
+
+func (c *Config) initFingerprint() {
+	n := c.N()
+	c.stateD = make([]fingerprint.Digest, n)
+	fp := inputsDigest(c.Inputs).Mixed(saltInputs)
+	for p := 0; p < n; p++ {
+		d := StateDigest(c.States[p])
+		c.stateD[p] = d
+		fp = fp.Add(d.Mixed(saltStateBase + uint64(p)))
+		buf := c.Buffers[p]
+		for i := range buf {
+			fp = fp.Add(buf[i].Digest().Mixed(saltBufferBase + uint64(p)))
+		}
+	}
+	c.fp = fp
+	c.fpOK = true
+}
+
+// StateDigestAt returns the digest of processor p's local state from the
+// fingerprint cache, warming the cache if needed. It lets callers key
+// per-state lookaside tables without rebuilding state Key strings.
+func (c *Config) StateDigestAt(p int) fingerprint.Digest {
+	if !c.fpOK {
+		c.initFingerprint()
+	}
+	return c.stateD[p]
+}
+
+// setState replaces p's local state, updating the fingerprint cache by
+// swapping p's state contribution.
+func (c *Config) setState(p ProcID, s State) {
+	if c.fpOK {
+		c.setStateD(p, s, StateDigest(s))
+		return
+	}
+	c.States[p] = s
+}
+
+// setStateD is setState with the new state's digest already in hand (from
+// the transition cache), so the swap skips rehashing the state.
+func (c *Config) setStateD(p ProcID, s State, d fingerprint.Digest) {
+	if c.fpOK {
+		salt := saltStateBase + uint64(p)
+		c.fp = c.fp.Sub(c.stateD[p].Mixed(salt)).Add(d.Mixed(salt))
+		c.stateD[p] = d
+	}
+	c.States[p] = s
+}
+
+// addMessage buffers m at its destination, adding its contribution to the
+// fingerprint cache. m should be memoized.
+func (c *Config) addMessage(to ProcID, m Message) {
+	c.Buffers[to] = c.Buffers[to].Add(m)
+	if c.fpOK {
+		c.fp = c.fp.Add(m.Digest().Mixed(saltBufferBase + uint64(to)))
+	}
+}
+
+// removeMessage consumes m from p's buffer, subtracting its contribution
+// from the fingerprint cache.
+func (c *Config) removeMessage(p ProcID, m Message) bool {
+	b, ok := c.Buffers[p].RemoveMsg(m)
+	if !ok {
+		return false
+	}
+	c.Buffers[p] = b
+	if c.fpOK {
+		c.fp = c.fp.Sub(m.Digest().Mixed(saltBufferBase + uint64(p)))
+	}
+	return true
 }
 
 // Key canonically encodes the configuration for state-space hashing. Two

@@ -1,0 +1,53 @@
+package sim
+
+import "repro/internal/fingerprint"
+
+// Fingerprint salts. Every contribution to a configuration fingerprint is
+// mixed under a salt that encodes its role (local state, buffered message,
+// inputs vector) and, for per-processor roles, the processor index. The
+// role bases are spaced far apart so role+index salts never collide for
+// any realistic N.
+const (
+	saltStateBase  uint64 = 0x01_0000_0000
+	saltBufferBase uint64 = 0x02_0000_0000
+	saltInputs     uint64 = 0x03_0000_0000
+	saltFailed     uint64 = 0x05_0000_0000
+)
+
+// Digester is implemented by states (and other components) that can
+// produce their canonical digest directly, without building their Key
+// string first. Implementations must preserve key equality: two
+// components with equal keys must produce equal digests, and components
+// with distinct keys must produce distinct digests except with the
+// negligible probability of a 128-bit collision.
+type Digester interface {
+	Digest() fingerprint.Digest
+}
+
+// StateDigest fingerprints a local state. States implementing Digester
+// are hashed structurally; all others fall back to hashing their
+// canonical Key, so the digest always agrees with key equality.
+func StateDigest(s State) fingerprint.Digest {
+	if d, ok := s.(Digester); ok {
+		return d.Digest()
+	}
+	return fingerprint.OfString(s.Key())
+}
+
+// MsgIDDigest fingerprints a message triple (p, q, k) structurally.
+func MsgIDDigest(id MsgID) fingerprint.Digest {
+	h := fingerprint.New()
+	h.WriteUint64(uint64(id.From)<<32 | uint64(uint32(id.To)))
+	h.WriteUint64(uint64(id.Seq))
+	return h.Sum()
+}
+
+// inputsDigest fingerprints the initial-bit vector. Inputs never change
+// along an execution, so this is computed once per root configuration.
+func inputsDigest(inputs []Bit) fingerprint.Digest {
+	h := fingerprint.New()
+	for _, in := range inputs {
+		h.WriteUint64(uint64(in))
+	}
+	return h.Sum()
+}

@@ -127,7 +127,7 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 		// both atomically; the intermediate z_a is never observable in
 		// our configurations, and the net effect — notices everywhere,
 		// no further sends, no restart — is identical.
-		next.States[p] = FailedStateFor(p)
+		next.setState(p, FailedStateFor(p))
 		for q := 0; q < next.N(); q++ {
 			if ProcID(q) == p {
 				continue
@@ -135,8 +135,8 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 			m := Message{
 				ID:     MsgID{From: p, To: ProcID(q), Seq: next.nextSeq(p, ProcID(q))},
 				Notice: true,
-			}
-			next.Buffers[q] = next.Buffers[q].Add(m)
+			}.Memoized()
+			next.addMessage(ProcID(q), m)
 			eff.Sent = append(eff.Sent, m)
 		}
 		return next, eff, nil
@@ -149,7 +149,7 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 		if err := checkTransition(c.States[p], s2); err != nil {
 			return nil, Effect{}, fmt.Errorf("%s send step: %w", p, err)
 		}
-		next.States[p] = s2
+		next.setState(p, s2)
 		for _, env := range envs {
 			if env.To == p {
 				return nil, Effect{}, fmt.Errorf("%w: from %s", ErrSelfSend, p)
@@ -160,8 +160,8 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 			m := Message{
 				ID:      MsgID{From: p, To: env.To, Seq: next.nextSeq(p, env.To)},
 				Payload: env.Payload,
-			}
-			next.Buffers[env.To] = next.Buffers[env.To].Add(m)
+			}.Memoized()
+			next.addMessage(env.To, m)
 			eff.Sent = append(eff.Sent, m)
 		}
 		return next, eff, nil
@@ -172,8 +172,8 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 		if err := checkTransition(c.States[p], s2); err != nil {
 			return nil, Effect{}, fmt.Errorf("%s receiving %s: %w", p, m.ID, err)
 		}
-		next.States[p] = s2
-		next.Buffers[p], _ = next.Buffers[p].Remove(e.Msg)
+		next.setState(p, s2)
+		next.removeMessage(p, m)
 		eff.Received = &m
 		return next, eff, nil
 	}
@@ -203,18 +203,24 @@ func checkTransition(from, to State) error {
 // processor, buffered message) pair. Failure events are enumerated
 // separately by callers that inject failures.
 func Enabled(c *Config) []Event {
-	var out []Event
+	return AppendEnabled(nil, c)
+}
+
+// AppendEnabled appends the enabled non-failure events to dst and returns
+// it, so hot loops can reuse one scratch slice across configurations.
+func AppendEnabled(dst []Event, c *Config) []Event {
 	for p, s := range c.States {
 		switch s.Kind() {
 		case Sending:
-			out = append(out, Event{Proc: ProcID(p), Type: SendStepEvent})
+			dst = append(dst, Event{Proc: ProcID(p), Type: SendStepEvent})
 		case Receiving:
-			for _, m := range c.Buffers[p] {
-				out = append(out, Event{Proc: ProcID(p), Type: Deliver, Msg: m.ID})
+			buf := c.Buffers[p]
+			for i := range buf {
+				dst = append(dst, Event{Proc: ProcID(p), Type: Deliver, Msg: buf[i].ID})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // ApplySchedule applies a whole schedule to a configuration, returning the

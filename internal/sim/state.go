@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/fingerprint"
+
 // State is a processor's local state. Protocol states must be immutable
 // values: transition functions return fresh states rather than mutating.
 //
@@ -39,8 +41,31 @@ func (s failedState) Decided() (Decision, bool) { return NoDecision, false }
 func (s failedState) Amnesic() bool             { return false }
 func (s failedState) Key() string               { return "⊥failed(" + s.p.String() + ")" }
 
+// Digest fingerprints the failure state structurally. Failed-state keys
+// are determined by the processor index alone, so hashing the index under
+// a failure-specific salt preserves key equality without building the key
+// string.
+func (s failedState) Digest() fingerprint.Digest {
+	return fingerprint.OfUint64(uint64(s.p)).Mixed(saltFailed)
+}
+
+// failedStates holds pre-boxed failure states so the exploration hot path
+// (which injects a failure event per operational processor per node) never
+// allocates to produce one.
+var failedStates = func() (tab [64]State) {
+	for i := range tab {
+		tab[i] = failedState{p: ProcID(i)}
+	}
+	return tab
+}()
+
 // FailedStateFor returns the failure state z_b for processor p.
-func FailedStateFor(p ProcID) State { return failedState{p: p} }
+func FailedStateFor(p ProcID) State {
+	if p >= 0 && int(p) < len(failedStates) {
+		return failedStates[p]
+	}
+	return failedState{p: p}
+}
 
 // IsOperational reports whether a state is neither failed nor halted — the
 // states in which the processor still takes steps.

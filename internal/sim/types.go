@@ -20,6 +20,8 @@ package sim
 import (
 	"fmt"
 	"strconv"
+
+	"repro/internal/fingerprint"
 )
 
 // ProcID identifies a processor p_i, 0 ≤ i < N.
@@ -138,9 +140,19 @@ type MsgID struct {
 	Seq  int
 }
 
-// String renders the triple as "(p,q,k)".
+// String renders the triple as "(p,q,k)". Built by hand rather than with
+// fmt: message keys are computed once per sent message on the exploration
+// hot path.
 func (id MsgID) String() string {
-	return fmt.Sprintf("(%s,%s,%d)", id.From, id.To, id.Seq)
+	buf := make([]byte, 0, 24)
+	buf = append(buf, '(', 'p')
+	buf = strconv.AppendInt(buf, int64(id.From), 10)
+	buf = append(buf, ',', 'p')
+	buf = strconv.AppendInt(buf, int64(id.To), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(id.Seq), 10)
+	buf = append(buf, ')')
+	return string(buf)
 }
 
 // Less orders triples lexicographically, giving patterns a canonical
@@ -158,19 +170,76 @@ func (id MsgID) Less(other MsgID) bool {
 // Message is a concrete in-flight message: an identified triple plus its
 // payload. Failure notices — the "failed(p)" messages broadcast by a failure
 // step — carry a nil payload and Notice=true.
+//
+// Messages created by Apply are memoized: their canonical key and digest
+// are computed once at send time and cached on the struct, so the hot
+// exploration path never recomputes them. Hand-built messages (tests,
+// transforms) work too — Key and Digest fall back to computing on demand.
 type Message struct {
 	ID      MsgID
 	Payload Payload
 	// Notice marks a failure notice failed(From).
 	Notice bool
+
+	key    string
+	digest fingerprint.Digest
 }
 
-// Key canonically encodes the message for buffer hashing.
+// Key canonically encodes the message for buffer hashing. The cached copy
+// is returned when the message was memoized at send time.
 func (m Message) Key() string {
+	if m.key != "" {
+		return m.key
+	}
+	return m.computeKey()
+}
+
+func (m Message) computeKey() string {
 	if m.Notice {
 		return m.ID.String() + ":failed"
 	}
 	return m.ID.String() + ":" + m.Payload.Key()
+}
+
+// Digest fingerprints the message structurally: the triple, the notice
+// flag, and the payload key. Equal message keys yield equal digests.
+func (m Message) Digest() fingerprint.Digest {
+	if !m.digest.IsZero() {
+		return m.digest
+	}
+	return m.computeDigest()
+}
+
+func (m Message) computeDigest() fingerprint.Digest {
+	if m.Notice {
+		return msgDigestParts(m.ID.From, m.ID.To, m.ID.Seq, true, "")
+	}
+	return msgDigestParts(m.ID.From, m.ID.To, m.ID.Seq, false, m.Payload.Key())
+}
+
+// msgDigestParts fingerprints a message from its parts, without requiring a
+// Payload value — the payload is represented by its canonical key. It is the
+// single encoding both Message.Digest and the transition cache use, so a
+// digest reconstructed from cached parts matches the one Apply memoizes.
+func msgDigestParts(from, to ProcID, seq int, notice bool, payloadKey string) fingerprint.Digest {
+	h := fingerprint.New()
+	h.WriteUint64(uint64(from)<<32 | uint64(uint32(to)))
+	h.WriteUint64(uint64(seq))
+	if notice {
+		h.WriteUint64(1)
+	} else {
+		h.WriteUint64(2)
+		h.WriteString(payloadKey)
+	}
+	return h.Sum()
+}
+
+// Memoized returns a copy of the message with its key and digest
+// precomputed and cached. Apply memoizes every message it sends.
+func (m Message) Memoized() Message {
+	m.key = m.computeKey()
+	m.digest = m.computeDigest()
+	return m
 }
 
 // String renders the message for traces.
