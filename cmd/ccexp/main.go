@@ -10,9 +10,14 @@
 //	ccexp -e E4         # a single experiment
 //	ccexp -deep         # add the N=4 failure-free solver checks to E1–E3
 //	ccexp -parallel 4   # explore with 4 workers (identical results)
+//	ccexp -timeout 30s  # bound the wall clock; partial reports, exit 3
+//
+// Exit codes follow the cccheck convention: 0 all ok, 1 a measurement
+// failed, 3 the timeout expired and the reports cover a prefix only.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,22 +28,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ccexp:", err)
-		os.Exit(1)
-	}
+	os.Exit(run())
 }
 
-func run() error {
+func run() int {
 	var (
 		which    = flag.String("e", "all", "experiment to run: E1..E9 or all")
 		quick    = flag.Bool("quick", false, "skip the exhaustive model-checking passes")
 		deep     = flag.Bool("deep", false, "add the N=4 failure-free solver checks to E1–E3 (ignored with -quick)")
 		parallel = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS); results are identical at any setting")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry partial reports are printed and the exit code is 3")
 	)
 	flag.Parse()
 
-	opts := consensus.ExperimentOptions{Quick: *quick, Deep: *deep, Parallelism: *parallel}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := consensus.ExperimentOptions{Quick: *quick, Deep: *deep, Parallelism: *parallel, Context: ctx}
 	runners := map[string]func(experiments.Options) experiments.Report{
 		"E1": experiments.E1Figure1Tree,
 		"E2": experiments.E2Figure2Star,
@@ -51,27 +61,42 @@ func run() error {
 		"E9": experiments.E9Transforms,
 	}
 
+	total := 1
 	var reports []consensus.ExperimentReport
 	if strings.EqualFold(*which, "all") {
+		total = len(runners)
 		reports = consensus.Experiments(opts)
 	} else {
 		f, ok := runners[strings.ToUpper(*which)]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *which)
+			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q (want E1..E9 or all)\n", *which)
+			return 1
 		}
 		reports = []consensus.ExperimentReport{f(opts)}
 	}
 
-	failed := 0
+	failed, partial := 0, 0
 	for _, r := range reports {
 		fmt.Println(r)
-		if !r.OK {
+		switch {
+		case r.Partial:
+			partial++
+		case !r.OK:
 			failed++
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d experiment(s) failed", failed)
+	if skipped := total - len(reports); skipped > 0 {
+		fmt.Printf("TIMEOUT: %d experiment(s) not started\n", skipped)
 	}
-	fmt.Printf("%d experiment(s) ok\n", len(reports))
-	return nil
+	switch {
+	case failed > 0:
+		fmt.Fprintf(os.Stderr, "ccexp: %d experiment(s) failed\n", failed)
+		return 1
+	case partial > 0 || total > len(reports):
+		fmt.Printf("%d experiment(s) ran before the timeout; results are partial\n", len(reports))
+		return 3
+	default:
+		fmt.Printf("%d experiment(s) ok\n", len(reports))
+		return 0
+	}
 }

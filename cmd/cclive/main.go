@@ -1,0 +1,387 @@
+// Command cclive soaks a protocol in the live runtime: seeded batches of
+// genuinely concurrent executions — one goroutine per processor over a
+// lossy, duplicating, delaying transport with heartbeat failure detection
+// and injected fail-stop crashes — each checked for conformance by
+// replaying its recorded schedule through the deterministic simulator and
+// validating it against a consensus problem.
+//
+// Run plans (per-run seeds, inputs, crash schedules) derive from -seed
+// exactly as ccchaos derives its sweeps, so a live soak and a chaos sweep
+// with the same seed inject the same failures. Live goroutine interleaving
+// is real nondeterminism — runs are not bit-reproducible — but every fault
+// decision in the transport is seed-deterministic per delivery attempt,
+// and every recorded trace must replay as a legal run of the model with
+// the same decisions.
+//
+// Usage:
+//
+//	cclive -proto tree -n 3 -problem WT-TC -runs 200 -seed 1984 -drop 0.1
+//	cclive -proto star -n 4 -problem HT-IC -runs 100 -dup 0.2 -delay 500us
+//	cclive -proto tree -n 3 -problem WT-TC -no-dedup -dup 0.5   # must fail
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 2 divergences or violations
+// found, 3 soak interrupted (SIGINT or -timeout) before completing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	consensus "repro"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// runOutcome is one live run's verdict.
+type runOutcome struct {
+	done      bool
+	quiescent bool
+	diverged  bool
+	panicked  bool
+	aborted   bool
+	err       error
+	divs      []consensus.LiveDivergence
+	result    *consensus.LiveResult
+	plan      consensus.ChaosRunPlan
+	crashes   int
+	detectMax time.Duration
+	recovery  time.Duration
+	falseSusp int
+	events    int
+}
+
+func run() int {
+	var (
+		protoName = flag.String("proto", "tree", "protocol: "+strings.Join(consensus.ProtocolNames(), ", "))
+		n         = flag.Int("n", 3, "number of processors")
+		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
+		ruleName  = flag.String("rule", "unanimity", "decision rule: unanimity, threshold-K, or broadcast-P (termination standalone satisfies threshold-1, not unanimity)")
+		runs      = flag.Int("runs", 200, "number of live executions")
+		seed      = flag.Int64("seed", 1, "soak seed; derives per-run seeds, inputs, and crash schedules")
+		parallel  = flag.Int("parallel", 0, "concurrent live runs (0 = GOMAXPROCS)")
+		maxFail   = flag.Int("max-failures", -1, "maximum injected crashes per run (-1 = N-1, 0 = crash-free)")
+		drop      = flag.Float64("drop", 0.1, "per-attempt probability a delivery is lost in transit")
+		dup       = flag.Float64("dup", 0.1, "per-delivery probability the ack is lost (duplicate retransmit)")
+		delay     = flag.Duration("delay", 300*time.Microsecond, "maximum per-attempt transit latency")
+		heartbeat = flag.Duration("heartbeat", time.Millisecond, "heartbeat interval")
+		detect    = flag.Duration("detect", 12*time.Millisecond, "failure-detection timeout (silence before a crash is declared)")
+		deadline  = flag.Duration("deadline", 20*time.Second, "per-run deadline; a run that has not quiesced by then fails")
+		timeout   = flag.Duration("timeout", 0, "whole-soak wall-clock budget (0 = none); on expiry partial results are reported")
+		inputsArg = flag.String("inputs", "", "fixed input vector like 101 (empty = random per run)")
+		traceDir  = flag.String("trace-dir", "", "directory for divergence traces (empty = don't write)")
+		noDedup   = flag.Bool("no-dedup", false, "disable receiver-side dedup (teeth check: conformance must then fail under -dup)")
+		verbose   = flag.Bool("v", false, "print every failing run, not just the first five")
+	)
+	flag.Parse()
+
+	proto, err := consensus.ProtocolByName(*protoName, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclive:", err)
+		return 1
+	}
+	prob, err := consensus.ParseProblem(*problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclive:", err)
+		return 1
+	}
+	rule, err := consensus.ParseRule(*ruleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclive:", err)
+		return 1
+	}
+	prob.Rule = rule
+	var fixed [][]consensus.Bit
+	if *inputsArg != "" {
+		in, err := consensus.ParseInputs(*inputsArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cclive:", err)
+			return 1
+		}
+		fixed = [][]consensus.Bit{in}
+	}
+	nProcs := proto.N()
+	mf := *maxFail
+	if mf < 0 {
+		mf = nProcs - 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	plans := consensus.ChaosPlanRuns(*seed, *runs, nProcs, mf, fixed)
+	outcomes := make([]runOutcome, len(plans))
+
+	par := *parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(plans) {
+		par = len(plans)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				outcomes[i] = executeRun(ctx, proto, prob, plans[i], consensus.LiveConfig{
+					Faults: consensus.LiveFaultPlan{
+						Seed:         plans[i].Seed,
+						DropRate:     *drop,
+						DupRate:      *dup,
+						MaxDelay:     *delay,
+						DisableDedup: *noDedup,
+					},
+					Failures:      plans[i].Failures,
+					Heartbeat:     *heartbeat,
+					DetectTimeout: *detect,
+					Deadline:      *deadline,
+				})
+			}
+		}()
+	}
+feed:
+	for i := range plans {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	return report(outcomes, proto.Name(), *protoName, prob, *seed, *runs, *traceDir, *verbose)
+}
+
+// executeRun performs one live run to a verdict, converting panics in
+// protocol or runtime code into reported failures instead of a crashed
+// soak.
+func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Problem, plan consensus.ChaosRunPlan, cfg consensus.LiveConfig) (out runOutcome) {
+	out.plan = plan
+	defer func() {
+		if r := recover(); r != nil {
+			out.done = true
+			out.panicked = true
+			out.err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if ctx.Err() != nil {
+		out.aborted = true
+		return out
+	}
+	res, err := consensus.Live(ctx, proto, plan.Inputs, cfg)
+	if err != nil {
+		out.done = true
+		out.err = err
+		return out
+	}
+	out.done = true
+	out.result = res
+	out.quiescent = res.Quiescent
+	out.events = len(res.Schedule)
+	out.crashes = len(res.Crashes)
+	out.recovery = res.Recovery
+	out.falseSusp = res.FalseSuspicions
+	for _, c := range res.Crashes {
+		if c.Detection > out.detectMax {
+			out.detectMax = c.Detection
+		}
+	}
+	if res.Err != nil {
+		if ctx.Err() != nil {
+			out.done = false
+			out.aborted = true
+			return out
+		}
+		out.err = res.Err
+	}
+	conf, cerr := consensus.LiveConform(res, proto, prob)
+	if cerr != nil {
+		out.err = cerr
+		return out
+	}
+	if !conf.OK() {
+		out.diverged = true
+		out.divs = conf.Divergences
+	}
+	return out
+}
+
+// report prints the soak summary, writes divergence traces, and chooses
+// the exit code.
+func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.Problem, seed int64, runs int, traceDir string, verbose bool) int {
+	var (
+		completed, quiesced, failing, aborted int
+		crashes, falseSusp                    int
+		detections, recoveries                []time.Duration
+	)
+	type failure struct {
+		idx int
+		out runOutcome
+	}
+	var failures []failure
+	for i, out := range outcomes {
+		if !out.done {
+			aborted++
+			continue
+		}
+		completed++
+		if out.quiescent {
+			quiesced++
+		}
+		crashes += out.crashes
+		falseSusp += out.falseSusp
+		if out.detectMax > 0 {
+			detections = append(detections, out.detectMax)
+		}
+		if out.recovery > 0 {
+			recoveries = append(recoveries, out.recovery)
+		}
+		if out.diverged || out.err != nil {
+			failing++
+			failures = append(failures, failure{i, out})
+		}
+	}
+
+	fmt.Printf("%s vs %s: %d live runs, seed %d (%d completed, %d aborted)\n",
+		protoCanon, prob.Name(), runs, seed, completed, aborted)
+	fmt.Printf("  quiesced %d, failing %d, crashes injected %d, false suspicions %d\n",
+		quiesced, failing, crashes, falseSusp)
+	if len(detections) > 0 {
+		fmt.Printf("  detection latency:  %s\n", distribution(detections))
+	}
+	if len(recoveries) > 0 {
+		fmt.Printf("  recovery latency:   %s (crash → last survivor decision, %d runs)\n",
+			distribution(recoveries), len(recoveries))
+	}
+
+	written := 0
+	for i, f := range failures {
+		if verbose || i < 5 {
+			what := "failed"
+			if f.out.diverged {
+				what = fmt.Sprintf("DIVERGED: %s", f.out.divs[0])
+			} else if f.out.err != nil {
+				what = f.out.err.Error()
+			}
+			fmt.Printf("  run %d (seed %d, inputs %s): %s\n", f.idx, f.out.plan.Seed, renderInputs(f.out.plan.Inputs), what)
+		} else if i == 5 {
+			fmt.Printf("  … and %d more failing runs (use -v to list all)\n", len(failures)-5)
+		}
+		if traceDir != "" && f.out.result != nil {
+			path, err := writeDivergenceTrace(traceDir, protoCanon, protoArg, prob, seed, f.idx, f.out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cclive:", err)
+				return 1
+			}
+			written++
+			if verbose || i < 5 {
+				fmt.Printf("    trace: %s\n", path)
+			}
+		}
+	}
+	if written > 0 {
+		fmt.Printf("  %d trace(s) written to %s\n", written, traceDir)
+	}
+
+	switch {
+	case aborted > 0:
+		fmt.Println("INTERRUPTED: partial results above")
+		return 3
+	case failing > 0:
+		fmt.Printf("VIOLATES: %d failing run(s)\n", failing)
+		return 2
+	default:
+		fmt.Println("OK: every live trace replays as a legal run of the model")
+		return 0
+	}
+}
+
+// writeDivergenceTrace serializes a failing run in the chaos trace format:
+// the recorded live schedule, the injections, and the divergences as
+// violations, so the artifact replays through the same tooling.
+func writeDivergenceTrace(dir, protoCanon, protoArg string, prob consensus.Problem, sweepSeed int64, idx int, out runOutcome) (string, error) {
+	res := out.result
+	t := &consensus.ChaosTrace{
+		Version:       1,
+		Protocol:      protoCanon,
+		ProtoArg:      protoArg,
+		N:             len(res.Inputs),
+		Problem:       prob.Name(),
+		Inputs:        renderInputs(res.Inputs),
+		SweepSeed:     sweepSeed,
+		RunSeed:       out.plan.Seed,
+		RunIndex:      idx,
+		MaxSteps:      len(res.Schedule),
+		OriginalSteps: len(res.Schedule),
+	}
+	for _, inj := range out.plan.Failures {
+		t.Injections = append(t.Injections, consensus.ChaosTraceInjection{Proc: int(inj.Proc), AfterStep: inj.AfterStep})
+	}
+	for _, e := range res.Schedule {
+		t.Schedule = append(t.Schedule, consensus.EncodeChaosEvent(e))
+	}
+	for _, d := range out.divs {
+		t.Violations = append(t.Violations, consensus.ChaosTraceViolation{Kind: d.Kind, Detail: d.Detail})
+	}
+	if out.err != nil {
+		t.Violations = append(t.Violations, consensus.ChaosTraceViolation{Kind: "run", Detail: out.err.Error()})
+	}
+	data, err := t.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("live-%s-%s-run%05d.json", protoArg, prob.Name(), idx)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// distribution renders min/p50/p90/max of a latency sample.
+func distribution(ds []time.Duration) string {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return fmt.Sprintf("min %s  p50 %s  p90 %s  max %s",
+		sorted[0].Round(time.Microsecond), q(0.5).Round(time.Microsecond),
+		q(0.9).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
+}
+
+func renderInputs(inputs []consensus.Bit) string {
+	var sb strings.Builder
+	for _, b := range inputs {
+		if b == consensus.One {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -40,6 +40,7 @@ package consensus
 
 import (
 	"context"
+	"strconv"
 	"strings"
 
 	"repro/internal/chaos"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/pattern"
 	"repro/internal/protocols"
+	"repro/internal/runtime"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/taxonomy"
@@ -173,8 +175,35 @@ type (
 	ChaosFailure = chaos.Failure
 	// ChaosTrace is a replayable serialized counterexample.
 	ChaosTrace = chaos.Trace
+	// ChaosTraceEvent is one serialized schedule element.
+	ChaosTraceEvent = chaos.TraceEvent
+	// ChaosTraceInjection is a serialized failure injection.
+	ChaosTraceInjection = chaos.TraceInjection
+	// ChaosTraceViolation is a serialized violation.
+	ChaosTraceViolation = chaos.TraceViolation
 	// ChaosReplayResult is the outcome of re-executing a trace.
 	ChaosReplayResult = chaos.ReplayResult
+)
+
+// Live-runtime types (cmd/cclive).
+type (
+	// LiveConfig tunes one live run: transport faults, crash injections,
+	// heartbeat cadence, detection timeout, and deadline.
+	LiveConfig = runtime.Config
+	// LiveFaultPlan configures the unreliable link under the transport.
+	LiveFaultPlan = runtime.FaultPlan
+	// LiveResult is one live run's recorded schedule, decisions, and
+	// failure-detection measurements.
+	LiveResult = runtime.Result
+	// LiveCrash is one injected crash with its detection latency.
+	LiveCrash = runtime.CrashReport
+	// LiveConformance is the verdict of replaying a live run through the
+	// deterministic simulator.
+	LiveConformance = runtime.Conformance
+	// LiveDivergence is one disagreement between a live run and the model.
+	LiveDivergence = runtime.Divergence
+	// ChaosRunPlan is the seed-derived recipe for one chaos or live run.
+	ChaosRunPlan = chaos.RunPlan
 )
 
 // Core (Section 4) types.
@@ -364,6 +393,29 @@ func Chaos(ctx context.Context, p Protocol, problem Problem, opts ChaosOptions) 
 	return chaos.Run(ctx, p, problem, opts)
 }
 
+// ChaosPlanRuns derives per-run seeds, inputs, and failure schedules from
+// a sweep seed — the shared planning step of chaos sweeps and live soaks.
+func ChaosPlanRuns(seed int64, runs, n, maxFail int, fixed [][]Bit) []ChaosRunPlan {
+	return chaos.PlanRuns(seed, runs, n, maxFail, fixed)
+}
+
+// EncodeChaosEvent serializes a schedule event into the trace format.
+func EncodeChaosEvent(e Event) chaos.TraceEvent { return chaos.EncodeEvent(e) }
+
+// Live executes the protocol as one goroutine per processor over the
+// fault-injected transport, with heartbeat failure detection, returning
+// the recorded total-order schedule and live decisions.
+func Live(ctx context.Context, p Protocol, inputs []Bit, cfg LiveConfig) (*LiveResult, error) {
+	return runtime.Run(ctx, p, inputs, cfg)
+}
+
+// LiveConform replays a live result through the deterministic simulator
+// and checks it against the problem's predicates; divergences mean the
+// live execution left the model.
+func LiveConform(res *LiveResult, p Protocol, problem Problem) (*LiveConformance, error) {
+	return runtime.Conform(res, p, problem)
+}
+
 // BuildChaosTrace serializes one failure of a chaos report into a
 // replayable trace; maxSteps is the sweep's effective per-run budget.
 func BuildChaosTrace(rep *ChaosReport, f *ChaosFailure, maxSteps int) *ChaosTrace {
@@ -441,6 +493,33 @@ func ParseProblem(s string) (Problem, error) {
 		return Problem{}, &BadProblemError{Input: s, Reason: "consistency must be IC or TC"}
 	}
 	return UnanimityProblem(t, c), nil
+}
+
+// ParseRule parses a decision-rule name: "unanimity", "threshold-K" (e.g.
+// "threshold-1"), or "broadcast-P" (strong broadcast with general P). The
+// standalone termination protocol, for example, satisfies threshold-1 —
+// commit iff some processor started committable — but not unanimity, which
+// is exactly Theorem 7's restriction to safe configurations.
+func ParseRule(s string) (DecisionRule, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	if name == "unanimity" {
+		return Unanimity(), nil
+	}
+	if k, ok := strings.CutPrefix(name, "threshold-"); ok {
+		v, err := strconv.Atoi(k)
+		if err != nil || v < 1 {
+			return nil, &BadProblemError{Input: s, Reason: "threshold-K needs K >= 1"}
+		}
+		return ThresholdRule(v), nil
+	}
+	if g, ok := strings.CutPrefix(name, "broadcast-"); ok {
+		v, err := strconv.Atoi(g)
+		if err != nil || v < 0 {
+			return nil, &BadProblemError{Input: s, Reason: "broadcast-P needs a processor index"}
+		}
+		return BroadcastRule(ProcID(v), false, NoDecision), nil
+	}
+	return nil, &BadProblemError{Input: s, Reason: "want unanimity, threshold-K, or broadcast-P"}
 }
 
 // BadProblemError reports a malformed problem name.

@@ -37,7 +37,9 @@ var detRangePackages = []string{
 	"internal/core",
 	"internal/chaos",
 	"internal/frontier",
+	"internal/runtime",
 	"cmd/ccchaos",
+	"cmd/cclive",
 }
 
 func detRangeApplies(relPath string) bool {

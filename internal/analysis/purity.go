@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // PurityAnalyzer enforces the purity contract on protocol transition
@@ -37,9 +38,24 @@ import (
 // composition is a pure function of its operands; a digest method that
 // mutated shared state or read a package-level variable would silently
 // desynchronize fingerprints from canonical keys.
+//
+// Beyond the shape-matched trios, any function or method can opt into the
+// same contract with a //ccvet:pure line in its doc comment. The live
+// runtime (internal/runtime) uses this for the code that handles protocol
+// state outside the simulator — the wire-frame codec and the conformance
+// replay — machine-checking that live execution never mutates protocol
+// state except through δ/β: an annotated body may build and return fresh
+// values but may not write through its arguments or receiver.
+//
+// Two reference classes are exempt from the package-level-variable rule:
+// sentinel error values (error-typed vars are read-only by convention; pure
+// codecs wrap them with %w), and value-typed vars from outside the module
+// (the stdlib exposes immutable namespaces like binary.BigEndian as vars;
+// pointer-, map-, and slice-typed foreign vars such as os.Stdout stay
+// flagged).
 var PurityAnalyzer = &Analyzer{
 	Name: "purity",
-	Doc:  "transition functions δ/β and digest algebra must be pure: no mutation of arguments or shared state, no package-level variables",
+	Doc:  "transition functions δ/β, digest algebra, and //ccvet:pure bodies must be pure: no mutation of arguments or shared state, no package-level variables",
 	Run:  runPurity,
 }
 
@@ -52,12 +68,40 @@ var transitionMethodNames = map[string]bool{"Init": true, "Receive": true, "Send
 var digestMethodNames = map[string]bool{"Add": true, "Sub": true, "Mixed": true}
 
 func runPurity(pass *Pass) {
+	seen := map[*ast.FuncDecl]bool{}
+	check := func(fd *ast.FuncDecl) {
+		if !seen[fd] {
+			seen[fd] = true
+			checkTransitionBody(pass, fd)
+		}
+	}
 	for _, decl := range methodTrios(pass, transitionMethodNames) {
-		checkTransitionBody(pass, decl)
+		check(decl)
 	}
 	for _, decl := range methodTrios(pass, digestMethodNames) {
-		checkTransitionBody(pass, decl)
+		check(decl)
 	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pureAnnotated(fd) {
+				check(fd)
+			}
+		}
+	}
+}
+
+// pureAnnotated reports whether the declaration's doc comment carries a
+// //ccvet:pure marker line.
+func pureAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//ccvet:pure" {
+			return true
+		}
+	}
+	return false
 }
 
 // methodTrios returns the declarations named in want of every type in the
@@ -96,9 +140,18 @@ func methodTrios(pass *Pass, want map[string]bool) []*ast.FuncDecl {
 	return out
 }
 
+// displayName renders a declaration for a finding message: "Type.Method"
+// for methods, the bare name for //ccvet:pure functions.
+func displayName(fd *ast.FuncDecl) string {
+	if tn := receiverTypeName(fd); tn != "" {
+		return tn + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
 // receiverTypeName extracts the receiver's base type name.
 func receiverTypeName(fd *ast.FuncDecl) string {
-	if len(fd.Recv.List) == 0 {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return ""
 	}
 	t := fd.Recv.List[0].Type
@@ -245,7 +298,7 @@ func checkTransitionBody(pass *Pass, fd *ast.FuncDecl) {
 		return
 	}
 	ts := &taintState{pass: pass, paths: map[string]bool{}}
-	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
 		name := fd.Recv.List[0].Names[0]
 		if name.Name != "_" {
 			if obj := pass.Info.Defs[name]; obj != nil {
@@ -439,8 +492,8 @@ func checkWriteTarget(pass *Pass, fd *ast.FuncDecl, ts *taintState, lhs ast.Expr
 	if obj == ts.recvObj {
 		target = "pointer receiver"
 	}
-	pass.Reportf(lhs.Pos(), "%s.%s: %s mutates state reachable from the %s (%s); transition functions must be pure — return a fresh value instead",
-		receiverTypeName(fd), fd.Name.Name, what, target, exprString(lhs))
+	pass.Reportf(lhs.Pos(), "%s: %s mutates state reachable from the %s (%s); transition functions must be pure — return a fresh value instead",
+		displayName(fd), what, target, exprString(lhs))
 }
 
 // writeEscapes resolves the root object and path of a write target and
@@ -506,15 +559,15 @@ func checkCall(pass *Pass, fd *ast.FuncDecl, ts *taintState, call *ast.CallExpr)
 	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
 			if ts.exprTainted(call.Args[0]) {
-				pass.Reportf(call.Pos(), "%s.%s: append to %s may write into a backing array shared with the caller's state; copy before appending",
-					receiverTypeName(fd), fd.Name.Name, exprString(call.Args[0]))
+				pass.Reportf(call.Pos(), "%s: append to %s may write into a backing array shared with the caller's state; copy before appending",
+					displayName(fd), exprString(call.Args[0]))
 			}
 			return
 		}
 		if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") && len(call.Args) > 0 {
 			if ts.exprTainted(call.Args[0]) {
-				pass.Reportf(call.Pos(), "%s.%s: %s mutates %s, which is reachable from the caller's state",
-					receiverTypeName(fd), fd.Name.Name, b.Name(), exprString(call.Args[0]))
+				pass.Reportf(call.Pos(), "%s: %s mutates %s, which is reachable from the caller's state",
+					displayName(fd), b.Name(), exprString(call.Args[0]))
 			}
 			return
 		}
@@ -539,8 +592,8 @@ func checkCall(pass *Pass, fd *ast.FuncDecl, ts *taintState, call *ast.CallExpr)
 		return
 	}
 	if ts.exprTainted(sel.X) {
-		pass.Reportf(call.Pos(), "%s.%s: calling pointer-receiver method %s on %s may mutate state shared with the caller",
-			receiverTypeName(fd), fd.Name.Name, f.Name(), exprString(sel.X))
+		pass.Reportf(call.Pos(), "%s: calling pointer-receiver method %s on %s may mutate state shared with the caller",
+			displayName(fd), f.Name(), exprString(sel.X))
 	}
 }
 
@@ -558,8 +611,20 @@ func checkPackageVar(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) {
 	if v.Parent() != v.Pkg().Scope() {
 		return
 	}
-	pass.Reportf(id.Pos(), "%s.%s: references package-level mutable variable %s; transitions must depend only on their inputs",
-		receiverTypeName(fd), fd.Name.Name, v.Name())
+	// Sentinel errors are read-only by convention; pure codecs wrap them.
+	if named, ok := v.Type().(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return
+	}
+	// Value-typed vars from outside the module are immutable namespaces in
+	// practice (binary.BigEndian); reference types (os.Stdout) stay flagged.
+	if !pass.IsModulePath(v.Pkg().Path()) {
+		switch v.Type().Underlying().(type) {
+		case *types.Basic, *types.Struct, *types.Array:
+			return
+		}
+	}
+	pass.Reportf(id.Pos(), "%s: references package-level mutable variable %s; transitions must depend only on their inputs",
+		displayName(fd), v.Name())
 }
 
 func unparen(e ast.Expr) ast.Expr {

@@ -188,12 +188,18 @@ func (r *Report) Completed() int { return r.Runs - r.Aborted }
 // Clean reports whether the sweep found no violations and no panics.
 func (r *Report) Clean() bool { return len(r.Failures) == 0 }
 
-// plan is the deterministic recipe for one run, derived from the sweep seed
-// before any worker starts, so worker scheduling cannot perturb results.
-type plan struct {
-	seed     int64
-	inputs   []sim.Bit
-	failures []sim.FailureAt
+// RunPlan is the deterministic recipe for one run, derived from the sweep
+// seed before any worker starts, so worker scheduling cannot perturb
+// results. Plans are shared with the live runtime (cmd/cclive), whose soak
+// mode derives its crash schedules and input vectors the same way a chaos
+// sweep does.
+type RunPlan struct {
+	// Seed is the per-run scheduler seed.
+	Seed int64
+	// Inputs is the initial input vector.
+	Inputs []sim.Bit
+	// Failures is the planned fail-stop injection schedule.
+	Failures []sim.FailureAt
 }
 
 // runResult is one worker's verdict on one run.
@@ -234,7 +240,7 @@ func Run(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, opts
 		par = runs
 	}
 
-	plans := makePlans(opts.Seed, runs, n, maxFail, opts.Inputs)
+	plans := PlanRuns(opts.Seed, runs, n, maxFail, opts.Inputs)
 
 	results := make([]runResult, runs)
 	idxCh := make(chan int)
@@ -291,30 +297,33 @@ feed:
 	return rep, nil
 }
 
-// makePlans derives every run's recipe from the sweep seed in run order.
-func makePlans(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []plan {
+// PlanRuns derives every run's recipe from the sweep seed in run order: the
+// per-run scheduler seed, the input vector (random unless fixed vectors are
+// supplied, which are cycled), and up to maxFail fail-stop injections per
+// run. Equal arguments give equal plans.
+func PlanRuns(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []RunPlan {
 	master := rand.New(rand.NewSource(seed))
 	// horizon bounds AfterStep so injections land inside typical runs; the
 	// tail beyond quiescence is deliberately reachable (and reported as
 	// unfired) so the sweep also exercises late failures.
 	horizon := 4*n*n + 8
-	plans := make([]plan, runs)
+	plans := make([]RunPlan, runs)
 	for i := range plans {
-		pl := plan{seed: master.Int63()}
+		pl := RunPlan{Seed: master.Int63()}
 		if len(fixed) > 0 {
-			pl.inputs = append([]sim.Bit(nil), fixed[i%len(fixed)]...)
+			pl.Inputs = append([]sim.Bit(nil), fixed[i%len(fixed)]...)
 		} else {
-			pl.inputs = make([]sim.Bit, n)
-			for j := range pl.inputs {
+			pl.Inputs = make([]sim.Bit, n)
+			for j := range pl.Inputs {
 				if master.Intn(2) == 1 {
-					pl.inputs[j] = sim.One
+					pl.Inputs[j] = sim.One
 				}
 			}
 		}
 		if maxFail > 0 {
 			k := master.Intn(maxFail + 1)
 			for f := 0; f < k; f++ {
-				pl.failures = append(pl.failures, sim.FailureAt{
+				pl.Failures = append(pl.Failures, sim.FailureAt{
 					Proc:      sim.ProcID(master.Intn(n)),
 					AfterStep: master.Intn(horizon),
 				})
@@ -327,18 +336,18 @@ func makePlans(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []plan {
 
 // execute runs one plan to a verdict. A panic anywhere in protocol code is
 // recovered and reported as a failure instead of crashing the sweep.
-func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, pl plan, idx, maxSteps int, minimize bool) (res runResult) {
+func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, pl RunPlan, idx, maxSteps int, minimize bool) (res runResult) {
 	res.done = true
-	res.planned = len(pl.failures)
+	res.planned = len(pl.Failures)
 	defer func() {
 		if r := recover(); r != nil {
 			msg := fmt.Sprintf("%v", r)
 			res.outcome = OutcomePanicked
 			res.failure = &Failure{
 				RunIndex:   idx,
-				Seed:       pl.seed,
-				Inputs:     pl.inputs,
-				Injections: pl.failures,
+				Seed:       pl.Seed,
+				Inputs:     pl.Inputs,
+				Injections: pl.Failures,
 				Outcome:    OutcomePanicked,
 				PanicValue: msg,
 				Violations: []taxonomy.Violation{{Kind: "panic", Detail: "protocol panicked: " + msg}},
@@ -346,7 +355,7 @@ func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, 
 		}
 	}()
 
-	rng := rand.New(rand.NewSource(pl.seed))
+	rng := rand.New(rand.NewSource(pl.Seed))
 	choose := func(r *sim.Run, enabled []sim.Event) int {
 		select {
 		case <-ctx.Done():
@@ -355,15 +364,15 @@ func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, 
 		}
 		return rng.Intn(len(enabled))
 	}
-	run, err := sim.RandomRun(proto, pl.inputs, sim.RunnerOptions{
-		Seed:     pl.seed,
+	run, err := sim.RandomRun(proto, pl.Inputs, sim.RunnerOptions{
+		Seed:     pl.Seed,
 		MaxSteps: maxSteps,
-		Failures: pl.failures,
+		Failures: pl.Failures,
 		Choose:   choose,
 	})
 	if run != nil {
 		res.unfired = len(run.Unfired)
-		res.fired = len(pl.failures) - len(run.Unfired)
+		res.fired = len(pl.Failures) - len(run.Unfired)
 	}
 
 	var violations []taxonomy.Violation
@@ -391,16 +400,16 @@ func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, 
 	res.outcome = OutcomeViolated
 	f := &Failure{
 		RunIndex:      idx,
-		Seed:          pl.seed,
-		Inputs:        pl.inputs,
-		Injections:    pl.failures,
+		Seed:          pl.Seed,
+		Inputs:        pl.Inputs,
+		Injections:    pl.Failures,
 		Outcome:       OutcomeViolated,
 		Violations:    violations,
 		Schedule:      append(sim.Schedule(nil), run.Schedule...),
 		OriginalSteps: len(run.Schedule),
 	}
 	if minimize {
-		shrunk, vs, tried := Shrink(proto, pl.inputs, f.Schedule, problem, violations[0].Kind)
+		shrunk, vs, tried := Shrink(proto, pl.Inputs, f.Schedule, problem, violations[0].Kind)
 		f.Schedule = shrunk
 		f.Violations = vs
 		f.ShrinkCandidates = tried

@@ -102,7 +102,7 @@ func BuildTrace(rep *Report, f *Failure, maxSteps int) *Trace {
 		t.Injections = append(t.Injections, TraceInjection{Proc: int(inj.Proc), AfterStep: inj.AfterStep})
 	}
 	for _, e := range f.Schedule {
-		t.Schedule = append(t.Schedule, encodeEvent(e))
+		t.Schedule = append(t.Schedule, EncodeEvent(e))
 	}
 	for _, v := range f.Violations {
 		t.Violations = append(t.Violations, TraceViolation{Kind: v.Kind, Detail: v.Detail})
@@ -122,7 +122,10 @@ func inputsString(inputs []sim.Bit) string {
 	return string(buf)
 }
 
-func encodeEvent(e sim.Event) TraceEvent {
+// EncodeEvent converts a schedule element to its serialized form. It is the
+// inverse of TraceEvent.DecodeEvent and is shared with the live runtime,
+// which writes its divergence artifacts in this trace format.
+func EncodeEvent(e sim.Event) TraceEvent {
 	switch e.Type {
 	case sim.Deliver:
 		return TraceEvent{Proc: int(e.Proc), Type: "deliver", Msg: &TraceMsg{

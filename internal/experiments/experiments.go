@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -31,12 +33,18 @@ type Report struct {
 	Measured []string
 	// OK reports whether the measurement matches the claim.
 	OK bool
+	// Partial means the experiment was interrupted (context cancellation
+	// or deadline) before its exhaustive passes finished: the measurements
+	// cover a prefix only and prove nothing either way.
+	Partial bool
 }
 
 // String renders the report.
 func (r Report) String() string {
 	status := "FAIL"
-	if r.OK {
+	if r.Partial {
+		status = "PARTIAL"
+	} else if r.OK {
 		status = "ok"
 	}
 	var sb strings.Builder
@@ -58,21 +66,44 @@ type Options struct {
 	// Parallelism is the worker count for exhaustive explorations
 	// (0 = GOMAXPROCS). Results are byte-identical at any setting.
 	Parallelism int
+	// Context, when non-nil, bounds the exhaustive passes: on
+	// cancellation or deadline the running experiment returns a Partial
+	// report and the remaining passes are skipped, mirroring the
+	// cccheck -timeout convention.
+	Context context.Context
 }
 
-// All runs every experiment in order.
-func All(opts Options) []Report {
-	return []Report{
-		E1Figure1Tree(opts),
-		E2Figure2Star(opts),
-		E3Figure3Chain(opts),
-		E4Figure4Perverse(opts),
-		E5Lattice(opts),
-		E6Theorem7(opts),
-		E7Theorem2(opts),
-		E8MessageComplexity(opts),
-		E9Transforms(opts),
+// ctx returns the configured context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
+	return context.Background()
+}
+
+// All runs every experiment in order. When Options.Context expires the
+// interrupted experiment reports Partial and the remaining experiments are
+// not started; callers see exactly the prefix that ran.
+func All(opts Options) []Report {
+	fns := []func(Options) Report{
+		E1Figure1Tree,
+		E2Figure2Star,
+		E3Figure3Chain,
+		E4Figure4Perverse,
+		E5Lattice,
+		E6Theorem7,
+		E7Theorem2,
+		E8MessageComplexity,
+		E9Transforms,
+	}
+	var reports []Report
+	for _, f := range fns {
+		reports = append(reports, f(opts))
+		if opts.ctx().Err() != nil {
+			break
+		}
+	}
+	return reports
 }
 
 func unanimity(t taxonomy.Termination, c taxonomy.Consistency) taxonomy.Problem {
@@ -85,7 +116,7 @@ func unanimity(t taxonomy.Termination, c taxonomy.Consistency) taxonomy.Problem 
 // MaxFailures=1), while the failure-free space stays exhaustive over all
 // 16 input vectors.
 func deepCheck(r Report, proto sim.Protocol, p taxonomy.Problem, opts Options) Report {
-	x, err := checker.Check(proto, p, checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
+	x, err := checker.CheckContext(opts.ctx(), proto, p, checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -120,10 +151,11 @@ func E1Figure1Tree(opts Options) Report {
 	proto := protocols.Tree{Procs: 7}
 
 	// Regenerate the all-ones (commit) pattern of the figure.
-	set, err := scheme.Enumerate(proto, ones(7), scheme.Options{Parallelism: opts.Parallelism})
+	en, err := scheme.EnumerateContext(opts.ctx(), proto, ones(7), scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
+	set := en.Set
 	if set.Len() != 1 {
 		r.OK = false
 	}
@@ -139,7 +171,7 @@ func E1Figure1Tree(opts Options) Report {
 	r.Measured = append(r.Measured, fmt.Sprintf("failure-free commit run: %d messages, %d events", run.MessagesSent(), run.Steps()))
 
 	if !opts.Quick {
-		x, err := checker.Check(protocols.Tree{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
+		x, err := checker.CheckContext(opts.ctx(), protocols.Tree{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
 			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
@@ -183,7 +215,7 @@ func E2Figure2Star(opts Options) Report {
 	if opts.Quick {
 		return r
 	}
-	x, err := checker.Check(protocols.Star{Procs: 3}, unanimity(taxonomy.HT, taxonomy.IC),
+	x, err := checker.CheckContext(opts.ctx(), protocols.Star{Procs: 3}, unanimity(taxonomy.HT, taxonomy.IC),
 		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
@@ -198,7 +230,7 @@ func E2Figure2Star(opts Options) Report {
 		r = deepCheck(r, protocols.Star{Procs: 4}, unanimity(taxonomy.HT, taxonomy.IC), opts)
 	}
 
-	xTC, err := checker.Check(protocols.Star{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
+	xTC, err := checker.CheckContext(opts.ctx(), protocols.Star{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
 		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism, StopAtFirstViolation: true})
 	if err != nil {
 		return fail(r, err)
@@ -210,7 +242,7 @@ func E2Figure2Star(opts Options) Report {
 		r.Measured = append(r.Measured, "WT-TC violation found: "+xTC.Violations[0].Detail)
 	}
 
-	xS, err := checker.Explore(protocols.Star{Procs: 3}, checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
+	xS, err := checker.ExploreContext(opts.ctx(), protocols.Star{Procs: 3}, checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -247,7 +279,7 @@ func E3Figure3Chain(opts Options) Report {
 			set.Len(), pat.Size(), pat.Depth()))
 
 	if !opts.Quick {
-		x, err := checker.Check(protocols.Chain{Procs: 3}, unanimity(taxonomy.WT, taxonomy.IC),
+		x, err := checker.CheckContext(opts.ctx(), protocols.Chain{Procs: 3}, unanimity(taxonomy.WT, taxonomy.IC),
 			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
@@ -281,10 +313,11 @@ func E4Figure4Perverse(opts Options) Report {
 		Claim:    "exactly 4 failure-free patterns (none / m1 / m2 / m1,m2,m3); no ST-TC protocol shares the scheme",
 		OK:       true,
 	}
-	set, err := scheme.Enumerate(protocols.Perverse{}, ones(4), scheme.Options{Parallelism: opts.Parallelism})
+	en, err := scheme.EnumerateContext(opts.ctx(), protocols.Perverse{}, ones(4), scheme.Options{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fail(r, err)
 	}
+	set := en.Set
 	r.Measured = append(r.Measured, fmt.Sprintf("all-ones enumeration: %d patterns", set.Len()))
 	if set.Len() != 4 {
 		r.OK = false
@@ -301,7 +334,7 @@ func E4Figure4Perverse(opts Options) Report {
 		// intractable (the race bookkeeping multiplies the space), so
 		// the exhaustive pass is failure-free; randomized failure
 		// injection covers the rest (see the lattice witnesses).
-		x, err := checker.Check(protocols.Perverse{}, unanimity(taxonomy.WT, taxonomy.TC),
+		x, err := checker.CheckContext(opts.ctx(), protocols.Perverse{}, unanimity(taxonomy.WT, taxonomy.TC),
 			checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
@@ -417,7 +450,7 @@ func E7Theorem2(opts Options) Report {
 	}
 	r.Measured = append(r.Measured, fmt.Sprintf("%-18s %8s %8s %8s %10s", "protocol", "states", "unsafe", "cor6", "as claimed"))
 	for _, row := range rows {
-		x, err := checker.Explore(row.proto, checker.Options{MaxFailures: row.maxFail, Parallelism: opts.Parallelism})
+		x, err := checker.ExploreContext(opts.ctx(), row.proto, checker.Options{MaxFailures: row.maxFail, Parallelism: opts.Parallelism})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -568,6 +601,11 @@ func E9Transforms(opts Options) Report {
 
 func fail(r Report, err error) Report {
 	r.OK = false
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		r.Partial = true
+		r.Measured = append(r.Measured, "interrupted: "+err.Error()+" (partial prefix only; rerun without a timeout for the full pass)")
+		return r
+	}
 	r.Measured = append(r.Measured, "error: "+err.Error())
 	return r
 }

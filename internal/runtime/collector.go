@@ -1,0 +1,174 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// collector is the run's total-order serialization point. Every node
+// reports each step here, under one mutex, *before* applying its effects:
+// the order in which the mutex admits events is the run's schedule, and the
+// conformance replay re-executes exactly that schedule. The collector also
+// mirrors the model's per-channel sequence counters so live messages carry
+// the same triples (p, q, k) the simulator would assign, and it is the
+// ground truth for which processors have crashed — a record call for a
+// crashed processor is refused, so an event is in the schedule if and only
+// if it precedes that processor's fail event in the total order.
+type collector struct {
+	mu  sync.Mutex
+	n   int
+	sch sim.Schedule
+	seq []int // seq[from*n+to], mirroring sim.Config's channel counters
+	// failed marks crashed processors; refusals below keep the schedule
+	// consistent with fail-stop semantics.
+	failed []bool
+	err    error
+
+	decisions []sim.Decision
+	decidedAt []time.Time
+	crashAt   []time.Time
+
+	start time.Time
+}
+
+func newCollector(n int) *collector {
+	return &collector{
+		n:         n,
+		seq:       make([]int, n*n),
+		failed:    make([]bool, n),
+		decisions: make([]sim.Decision, n),
+		decidedAt: make([]time.Time, n),
+		crashAt:   make([]time.Time, n),
+		start:     time.Now(),
+	}
+}
+
+// nextSeq allocates the next sequence number from→to, exactly as
+// sim.Config does during replay.
+func (co *collector) nextSeq(from, to sim.ProcID) int {
+	i := int(from)*co.n + int(to)
+	co.seq[i]++
+	return co.seq[i]
+}
+
+// recordSend admits one sending step: it validates the envelopes against
+// the model contracts (at most one message, no self-send, in-range
+// destination), appends the event, and returns the stamped messages for
+// the node to hand to the network. ok is false if p has crashed or the run
+// already failed; err is non-nil for a model-contract violation, which
+// aborts the run.
+func (co *collector) recordSend(p sim.ProcID, envs []sim.Envelope) (msgs []sim.Message, ok bool, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed[p] || co.err != nil {
+		return nil, false, nil
+	}
+	if len(envs) > 1 {
+		co.err = fmt.Errorf("%w: %s emitted %d messages", sim.ErrMultiSend, p, len(envs))
+		return nil, false, co.err
+	}
+	for _, env := range envs {
+		if env.To == p {
+			co.err = fmt.Errorf("%w: from %s", sim.ErrSelfSend, p)
+			return nil, false, co.err
+		}
+		if int(env.To) < 0 || int(env.To) >= co.n {
+			co.err = fmt.Errorf("runtime: %s sent to out-of-range %s", p, env.To)
+			return nil, false, co.err
+		}
+	}
+	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.SendStepEvent})
+	for _, env := range envs {
+		m := sim.Message{
+			ID:      sim.MsgID{From: p, To: env.To, Seq: co.nextSeq(p, env.To)},
+			Payload: env.Payload,
+		}.Memoized()
+		msgs = append(msgs, m)
+	}
+	return msgs, true, nil
+}
+
+// recordDeliver admits one delivery event. ok is false if p has crashed or
+// the run failed; the node must then discard the message unapplied.
+func (co *collector) recordDeliver(p sim.ProcID, id sim.MsgID) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed[p] || co.err != nil {
+		return false
+	}
+	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.Deliver, Msg: id})
+	return true
+}
+
+// recordCrash injects a fail-stop failure: it appends the fail event and
+// stamps the failure notices failed(p) with the sequence numbers the
+// model's atomic fail broadcast would assign at this point in the total
+// order. The notices are returned for the failure detector to hold until
+// its timeout fires — the *fact* of the failure is fixed here; *when*
+// survivors learn of it is the detector's business.
+func (co *collector) recordCrash(p sim.ProcID) (notices []sim.Message, ok bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed[p] || co.err != nil {
+		return nil, false
+	}
+	co.failed[p] = true
+	co.crashAt[p] = time.Now()
+	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.Fail})
+	for q := 0; q < co.n; q++ {
+		if sim.ProcID(q) == p {
+			continue
+		}
+		m := sim.Message{
+			ID:     sim.MsgID{From: p, To: sim.ProcID(q), Seq: co.nextSeq(p, sim.ProcID(q))},
+			Notice: true,
+		}.Memoized()
+		notices = append(notices, m)
+	}
+	return notices, true
+}
+
+// recordDecision notes p's first visible decision and when it was reached.
+func (co *collector) recordDecision(p sim.ProcID, d sim.Decision) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.decisions[p] == sim.NoDecision {
+		co.decisions[p] = d
+		co.decidedAt[p] = time.Now()
+	}
+}
+
+// isFailed reports ground truth about p; the detector gates on this so a
+// slow-but-alive processor is never declared failed.
+func (co *collector) isFailed(p sim.ProcID) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.failed[p]
+}
+
+// events returns the number of recorded events.
+func (co *collector) events() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.sch)
+}
+
+// failure returns the recorded model-contract violation, if any.
+func (co *collector) failure() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+// snapshot copies the schedule and per-processor records for the result.
+func (co *collector) snapshot() (sim.Schedule, []sim.Decision, []time.Time, []time.Time) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append(sim.Schedule(nil), co.sch...),
+		append([]sim.Decision(nil), co.decisions...),
+		append([]time.Time(nil), co.decidedAt...),
+		append([]time.Time(nil), co.crashAt...)
+}

@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// Divergence is one way a live run left the model: its recorded schedule
+// does not replay, its decisions disagree with the replay, it claimed
+// quiescence the model denies, or the replayed run violates the problem's
+// predicates.
+type Divergence struct {
+	// Kind is "replay", "decision", "quiescence", or a taxonomy violation
+	// kind ("rule", "IC", "TC", "WT", "ST", "HT").
+	Kind string
+	// Detail explains the divergence, naming events and processors.
+	Detail string
+}
+
+func (d Divergence) String() string { return d.Kind + ": " + d.Detail }
+
+// Conformance is the verdict of replaying a live run through the
+// deterministic simulator.
+type Conformance struct {
+	// Run is the replayed execution, up to the first inapplicable event.
+	Run *sim.Run
+	// Replayed is how many schedule events applied cleanly.
+	Replayed int
+	// Divergences lists every disagreement between the live run and the
+	// model; empty means the live execution is a legal run with the same
+	// decisions, checked against the problem's predicates.
+	Divergences []Divergence
+}
+
+// OK reports whether the live run conformed.
+func (c *Conformance) OK() bool { return len(c.Divergences) == 0 }
+
+// Conform replays a live result through the simulator and checks it
+// against the problem. This is the bridge from "ran" to "ran correctly":
+//
+//   - Every recorded event must apply under the model's rules. A transport
+//     that delivers a message twice records a second Deliver the model
+//     rejects (the message is no longer buffered); a processor stepping
+//     after its crash is refused the same way.
+//   - A live claim of quiescence must hold in the replayed configuration.
+//     A transport that silently lost a message leaves it buffered in the
+//     replay — the model still has an enabled event, so the claim fails.
+//   - Live decisions must match the replay's, and the replayed run must
+//     satisfy the problem's decision rule, consistency constraint, and
+//     (when quiescent) termination condition.
+//
+// The returned error reports setup problems only (wrong input length);
+// divergences are data, not errors.
+//
+//ccvet:pure
+func Conform(res *Result, proto sim.Protocol, problem taxonomy.Problem) (*Conformance, error) {
+	run, err := sim.NewRun(proto, res.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	conf := &Conformance{Run: run}
+	for i, e := range res.Schedule {
+		if err := run.Extend(sim.Schedule{e}); err != nil {
+			conf.Divergences = append(conf.Divergences, Divergence{
+				Kind:   "replay",
+				Detail: fmt.Sprintf("event %d (%s) does not apply: %v", i, e, err),
+			})
+			break
+		}
+		conf.Replayed++
+	}
+	replayedAll := conf.Replayed == len(res.Schedule)
+
+	if replayedAll && res.Quiescent && !run.Final().Quiescent() {
+		conf.Divergences = append(conf.Divergences, Divergence{
+			Kind:   "quiescence",
+			Detail: "live run claimed quiescence but the replayed configuration has enabled events (a message the transport lost?)",
+		})
+	}
+	if replayedAll {
+		for p := 0; p < proto.N(); p++ {
+			replayed, _ := run.DecisionOf(sim.ProcID(p))
+			if live := res.Decisions[p]; live != replayed {
+				conf.Divergences = append(conf.Divergences, Divergence{
+					Kind:   "decision",
+					Detail: fmt.Sprintf("%s decided %s live but %s in replay", sim.ProcID(p), live, replayed),
+				})
+			}
+		}
+		complete := res.Quiescent && run.Final().Quiescent()
+		for _, v := range problem.Validate(run, complete) {
+			conf.Divergences = append(conf.Divergences, Divergence{Kind: v.Kind, Detail: v.Detail})
+		}
+	}
+	return conf, nil
+}

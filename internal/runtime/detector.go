@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"maps"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// detector is the heartbeat-based failure detector that implements the
+// model's *detectable* fail-stop failures. Every live processor stores a
+// heartbeat timestamp on an interval; the detector's hub declares a
+// processor failed when its heartbeat has been silent longer than the
+// timeout — and then, and only then, releases the failure notices
+// failed(p) that the collector stamped at crash time, routing them through
+// the normal transport to every survivor.
+//
+// Timeouts alone cannot distinguish a crashed processor from a slow one
+// (that is the FLP obstruction this runtime lives under), so suspicion and
+// action are separated: the hub *suspects* on silence, but only *acts*
+// when the collector's ground truth confirms an injected crash. A false
+// suspicion — a live processor starved past the timeout — is counted and
+// reported, never acted on, which keeps the live trace a legal run of the
+// model while detection latency remains an honest timeout measurement.
+type detector struct {
+	col     *collector
+	net     *Network
+	beat    time.Duration
+	timeout time.Duration
+
+	lastBeat []atomic.Int64 // UnixNano of each processor's latest heartbeat
+	exited   []atomic.Bool  // processor left its loop (halt/quiesce), heartbeats stopped benignly
+
+	mu        sync.Mutex
+	pending   map[sim.ProcID]pendingCrash  // stamped notices awaiting detection
+	detected  map[sim.ProcID]time.Duration // crash → detection latency
+	suspected map[sim.ProcID]bool
+	falseSusp int
+}
+
+// pendingCrash is a confirmed crash whose notices await the timeout.
+type pendingCrash struct {
+	notices []sim.Message
+	at      time.Time
+}
+
+func newDetector(n int, col *collector, net *Network, beat, timeout time.Duration) *detector {
+	d := &detector{
+		col:       col,
+		net:       net,
+		beat:      beat,
+		timeout:   timeout,
+		lastBeat:  make([]atomic.Int64, n),
+		exited:    make([]atomic.Bool, n),
+		pending:   make(map[sim.ProcID]pendingCrash),
+		detected:  make(map[sim.ProcID]time.Duration),
+		suspected: make(map[sim.ProcID]bool),
+	}
+	now := time.Now().UnixNano()
+	for p := range d.lastBeat {
+		d.lastBeat[p].Store(now)
+	}
+	return d
+}
+
+// heartbeat records one beat from p.
+func (d *detector) heartbeat(p sim.ProcID) {
+	d.lastBeat[p].Store(time.Now().UnixNano())
+}
+
+// markExited notes that p's loop ended benignly (halted or the run shut
+// down); its silence is not suspicious.
+func (d *detector) markExited(p sim.ProcID) { d.exited[int(p)].Store(true) }
+
+// markCrashed hands the detector the stamped notices of an injected crash.
+// They are released to the transport once the heartbeat timeout expires.
+func (d *detector) markCrashed(p sim.ProcID, notices []sim.Message, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending[p] = pendingCrash{notices: notices, at: at}
+}
+
+// poll is one detection sweep; the monitor calls it on every tick. For each
+// silent processor: if the collector confirms a crash, the failure is
+// declared detected and its notices enter the transport; otherwise the
+// silence is a false suspicion, counted once.
+func (d *detector) poll() {
+	now := time.Now()
+	for i := range d.lastBeat {
+		p := sim.ProcID(i)
+		silent := now.Sub(time.Unix(0, d.lastBeat[i].Load()))
+		if silent < d.timeout {
+			continue
+		}
+		if d.col.isFailed(p) {
+			d.mu.Lock()
+			pc, ok := d.pending[p]
+			if ok {
+				delete(d.pending, p)
+				d.detected[p] = now.Sub(pc.at)
+			}
+			d.mu.Unlock()
+			for _, m := range pc.notices {
+				d.net.Send(m)
+			}
+			continue
+		}
+		if d.exited[i].Load() {
+			continue
+		}
+		d.mu.Lock()
+		if !d.suspected[p] {
+			d.suspected[p] = true
+			d.falseSusp++
+		}
+		d.mu.Unlock()
+	}
+}
+
+// undetected returns the number of confirmed crashes whose notices have
+// not yet been released; quiescence waits for zero.
+func (d *detector) undetected() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// stats returns detection latencies per crashed processor and the false
+// suspicion count.
+func (d *detector) stats() (map[sim.ProcID]time.Duration, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return maps.Clone(d.detected), d.falseSusp
+}

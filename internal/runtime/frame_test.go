@@ -1,0 +1,116 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type testPayload string
+
+func (p testPayload) Key() string { return string(p) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{From: 0, To: 1, Seq: 1, PayloadKey: "vote:1"},
+		{From: 2, To: 0, Seq: 42, PayloadKey: ""},
+		{From: 1, To: 2, Seq: 7, Notice: true},
+		{From: 1 << 20, To: 3, Seq: 1 << 40, PayloadKey: "x"},
+	}
+	for _, f := range frames {
+		data, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("EncodeFrame(%+v): %v", f, err)
+		}
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if got != f {
+			t.Errorf("round trip: got %+v, want %+v", got, f)
+		}
+		id, err := DedupKey(data)
+		if err != nil {
+			t.Fatalf("DedupKey: %v", err)
+		}
+		if id != f.ID() {
+			t.Errorf("DedupKey = %v, want %v", id, f.ID())
+		}
+		re, err := EncodeFrame(got)
+		if err != nil || !bytes.Equal(re, data) {
+			t.Errorf("re-encode differs: %x vs %x (err %v)", re, data, err)
+		}
+	}
+}
+
+func TestFrameEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Frame{
+		{From: -1, To: 1, Seq: 1},
+		{From: 0, To: -2, Seq: 1},
+		{From: 0, To: 1, Seq: -1},
+		{From: 0, To: 1, Seq: 1, Notice: true, PayloadKey: "x"},
+	}
+	for _, f := range bad {
+		if _, err := EncodeFrame(f); !errors.Is(err, ErrFrameRange) {
+			t.Errorf("EncodeFrame(%+v) err = %v, want ErrFrameRange", f, err)
+		}
+	}
+}
+
+func TestFrameDecodeRejectsCorrupt(t *testing.T) {
+	good, err := EncodeFrame(Frame{From: 0, To: 1, Seq: 3, PayloadKey: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := [][]byte{
+		nil,
+		good[:frameIDLen-1],
+		append(append([]byte{}, good...), 0xFF), // trailing byte
+		append([]byte{0xCD}, good[1:]...),       // bad magic
+		append([]byte{frameMagic, 9}, good[2:]...), // bad version
+	}
+	flagged := append([]byte{}, good...)
+	flagged[18] = 0x82 // undefined flag bits
+	corrupt = append(corrupt, flagged)
+	for i, data := range corrupt {
+		if _, err := DecodeFrame(data); !errors.Is(err, ErrFrameCorrupt) {
+			t.Errorf("case %d: DecodeFrame err = %v, want ErrFrameCorrupt", i, err)
+		}
+	}
+	if _, err := DedupKey(good[:4]); !errors.Is(err, ErrFrameCorrupt) {
+		t.Errorf("DedupKey on short prefix: err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestEncodeMessage(t *testing.T) {
+	m := sim.Message{
+		ID:      sim.MsgID{From: 1, To: 2, Seq: 5},
+		Payload: testPayload("ping"),
+	}
+	data, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != m.ID || f.PayloadKey != "ping" || f.Notice {
+		t.Errorf("decoded %+v from message %v", f, m)
+	}
+
+	notice := sim.Message{ID: sim.MsgID{From: 0, To: 1, Seq: 9}, Notice: true}
+	data, err = EncodeMessage(notice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Notice || f.PayloadKey != "" || f.ID() != notice.ID {
+		t.Errorf("decoded notice %+v", f)
+	}
+}

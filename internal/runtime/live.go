@@ -1,0 +1,285 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config tunes one live run. The zero value gets sensible defaults: 1ms
+// heartbeats, a 15ms detection timeout, a 10s deadline, and a faultless
+// transport.
+type Config struct {
+	// Faults configures the unreliable link (drops, duplicates, latency)
+	// and seeds every randomized choice in the transport.
+	Faults FaultPlan
+	// Failures injects fail-stop crashes: processor Proc is crashed once
+	// the recorded schedule reaches AfterStep events (the same shape
+	// chaos sweeps use, so chaos.PlanRuns drives live soaks directly).
+	Failures []sim.FailureAt
+	// Heartbeat is the interval between liveness beats.
+	Heartbeat time.Duration
+	// DetectTimeout is how long a processor must be silent before the
+	// detector declares its (confirmed) crash and releases the failure
+	// notices. It bounds detection latency from below.
+	DetectTimeout time.Duration
+	// Deadline bounds the whole run; a run that has not quiesced by then
+	// fails with an error (a liveness bug or an unlucky machine).
+	Deadline time.Duration
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat <= 0 {
+		return time.Millisecond
+	}
+	return c.Heartbeat
+}
+
+func (c Config) detectTimeout() time.Duration {
+	if c.DetectTimeout <= 0 {
+		return 15 * time.Millisecond
+	}
+	return c.DetectTimeout
+}
+
+func (c Config) deadline() time.Duration {
+	if c.Deadline <= 0 {
+		return 10 * time.Second
+	}
+	return c.Deadline
+}
+
+// CrashReport is one injected crash and how long the detector took to
+// declare it (crash to notice release; survivors learn shortly after,
+// once the notices transit the lossy link).
+type CrashReport struct {
+	Proc      sim.ProcID
+	Detection time.Duration
+}
+
+// Result is everything a live run produced: the total-order schedule for
+// conformance replay, the live decisions to compare against it, and the
+// failure-detection measurements.
+type Result struct {
+	// Proto is the protocol's canonical name.
+	Proto string
+	// Inputs is the initial input vector.
+	Inputs []sim.Bit
+	// Schedule is the recorded total order of events.
+	Schedule sim.Schedule
+	// Decisions is each processor's first live decision (NoDecision if
+	// none was observed).
+	Decisions []sim.Decision
+	// Quiescent reports whether the run ended because nothing more could
+	// happen (the model's termination-by-deadlock); false means the
+	// deadline or context cut it off.
+	Quiescent bool
+	// Unfired lists injections whose AfterStep lay beyond quiescence.
+	Unfired []sim.FailureAt
+	// Crashes lists the fired injections with detection latencies.
+	Crashes []CrashReport
+	// FalseSuspicions counts heartbeat timeouts on live processors; the
+	// detector never acts on them, but honesty requires counting them.
+	FalseSuspicions int
+	// Recovery is the crash-to-recovery latency: from the first crash to
+	// the last post-crash decision by a survivor. Zero when no survivor
+	// decided after a crash.
+	Recovery time.Duration
+	// Elapsed is the wall-clock length of the run.
+	Elapsed time.Duration
+	// Err is a run-level failure: deadline exceeded, context cancelled,
+	// or a model-contract violation caught at the collector.
+	Err error
+}
+
+// pollInterval is the monitor's tick: injections, detection, and
+// quiescence are all evaluated on this cadence.
+const pollInterval = 200 * time.Microsecond
+
+// Run executes the protocol live on the given inputs: one goroutine per
+// processor over the fault-injected transport, with crash injection,
+// heartbeat failure detection, and quiescence monitoring. The returned
+// Result always carries whatever schedule was recorded, even on failure,
+// so divergences and timeouts leave a replayable artifact. Errors from
+// Run itself are setup errors; run-level failures land in Result.Err.
+func Run(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, cfg Config) (*Result, error) {
+	n := proto.N()
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: protocol %s has no processors", proto.Name())
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("runtime: protocol %s wants %d inputs, got %d", proto.Name(), n, len(inputs))
+	}
+	for _, f := range cfg.Failures {
+		if int(f.Proc) < 0 || int(f.Proc) >= n {
+			return nil, fmt.Errorf("runtime: failure injection names out-of-range %s", f.Proc)
+		}
+	}
+
+	done := make(chan struct{})
+	var pending atomic.Int64
+	boxes := make([]*mailbox, n)
+	for p := range boxes {
+		boxes[p] = newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &pending)
+	}
+	net := newNetwork(cfg.Faults, boxes, done)
+	col := newCollector(n)
+	det := newDetector(n, col, net, cfg.heartbeat(), cfg.detectTimeout())
+
+	nodes := make([]*node, n)
+	var wg sync.WaitGroup
+	for p := range nodes {
+		nodes[p] = &node{
+			p:       sim.ProcID(p),
+			proto:   proto,
+			state:   proto.Init(sim.ProcID(p), inputs[p], n),
+			mb:      boxes[p],
+			net:     net,
+			col:     col,
+			det:     det,
+			crashed: make(chan struct{}),
+			done:    done,
+		}
+	}
+	start := time.Now()
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			nd.loop()
+		}(nd)
+	}
+
+	fired := make([]bool, len(cfg.Failures))
+	deadline := time.NewTimer(cfg.deadline())
+	defer deadline.Stop()
+	tick := time.NewTicker(pollInterval)
+	defer tick.Stop()
+
+	var (
+		runErr     error
+		quiescent  bool
+		lastEvents = -1
+		stable     = 0
+	)
+monitor:
+	for {
+		select {
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break monitor
+		case <-deadline.C:
+			runErr = fmt.Errorf("runtime: %s did not quiesce within %s", proto.Name(), cfg.deadline())
+			break monitor
+		case <-tick.C:
+		}
+
+		ev := col.events()
+		for i, f := range cfg.Failures {
+			if fired[i] || f.AfterStep > ev {
+				continue
+			}
+			fired[i] = true
+			notices, ok := col.recordCrash(f.Proc)
+			if ok {
+				det.markCrashed(f.Proc, notices, time.Now())
+				close(nodes[f.Proc].crashed)
+				boxes[f.Proc].close()
+			}
+			// !ok means the target had already crashed; the intended
+			// failure is in the run, so the injection counts as fired.
+		}
+		det.poll()
+		if err := col.failure(); err != nil {
+			runErr = err
+			break monitor
+		}
+		if quiescentNow(nodes, boxes, net, det, &pending, cfg.Failures, fired, ev) {
+			e := col.events()
+			if e == lastEvents {
+				stable++
+			} else {
+				stable = 0
+			}
+			lastEvents = e
+			if stable >= 2 {
+				quiescent = true
+				break monitor
+			}
+		} else {
+			stable, lastEvents = 0, -1
+		}
+	}
+
+	close(done)
+	wg.Wait()
+	net.wait()
+
+	sched, decisions, decidedAt, crashAt := col.snapshot()
+	latencies, falseSusp := det.stats()
+	res := &Result{
+		Proto:           proto.Name(),
+		Inputs:          append([]sim.Bit(nil), inputs...),
+		Schedule:        sched,
+		Decisions:       decisions,
+		Quiescent:       quiescent,
+		FalseSuspicions: falseSusp,
+		Elapsed:         time.Since(start),
+		Err:             runErr,
+	}
+	for i, f := range cfg.Failures {
+		if !fired[i] {
+			res.Unfired = append(res.Unfired, f)
+		}
+	}
+	var firstCrash time.Time
+	for p := 0; p < n; p++ {
+		if crashAt[p].IsZero() {
+			continue
+		}
+		res.Crashes = append(res.Crashes, CrashReport{Proc: sim.ProcID(p), Detection: latencies[sim.ProcID(p)]})
+		if firstCrash.IsZero() || crashAt[p].Before(firstCrash) {
+			firstCrash = crashAt[p]
+		}
+	}
+	if !firstCrash.IsZero() {
+		for p := 0; p < n; p++ {
+			if crashAt[p].IsZero() && !decidedAt[p].IsZero() && decidedAt[p].After(firstCrash) {
+				if rec := decidedAt[p].Sub(firstCrash); rec > res.Recovery {
+					res.Recovery = rec
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// quiescentNow evaluates the quiescence predicate at one poll: every node
+// blocked on an empty mailbox or exited, nothing in flight, no delivery
+// mid-application, every confirmed crash detected, and no injection still
+// due at the current event count. Together with two stable polls of the
+// event counter, this is the live analogue of Config.Quiescent — the
+// system has deadlocked in the model's sense, which is how weakly
+// terminating protocols terminate.
+func quiescentNow(nodes []*node, boxes []*mailbox, net *Network, det *detector, pending *atomic.Int64, failures []sim.FailureAt, fired []bool, events int) bool {
+	for i, f := range failures {
+		if !fired[i] && f.AfterStep <= events {
+			return false
+		}
+	}
+	for _, nd := range nodes {
+		if nd.phase.Load() == phaseRunning {
+			return false
+		}
+	}
+	for _, mb := range boxes {
+		if !mb.empty() {
+			return false
+		}
+	}
+	return net.InFlight() == 0 && pending.Load() == 0 && det.undetected() == 0
+}

@@ -1,0 +1,304 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FaultPlan configures the unreliable link underneath the transport. Every
+// fault decision is a pure function of (Seed, message triple, attempt), so
+// two runs with the same seed inject the same drops, duplications, and
+// delays per delivery attempt even though goroutine interleaving differs.
+type FaultPlan struct {
+	// Seed keys the per-attempt fault hash.
+	Seed int64
+	// DropRate is the probability a delivery attempt is lost in transit
+	// (the receiver never sees it; the link retransmits after backoff).
+	DropRate float64
+	// DupRate is the probability the acknowledgement of a *successful*
+	// delivery is lost, so the link retransmits a message the receiver
+	// already has — the classic at-least-once duplicate that receiver-side
+	// dedup must absorb.
+	DupRate float64
+	// MaxDelay bounds the per-attempt transit latency, drawn uniformly
+	// from [0, MaxDelay). Zero means instantaneous links.
+	MaxDelay time.Duration
+	// DisableDedup turns receiver-side dedup off. Only the conformance
+	// teeth-check uses this: with duplicates admitted, live traces record
+	// double deliveries the model rejects, and the run must fail.
+	DisableDedup bool
+}
+
+// Salts separating the drop, duplicate, and delay decisions of one attempt.
+const (
+	saltDrop uint64 = 0x9e3779b97f4a7c15
+	saltDup  uint64 = 0xbf58476d1ce4e5b9
+	saltDel  uint64 = 0x94d049bb133111eb
+)
+
+// mix64 is a splitmix64 finalizer: a cheap, well-distributed hash from a
+// 64-bit key to a 64-bit value.
+//
+//ccvet:pure
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll returns a deterministic value in [0, 1) for one fault decision.
+//
+//ccvet:pure
+func (fp FaultPlan) roll(salt uint64, id sim.MsgID, attempt int) float64 {
+	x := uint64(fp.Seed)
+	x = mix64(x ^ salt)
+	x = mix64(x ^ uint64(id.From)<<40 ^ uint64(id.To)<<20 ^ uint64(id.Seq))
+	x = mix64(x ^ uint64(attempt))
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (fp FaultPlan) drop(id sim.MsgID, attempt int) bool {
+	return fp.DropRate > 0 && fp.roll(saltDrop, id, attempt) < fp.DropRate
+}
+
+func (fp FaultPlan) dup(id sim.MsgID, attempt int) bool {
+	return fp.DupRate > 0 && fp.roll(saltDup, id, attempt) < fp.DupRate
+}
+
+func (fp FaultPlan) delay(id sim.MsgID, attempt int) time.Duration {
+	if fp.MaxDelay <= 0 {
+		return 0
+	}
+	return time.Duration(fp.roll(saltDel, id, attempt) * float64(fp.MaxDelay))
+}
+
+// backoff is the retransmission schedule: exponential from base, capped,
+// with deterministic jitter derived from the fault hash.
+//
+//ccvet:pure
+func (fp FaultPlan) backoff(id sim.MsgID, attempt int) time.Duration {
+	const (
+		base    = 100 * time.Microsecond
+		ceiling = 2 * time.Millisecond
+	)
+	d := base << uint(attempt)
+	if d > ceiling || d <= 0 {
+		d = ceiling
+	}
+	jitter := time.Duration(fp.roll(saltDel, id, attempt+1<<16) * float64(d) / 2)
+	return d + jitter
+}
+
+// agingLimit is the fairness bound: a buffered message passed over this
+// many times is delivered next, so no message starves however the seeded
+// picks fall (the model's fair-buffer guarantee).
+const agingLimit = 8
+
+// mailbox is one processor's receive buffer: the live counterpart of the
+// model's unordered fair buffer. Delivery order is randomized (seeded) to
+// exercise reorderings, dedup keyed by the frame's message triple absorbs
+// at-least-once duplicates, and aging enforces fairness.
+type mailbox struct {
+	mu       sync.Mutex
+	msgs     []sim.Message
+	passed   []int // times each buffered message was passed over
+	seen     map[sim.MsgID]bool
+	closed   bool
+	dedupOff bool
+	rng      *rand.Rand
+	notify   chan struct{}
+	// pending counts messages popped by recv but not yet recorded and
+	// applied by the node; the quiescence monitor must see zero.
+	pending *atomic.Int64
+}
+
+func newMailbox(seed int64, dedupOff bool, pending *atomic.Int64) *mailbox {
+	return &mailbox{
+		seen:     make(map[sim.MsgID]bool),
+		dedupOff: dedupOff,
+		rng:      rand.New(rand.NewSource(seed)),
+		notify:   make(chan struct{}, 1),
+		pending:  pending,
+	}
+}
+
+// deliver buffers one transported frame. Duplicate triples are absorbed
+// here (unless dedup is disabled), and frames for a closed mailbox — a
+// crashed or halted processor — are discarded: the model ignores the
+// buffers of failed and halted processors.
+func (mb *mailbox) deliver(frame []byte, m sim.Message) {
+	id, err := DedupKey(frame)
+	if err != nil || id != m.ID {
+		// A frame that does not carry its message's triple is a transport
+		// bug; drop it so dedup cannot be keyed on garbage. The lost
+		// message then surfaces as a conformance divergence.
+		return
+	}
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	if !mb.dedupOff {
+		if mb.seen[id] {
+			mb.mu.Unlock()
+			return
+		}
+		mb.seen[id] = true
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.passed = append(mb.passed, 0)
+	mb.mu.Unlock()
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
+// tryRecv pops one message if any is buffered. On success the global
+// pending counter is raised; the node must call stepDone once the delivery
+// is recorded and applied. On failure the node blocks on mb.notify.
+func (mb *mailbox) tryRecv() (sim.Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed || len(mb.msgs) == 0 {
+		return sim.Message{}, false
+	}
+	m := mb.pick()
+	mb.pending.Add(1)
+	return m, true
+}
+
+// pick chooses the next message: uniformly at random, except a message
+// passed over agingLimit times is served first. Callers hold mb.mu.
+func (mb *mailbox) pick() sim.Message {
+	idx := -1
+	for i, age := range mb.passed {
+		if age >= agingLimit {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = mb.rng.Intn(len(mb.msgs))
+	}
+	m := mb.msgs[idx]
+	for i := range mb.passed {
+		if i != idx {
+			mb.passed[i]++
+		}
+	}
+	last := len(mb.msgs) - 1
+	mb.msgs[idx], mb.passed[idx] = mb.msgs[last], mb.passed[last]
+	mb.msgs = mb.msgs[:last]
+	mb.passed = mb.passed[:last]
+	return m
+}
+
+func (mb *mailbox) stepDone() { mb.pending.Add(-1) }
+
+// close discards current and future contents; the owner halted or crashed.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.msgs = nil
+	mb.passed = nil
+	mb.mu.Unlock()
+}
+
+// empty reports whether the mailbox holds no deliverable messages; a
+// closed mailbox is vacuously empty.
+func (mb *mailbox) empty() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.closed || len(mb.msgs) == 0
+}
+
+// Network is the transport: it emulates the model's faultless, fair,
+// unordered message system on top of unreliable links. Each accepted
+// message gets its own delivery agent that retransmits with exponential
+// backoff until a non-dropped attempt lands — at-least-once — and
+// receiver-side dedup upgrades that to the exactly-once buffering the
+// model's buffers provide. Agents outlive their senders on purpose: a
+// fail-stop crash halts a processor, never the message system, so a
+// message recorded as sent before the crash still reaches its buffer.
+type Network struct {
+	faults   FaultPlan
+	boxes    []*mailbox
+	inFlight atomic.Int64
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newNetwork(faults FaultPlan, boxes []*mailbox, done chan struct{}) *Network {
+	return &Network{faults: faults, boxes: boxes, done: done}
+}
+
+// Send accepts a message for delivery. It never blocks and never fails:
+// from the sender's point of view the message system is faultless.
+func (nw *Network) Send(m sim.Message) {
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		// Unencodable messages cannot occur for in-range processors; treat
+		// as a silent loss that conformance will surface.
+		return
+	}
+	nw.inFlight.Add(1)
+	nw.wg.Add(1)
+	go nw.deliverLoop(m, frame)
+}
+
+// deliverLoop is one message's reliable-delivery agent.
+func (nw *Network) deliverLoop(m sim.Message, frame []byte) {
+	defer nw.wg.Done()
+	defer nw.inFlight.Add(-1)
+	for attempt := 0; ; attempt++ {
+		if d := nw.faults.delay(m.ID, attempt); d > 0 {
+			if !nw.sleep(d) {
+				return
+			}
+		}
+		if nw.faults.drop(m.ID, attempt) {
+			// Lost in transit: retransmit after backoff.
+			if !nw.sleep(nw.faults.backoff(m.ID, attempt)) {
+				return
+			}
+			continue
+		}
+		nw.boxes[m.ID.To].deliver(frame, m)
+		if !nw.faults.dup(m.ID, attempt) {
+			return
+		}
+		// The acknowledgement was lost: the agent cannot know the message
+		// arrived, so it retransmits a duplicate after backoff.
+		if !nw.sleep(nw.faults.backoff(m.ID, attempt)) {
+			return
+		}
+	}
+}
+
+// sleep waits d unless the run shuts down first.
+func (nw *Network) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-nw.done:
+		return false
+	}
+}
+
+// InFlight returns the number of accepted messages not yet delivered (or
+// discarded at a closed mailbox).
+func (nw *Network) InFlight() int { return int(nw.inFlight.Load()) }
+
+// wait blocks until every delivery agent has exited.
+func (nw *Network) wait() { nw.wg.Wait() }

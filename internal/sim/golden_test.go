@@ -1,0 +1,109 @@
+package sim_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestTraceSummaryGolden pins the rendering of sim.Run.Trace and
+// sim.Run.Summary against committed golden files. The live runtime's
+// conformance divergences and the chaos trace artifacts both embed these
+// renderings, so the format is load-bearing: a drift here silently breaks
+// the comparability of archived divergence traces across versions. Any
+// intended change must be regenerated explicitly with
+// `go test ./internal/sim -run TraceSummaryGolden -update`.
+func TestTraceSummaryGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		proto  sim.Protocol
+		inputs []sim.Bit
+		opts   sim.RunnerOptions
+	}{
+		{
+			name:   "tree3_allones",
+			proto:  protocols.Tree{Procs: 3},
+			inputs: []sim.Bit{sim.One, sim.One, sim.One},
+			opts:   sim.RunnerOptions{Seed: 1},
+		},
+		{
+			name:   "chain3_mixed",
+			proto:  protocols.Chain{Procs: 3},
+			inputs: []sim.Bit{sim.One, sim.Zero, sim.One},
+			opts:   sim.RunnerOptions{Seed: 7},
+		},
+		{
+			name:   "tree3_crash",
+			proto:  protocols.Tree{Procs: 3},
+			inputs: []sim.Bit{sim.One, sim.One, sim.One},
+			opts: sim.RunnerOptions{
+				Seed:     11,
+				Failures: []sim.FailureAt{{Proc: 1, AfterStep: 2}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := sim.RandomRun(tc.proto, tc.inputs, tc.opts)
+			if err != nil {
+				t.Fatalf("RandomRun: %v", err)
+			}
+			var sb strings.Builder
+			for _, line := range run.Trace() {
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+			sb.WriteByte('\n')
+			sb.WriteString(run.Summary())
+			got := sb.String()
+
+			path := filepath.Join("testdata", "trace_"+tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("Trace/Summary rendering diverged from %s.\nIf the change is intended, regenerate with:\n  go test ./internal/sim -run TraceSummaryGolden -update\n\ndiff:\n%s",
+					path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first divergent line, which identifies a golden
+// mismatch without a diff dependency.
+func firstDiff(want, got string) string {
+	w := strings.SplitAfter(want, "\n")
+	g := strings.SplitAfter(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("line %d:\n  golden: %s  got:    %s", i+1, wl, gl)
+		}
+	}
+	return "no difference"
+}

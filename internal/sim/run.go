@@ -21,6 +21,17 @@ type Run struct {
 	Unfired []FailureAt
 }
 
+// NewRun returns an empty run positioned at the protocol's initial
+// configuration for the given inputs, ready to be grown with Extend. This is
+// the entry point for replaying externally recorded schedules (chaos traces,
+// live-runtime conformance) one event at a time.
+func NewRun(proto Protocol, inputs []Bit) (*Run, error) {
+	if len(inputs) != proto.N() {
+		return nil, fmt.Errorf("sim: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
+	}
+	return &Run{Proto: proto, Configs: []*Config{NewConfig(proto, inputs)}}, nil
+}
+
 // Final returns the last configuration of the run.
 func (r *Run) Final() *Config { return r.Configs[len(r.Configs)-1] }
 
