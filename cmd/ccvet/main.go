@@ -1,14 +1,18 @@
-// Command ccvet runs the repo's static-analysis suite: four analyzers that
+// Command ccvet runs the repo's static-analysis suite: eight analyzers that
 // machine-check the model contracts of the Dwork & Skeen reproduction
 // (purity of transition functions, deterministic map iteration, no
-// self-sends, no dropped errors). It exits nonzero on any finding, so CI can
-// gate the tree on it.
+// self-sends, no dropped errors, guarded-by locking discipline, goroutine
+// lifecycle joins, atomic-access consistency, and no wall-clock or global
+// randomness in determinism-critical packages). It exits nonzero on any
+// finding, so CI can gate the tree on it.
 //
 // Usage:
 //
 //	ccvet ./...                    # this directory's subtree (the whole module from the root)
 //	ccvet ./internal/checker       # one package
 //	ccvet ./internal/...           # a package tree
+//	ccvet -json ./...              # findings as a JSON array (stable, sorted)
+//	ccvet -diff origin/main ./...  # gate only on findings in lines changed since the ref
 //	ccvet -list                    # describe the analyzers
 //
 // Patterns follow the go tool's semantics: "./..." and "." are anchored at
@@ -21,9 +25,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -34,12 +43,14 @@ func main() {
 
 func run() int {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	diffRef := flag.String("diff", "", "git ref: report all findings, but exit nonzero only for findings on lines changed since the ref")
 	flag.Parse()
 
 	analyzers := analysis.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -54,12 +65,121 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ccvet:", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	gating := findings
+	if *diffRef != "" {
+		changed, err := changedLines(mod.Root, *diffRef)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccvet:", err)
+			return 1
+		}
+		gating = nil
+		for _, f := range findings {
+			if changed[f.Pos.Filename][f.Pos.Line] {
+				gating = append(gating, f)
+			}
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ccvet: %d finding(s)\n", len(findings))
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ccvet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(gating) > 0 {
+		if *diffRef != "" {
+			fmt.Fprintf(os.Stderr, "ccvet: %d finding(s) on lines changed since %s (%d total)\n",
+				len(gating), *diffRef, len(findings))
+		} else {
+			fmt.Fprintf(os.Stderr, "ccvet: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
+	if *diffRef != "" && len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ccvet: %d pre-existing finding(s), none on lines changed since %s\n",
+			len(findings), *diffRef)
+	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable shape of one finding. Findings
+// arrive sorted (file, line, analyzer, message), so the array order — and
+// therefore the bytes — are a pure function of the source tree.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// hunkHeader matches the new-file line ranges of a unified diff hunk:
+// @@ -a[,b] +c[,d] @@ — the post-image range is lines c..c+d-1.
+var hunkHeader = regexp.MustCompile(`^@@ -[0-9]+(?:,[0-9]+)? \+([0-9]+)(?:,([0-9]+))? @@`)
+
+// changedLines asks git which module-relative lines changed since ref:
+// file → set of post-image line numbers added or modified. Deleted-only
+// hunks (post-image count 0) touch no current line and are excluded.
+func changedLines(root, ref string) (map[string]map[int]bool, error) {
+	cmd := exec.Command("git", "-C", root, "diff", "--unified=0", ref, "--", ".")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %w", ref, err)
+	}
+	changed := map[string]map[int]bool{}
+	var file string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "+++ ") {
+			name := strings.TrimPrefix(line, "+++ ")
+			if strings.HasPrefix(name, "b/") {
+				file = name[2:]
+			} else {
+				file = "" // /dev/null: deleted file
+			}
+			continue
+		}
+		m := hunkHeader.FindStringSubmatch(line)
+		if m == nil || file == "" {
+			continue
+		}
+		start, _ := strconv.Atoi(m[1])
+		count := 1
+		if m[2] != "" {
+			count, _ = strconv.Atoi(m[2])
+		}
+		if count == 0 {
+			continue
+		}
+		set := changed[file]
+		if set == nil {
+			set = map[int]bool{}
+			changed[file] = set
+		}
+		for i := 0; i < count; i++ {
+			set[start+i] = true
+		}
+	}
+	return changed, nil
 }

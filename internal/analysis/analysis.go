@@ -22,6 +22,18 @@
 //     provably the sending processor's own ProcID.
 //   - errdrop: flags discarded error results from functions defined in this
 //     module.
+//   - lockguard: fields annotated `// ccvet:guardedby mu` may only be
+//     accessed while the sibling mutex is held on every path to the access
+//     (reads need the read lock, writes the exclusive lock); `//ccvet:holds
+//     mu` moves the obligation to call sites.
+//   - golifecycle: every go statement needs a join — WaitGroup Add
+//     dominating the spawn with Done deferred in the body, or a receive
+//     from an externally created done-channel/context.
+//   - atomicmix: a variable accessed through sync/atomic must be accessed
+//     atomically everywhere; atomic.* box values must not be copied.
+//   - wallclock: no time.Now/Sleep/timers and no math/rand global state in
+//     the determinism-critical packages; randomness flows from seeded
+//     sources only.
 //
 // Findings can be suppressed with a comment of the form
 //
@@ -97,7 +109,10 @@ func (f Finding) String() string {
 
 // DefaultAnalyzers returns the full ccvet suite.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{PurityAnalyzer, DetRangeAnalyzer, SelfSendAnalyzer, ErrDropAnalyzer}
+	return []*Analyzer{
+		PurityAnalyzer, DetRangeAnalyzer, SelfSendAnalyzer, ErrDropAnalyzer,
+		LockGuardAnalyzer, GoLifecycleAnalyzer, AtomicMixAnalyzer, WallClockAnalyzer,
+	}
 }
 
 // RunAnalyzer runs one analyzer over one package and returns its findings

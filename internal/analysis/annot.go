@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file holds the annotation grammar shared by the concurrency
+// analyzers:
+//
+//	// ccvet:guardedby <field>     on a struct field: the field may only be
+//	                               accessed while the sibling mutex <field>
+//	                               is held (read accesses need at least a
+//	                               read lock, writes the exclusive lock).
+//	//ccvet:holds <field>          on a function or method doc comment: the
+//	                               body is entered with the receiver's
+//	                               mutex <field> already held exclusively;
+//	                               lockguard checks the *call sites* instead.
+//
+// Both markers accept the spaced (`// ccvet:guardedby mu`) and unspaced
+// (`//ccvet:guardedby mu`) comment forms, like //ccvet:ignore.
+
+const (
+	guardedByMarker = "ccvet:guardedby"
+	holdsMarker     = "ccvet:holds"
+)
+
+// markerArg extracts the argument of an annotation marker from one comment,
+// returning ok=false if the comment is not that marker.
+func markerArg(text, marker string) (arg string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	rest := text[len(marker):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. ccvet:guardedbyx
+	}
+	// Only the first token is the argument; trailing prose is welcome
+	// (`// ccvet:guardedby mu — why`).
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true
+	}
+	return fields[0], true
+}
+
+// guardedField describes one // ccvet:guardedby annotation: the guard is a
+// sibling field of mutex type in the same struct.
+type guardedField struct {
+	guard  string // sibling mutex field name
+	rwLock bool   // guard is a sync.RWMutex (read locks exist)
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex, and which.
+func isMutexType(t types.Type) (mutex, rw bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// collectGuarded walks the package's struct declarations for
+// // ccvet:guardedby annotations. It returns a map from the annotated field
+// object to its guard, reporting malformed annotations (missing argument, or
+// a guard that is not a sibling mutex field) through the pass.
+func collectGuarded(pass *Pass) map[*types.Var]guardedField {
+	out := map[*types.Var]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Index the struct's mutex fields first so guards can be
+			// validated whatever the field order.
+			mutexes := map[string]bool{} // name → isRW
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						if m, rw := isMutexType(v.Type()); m {
+							mutexes[name.Name] = rw
+						}
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				arg, pos, found := fieldAnnotation(fld, guardedByMarker)
+				if !found {
+					continue
+				}
+				if arg == "" {
+					pass.Reportf(pos, "malformed guardedby annotation: want // ccvet:guardedby <mutex field>")
+					continue
+				}
+				rw, isMu := mutexes[arg]
+				if !isMu {
+					pass.Reportf(pos, "guardedby names %q, which is not a sibling sync.Mutex/RWMutex field", arg)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[originVar(v)] = guardedField{guard: arg, rwLock: rw}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldAnnotation scans a struct field's doc and trailing comments for one
+// marker, returning its argument and position.
+func fieldAnnotation(fld *ast.Field, marker string) (arg string, pos token.Pos, found bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if a, ok := markerArg(c.Text, marker); ok {
+				return a, c.Pos(), true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// collectHolds gathers //ccvet:holds annotations: map from the annotated
+// function object to the receiver mutex fields its callers must hold.
+// Annotations on functions without a named receiver, or naming a non-mutex
+// field, are reported as malformed.
+func collectHolds(pass *Pass) map[*types.Func][]string {
+	out := map[*types.Func][]string{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				arg, isHolds := markerArg(c.Text, holdsMarker)
+				if !isHolds {
+					continue
+				}
+				if arg == "" {
+					pass.Reportf(c.Pos(), "malformed holds annotation: want //ccvet:holds <mutex field>")
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := receiverVar(pass, fd)
+				if recv == nil {
+					pass.Reportf(c.Pos(), "holds annotation on %s, which has no named receiver", fd.Name.Name)
+					continue
+				}
+				if !receiverHasMutexField(recv, arg) {
+					pass.Reportf(c.Pos(), "holds names %q, which is not a sync.Mutex/RWMutex field of the receiver", arg)
+					continue
+				}
+				out[fn] = append(out[fn], arg)
+			}
+		}
+	}
+	return out
+}
+
+// receiverVar returns the declaration's named receiver variable, or nil.
+func receiverVar(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	v, _ := pass.Info.Defs[name].(*types.Var)
+	return v
+}
+
+// receiverHasMutexField reports whether the receiver's base struct type has
+// a mutex field with the given name.
+func receiverHasMutexField(recv *types.Var, field string) bool {
+	t := recv.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == field {
+			m, _ := isMutexType(f.Type())
+			return m
+		}
+	}
+	return false
+}
+
+// originVar normalizes a field var of a generic instantiation to its origin
+// declaration, so annotations collected on the generic struct match
+// accesses through instantiated types.
+func originVar(v *types.Var) *types.Var {
+	if o := v.Origin(); o != nil {
+		return o
+	}
+	return v
+}
+
+// accessPath renders the dotted-and-indexed path of an expression rooted at
+// an identifier, for matching a guarded-field access against the lock that
+// protects it: `sh.m` → "sh.m", `v.shards[i].m` → "v.shards[i].m". Index
+// expressions with non-trivial indexes (calls, arithmetic) have no stable
+// path and yield ok=false — alias the element to a local first, which is
+// also the idiom the repo uses.
+func accessPath(info *types.Info, e ast.Expr) (root types.Object, path string, ok bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, x.Name, true
+	case *ast.SelectorExpr:
+		root, base, ok := accessPath(info, x.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return accessPath(info, x.X)
+	case *ast.StarExpr:
+		return accessPath(info, x.X)
+	case *ast.UnaryExpr:
+		return accessPath(info, x.X)
+	case *ast.IndexExpr:
+		root, base, ok := accessPath(info, x.X)
+		if !ok {
+			return nil, "", false
+		}
+		switch idx := unparen(x.Index).(type) {
+		case *ast.Ident:
+			return root, base + "[" + idx.Name + "]", true
+		case *ast.BasicLit:
+			return root, base + "[" + idx.Value + "]", true
+		}
+		return nil, "", false
+	}
+	return nil, "", false
+}

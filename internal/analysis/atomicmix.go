@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces all-or-nothing atomicity per variable. A
+// variable accessed through sync/atomic even once is a cross-goroutine
+// communication channel; any remaining plain read or write of it is a data
+// race that the seeded schedules cannot replay. Two contracts:
+//
+//   - a variable whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&x, …)) may appear *only* as such an operand —
+//     every other read, write, or address-take of x is flagged;
+//   - a value of an atomic box type (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], …) may only be used as a method-call receiver or
+//     have its address taken; copying it (assignment, argument, return,
+//     composite literal) detaches the copy from the original and is
+//     flagged, mirroring the vet copylocks rule these types exist to make
+//     unnecessary.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed through sync/atomic must be accessed atomically everywhere; atomic.* box values must not be copied",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	checkMixedAccess(pass)
+	checkBoxCopies(pass)
+}
+
+// checkMixedAccess finds variables used as &x operands of sync/atomic calls
+// and flags every other appearance of the same variable in the package.
+func checkMixedAccess(pass *Pass) {
+	// Pass 1: which variables are atomic, and which AST nodes are their
+	// sanctioned (atomic-call operand) appearances.
+	atomicVars := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				target := unparen(ue.X)
+				if obj := accessedVar(pass.Info, target); obj != nil {
+					atomicVars[obj] = true
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: every non-sanctioned appearance is a plain access.
+	for _, f := range pass.Files {
+		var skipSel map[*ast.Ident]bool = map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				skipSel[x.Sel] = true
+				if sanctioned[x] {
+					return true
+				}
+				if obj := accessedVar(pass.Info, x); obj != nil && atomicVars[obj] {
+					pass.Reportf(x.Pos(), "plain access of %s, which is elsewhere accessed through sync/atomic; every access must be atomic", exprString(x))
+				}
+			case *ast.Ident:
+				if sanctioned[x] || skipSel[x] {
+					return true
+				}
+				// Skip the defining occurrence: `var x int64` is not a use.
+				if _, isDef := pass.Info.Defs[x]; isDef {
+					return true
+				}
+				if obj := pass.Info.ObjectOf(x); obj != nil && atomicVars[obj] {
+					pass.Reportf(x.Pos(), "plain access of %s, which is elsewhere accessed through sync/atomic; every access must be atomic", x.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// accessedVar names the variable an lvalue expression denotes: a plain
+// identifier's object, or a selected struct field's origin var.
+func accessedVar(info *types.Info, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok {
+			return originVar(v)
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return originVar(v)
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether the call invokes a package-level function
+// of sync/atomic.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkBoxCopies flags value uses of sync/atomic box types outside the two
+// legal positions: method-call receiver and &-operand.
+func checkBoxCopies(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[e]
+			if !ok || !tv.IsValue() || !isAtomicBoxType(tv.Type) {
+				return true
+			}
+			if boxUseAllowed(pass.Info, e, stack) {
+				return true
+			}
+			pass.Reportf(e.Pos(), "value of %s copied or used non-atomically; call its methods through the original (or a pointer), never a copy",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+}
+
+// boxUseAllowed reports whether an atomic box value expression sits in a
+// legal position given its ancestor chain.
+func boxUseAllowed(info *types.Info, e ast.Expr, stack []ast.Node) bool {
+	// Walk up through parens and the expression's own wrappers.
+	child := ast.Node(e)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X != child {
+				return true // e is the Sel side; the receiver was judged separately
+			}
+			if s, ok := info.Selections[p]; ok && s.Kind() == types.MethodVal {
+				return true // method call receiver: d.lastBeat[i].Store(…)
+			}
+			// Field selection *through* the box has no legal meaning for
+			// sync/atomic types (no exported fields); the parent selector
+			// will be flagged if it misuses the result.
+			return true
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == child
+		case *ast.IndexExpr:
+			// e is being indexed (impossible for box types) or is the index.
+			return p.X == child
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isAtomicBoxType reports whether t is a named type declared in sync/atomic
+// (Int32, Int64, Uint64, Bool, Value, Pointer[T], …).
+func isAtomicBoxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,550 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// ---- lockguard ----
+
+const lockguardHeader = `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	m  map[string]int // ccvet:guardedby mu
+}
+`
+
+func TestLockGuardFlagsUnlockedRead(t *testing.T) {
+	src := lockguardHeader + `
+func (b *Box) Get(k string) int {
+	return b.m[k]
+}
+`
+	got := vetFixture(t, LockGuardAnalyzer, src)
+	wantFindings(t, got, 1, "without holding b.mu")
+	if got[0].Analyzer != "lockguard" {
+		t.Errorf("analyzer = %q, want lockguard", got[0].Analyzer)
+	}
+}
+
+func TestLockGuardAcceptsLockedAccess(t *testing.T) {
+	src := lockguardHeader + `
+func (b *Box) Get(k string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m[k]
+}
+
+func (b *Box) Put(k string, v int) {
+	b.mu.Lock()
+	b.m[k] = v
+	b.mu.Unlock()
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 0, "")
+}
+
+func TestLockGuardFlagsWriteUnderReadLock(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type RBox struct {
+	mu sync.RWMutex
+	m  map[string]int // ccvet:guardedby mu
+}
+
+func (b *RBox) Put(k string, v int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.m[k] = v
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 1, "only the read lock")
+}
+
+func TestLockGuardFlagsAccessAfterEarlyUnlockPath(t *testing.T) {
+	// One branch unlocks without returning: the access after the merge is
+	// only locked on the other path and must be reported.
+	src := lockguardHeader + `
+func (b *Box) Racy(k string) int {
+	b.mu.Lock()
+	if k == "" {
+		b.mu.Unlock()
+	}
+	v := b.m[k]
+	b.mu.Unlock()
+	return v
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 1, "without holding b.mu")
+}
+
+func TestLockGuardAcceptsTerminatedBranchUnlock(t *testing.T) {
+	// The early-unlock branch returns, so the fall-through is still locked.
+	src := lockguardHeader + `
+func (b *Box) Get(k string) int {
+	b.mu.Lock()
+	if k == "" {
+		b.mu.Unlock()
+		return 0
+	}
+	v := b.m[k]
+	b.mu.Unlock()
+	return v
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 0, "")
+}
+
+func TestLockGuardTracksShardAliasing(t *testing.T) {
+	// The repo's shard idiom: alias the element, lock through the alias,
+	// access through the alias.
+	src := `package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]int // ccvet:guardedby mu
+}
+
+type Sharded struct {
+	shards [4]shard
+}
+
+func (s *Sharded) Get(i int, k string) int {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	v := sh.m[k]
+	sh.mu.RUnlock()
+	return v
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 0, "")
+}
+
+func TestLockGuardAcceptsFreshConstruction(t *testing.T) {
+	src := lockguardHeader + `
+func NewBox() *Box {
+	b := &Box{}
+	b.m = make(map[string]int)
+	return b
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 0, "")
+}
+
+func TestLockGuardHoldsMovesObligationToCallSite(t *testing.T) {
+	src := lockguardHeader + `
+//ccvet:holds mu
+func (b *Box) locked(k string) int {
+	return b.m[k]
+}
+
+func (b *Box) Good(k string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.locked(k)
+}
+
+func (b *Box) Bad(k string) int {
+	return b.locked(k)
+}
+`
+	got := vetFixture(t, LockGuardAnalyzer, src)
+	wantFindings(t, got, 1, "ccvet:holds")
+}
+
+func TestLockGuardGoroutineDoesNotInheritLocks(t *testing.T) {
+	src := lockguardHeader + `
+func (b *Box) Leak(k string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		_ = b.m[k]
+		close(done)
+	}()
+	<-done
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 1, "without holding b.mu")
+}
+
+func TestLockGuardFlagsMalformedAnnotation(t *testing.T) {
+	src := `package fixture
+
+type Box struct {
+	n int
+	m map[string]int // ccvet:guardedby n
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 1, "not a sibling sync.Mutex")
+}
+
+func TestLockGuardIgnoreSuppresses(t *testing.T) {
+	src := lockguardHeader + `
+func (b *Box) Snapshot() int {
+	return len(b.m) //ccvet:ignore lockguard fixture demonstrates suppression
+}
+`
+	wantFindings(t, vetFixture(t, LockGuardAnalyzer, src), 0, "")
+}
+
+// ---- golifecycle ----
+
+func TestGoLifecycleFlagsFireAndForget(t *testing.T) {
+	src := `package fixture
+
+func Spawn() {
+	go func() {
+		println("orphan")
+	}()
+}
+`
+	got := vetFixture(t, GoLifecycleAnalyzer, src)
+	wantFindings(t, got, 1, "fire-and-forget")
+	if got[0].Analyzer != "golifecycle" {
+		t.Errorf("analyzer = %q, want golifecycle", got[0].Analyzer)
+	}
+}
+
+func TestGoLifecycleFlagsAddInsideGoroutine(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		defer wg.Done()
+	}()
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 1, "races with Wait")
+}
+
+func TestGoLifecycleFlagsDoneWithoutDominatingAdd(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func Spawn(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Add(1) // too late: Wait can return before this runs
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 1, "no Add on the same WaitGroup dominates")
+}
+
+func TestGoLifecycleAcceptsWaitGroupPattern(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func Spawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
+}
+
+func TestGoLifecycleAcceptsWaitGroupFieldAcrossMethods(t *testing.T) {
+	// The transport idiom: Add in one method, the deferred Done in the
+	// callee the go statement runs — matched by field identity.
+	src := `package fixture
+
+import "sync"
+
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool) Spawn() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
+}
+
+func TestGoLifecycleAcceptsDoneChannel(t *testing.T) {
+	src := `package fixture
+
+func Spawn(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func SpawnWorker(jobs chan int) {
+	go worker(jobs)
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
+}
+
+func TestGoLifecycleInternalChannelIsNotAJoin(t *testing.T) {
+	// A channel created inside the goroutine cannot be closed from outside.
+	src := `package fixture
+
+func Spawn() {
+	go func() {
+		ch := make(chan int, 1)
+		ch <- 1
+		<-ch
+	}()
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 1, "fire-and-forget")
+}
+
+func TestGoLifecycleIgnoreSuppresses(t *testing.T) {
+	src := `package fixture
+
+func Spawn() {
+	//ccvet:ignore golifecycle fixture demonstrates suppression
+	go func() {
+		println("orphan")
+	}()
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
+}
+
+// ---- atomicmix ----
+
+func TestAtomicMixFlagsMixedAccess(t *testing.T) {
+	src := `package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return c.n
+}
+`
+	got := vetFixture(t, AtomicMixAnalyzer, src)
+	wantFindings(t, got, 1, "must be atomic")
+	if got[0].Analyzer != "atomicmix" {
+		t.Errorf("analyzer = %q, want atomicmix", got[0].Analyzer)
+	}
+}
+
+func TestAtomicMixAcceptsAllAtomicAccess(t *testing.T) {
+	src := `package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+`
+	wantFindings(t, vetFixture(t, AtomicMixAnalyzer, src), 0, "")
+}
+
+func TestAtomicMixFlagsBoxValueCopy(t *testing.T) {
+	src := `package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	n atomic.Int64
+}
+
+func Snapshot(c *Counter) atomic.Int64 {
+	return c.n
+}
+`
+	wantFindings(t, vetFixture(t, AtomicMixAnalyzer, src), 1, "copied")
+}
+
+func TestAtomicMixAcceptsBoxMethodsAndAddress(t *testing.T) {
+	src := `package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	n atomic.Int64
+}
+
+type Gauges struct {
+	vals []atomic.Int64
+}
+
+func Use(c *Counter, g *Gauges) int64 {
+	c.n.Add(1)
+	g.vals[0].Store(7)
+	p := &c.n
+	return p.Load() + g.vals[0].Load()
+}
+`
+	wantFindings(t, vetFixture(t, AtomicMixAnalyzer, src), 0, "")
+}
+
+func TestAtomicMixIgnoreSuppresses(t *testing.T) {
+	src := `package fixture
+
+import "sync/atomic"
+
+var n int64
+
+func Inc() {
+	atomic.AddInt64(&n, 1)
+}
+
+func Init() {
+	n = 0 //ccvet:ignore atomicmix fixture demonstrates suppression
+}
+`
+	wantFindings(t, vetFixture(t, AtomicMixAnalyzer, src), 0, "")
+}
+
+// ---- wallclock ----
+
+func TestWallClockFlagsTimeNow(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+	got := vetFixture(t, WallClockAnalyzer, src)
+	wantFindings(t, got, 1, "wall-clock call time.Now")
+	if got[0].Analyzer != "wallclock" {
+		t.Errorf("analyzer = %q, want wallclock", got[0].Analyzer)
+	}
+}
+
+func TestWallClockFlagsGlobalRand(t *testing.T) {
+	src := `package fixture
+
+import "math/rand"
+
+func Roll() int {
+	return rand.Intn(6)
+}
+`
+	wantFindings(t, vetFixture(t, WallClockAnalyzer, src), 1, "global-source call rand.Intn")
+}
+
+func TestWallClockAcceptsSeededSourceAndDurations(t *testing.T) {
+	src := `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func Double(d time.Duration) time.Duration {
+	return 2 * d
+}
+`
+	wantFindings(t, vetFixture(t, WallClockAnalyzer, src), 0, "")
+}
+
+func TestWallClockIgnoreSuppresses(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //ccvet:ignore wallclock fixture demonstrates suppression
+}
+`
+	wantFindings(t, vetFixture(t, WallClockAnalyzer, src), 0, "")
+}
+
+func TestWallClockAppliesToDeterminismCriticalPackages(t *testing.T) {
+	for rel, want := range map[string]bool{
+		"internal/sim":         true,
+		"internal/checker":     true,
+		"internal/fingerprint": true,
+		"internal/chaos":       true,
+		"internal/frontier":    true,
+		"internal/runtime":     true, // file-restricted inside Run
+		"internal/analysis":    false,
+		"cmd/cclive":           false,
+	} {
+		if got := WallClockAnalyzer.AppliesTo(rel); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+// ---- reproducibility ----
+
+// TestVetOutputIsReproducible loads and vets the whole module twice from
+// scratch and asserts byte-identical rendered output: ccvet findings are a
+// pure function of the source tree, never of map iteration or scheduling.
+func TestVetOutputIsReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped in -short mode")
+	}
+	render := func() string {
+		mod, err := LoadModule(".")
+		if err != nil {
+			t.Fatalf("LoadModule: %v", err)
+		}
+		findings, err := mod.Vet(DefaultAnalyzers(), []string{"..."})
+		if err != nil {
+			t.Fatalf("Vet: %v", err)
+		}
+		return renderFindings(findings)
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("ccvet output differs across two identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

@@ -38,8 +38,12 @@ var detRangePackages = []string{
 	"internal/chaos",
 	"internal/frontier",
 	"internal/runtime",
+	"internal/taxonomy",
 	"cmd/ccchaos",
 	"cmd/cclive",
+	"cmd/ccbench",
+	"cmd/cclattice",
+	"cmd/ccpat",
 }
 
 func detRangeApplies(relPath string) bool {

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// WallClockAnalyzer keeps wall-clock time and global randomness out of the
+// determinism-critical packages. The paper's model has no clocks: a run is
+// a function of the schedule alone, and the differential suites, scheme
+// caches, and trace-replay conformance all assume that re-executing a
+// schedule reproduces the run byte for byte. A single time.Now or
+// math/rand global-state call on those paths is hidden nondeterminism the
+// adversary/schedule cannot express. All time must be logical (ticks,
+// sequence numbers) and all randomness must flow from a seeded source
+// constructed with rand.New(rand.NewSource(seed)) — constructor calls
+// (New*) stay legal, the shared global source does not.
+//
+// The live halves of runtime/chaos measure real latencies by design and
+// are exempt; their replay/conformance halves (frame encoding, trace
+// conformance) are covered.
+var WallClockAnalyzer = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "no wall-clock reads, timers, or math/rand global state in determinism-critical packages; use logical time and seeded sources",
+	AppliesTo: wallClockApplies,
+	Run:       runWallClock,
+}
+
+// wallClockPackages are the package trees where every file is covered.
+var wallClockPackages = []string{
+	"internal/sim",
+	"internal/checker",
+	"internal/scheme",
+	"internal/pattern",
+	"internal/fingerprint",
+	"internal/transform",
+	"internal/experiments",
+	"internal/core",
+	"internal/protocols",
+	"internal/taxonomy",
+	"internal/chaos",
+	"internal/frontier",
+}
+
+// wallClockFiles restricts coverage to named files for packages that are
+// split into a live half and a replay/conformance half.
+var wallClockFiles = map[string][]string{
+	"internal/runtime": {"conformance.go", "frame.go"},
+}
+
+func wallClockApplies(relPath string) bool {
+	if _, ok := wallClockFiles[relPath]; ok {
+		return true
+	}
+	for _, p := range wallClockPackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Pure-value helpers (time.Duration arithmetic, ParseDuration) stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) {
+	relPath := strings.TrimPrefix(pass.Pkg.Path(), pass.ModulePath+"/")
+	onlyFiles := wallClockFiles[relPath]
+	for _, f := range pass.Files {
+		if onlyFiles != nil && !fileIn(pass, f, onlyFiles) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true // type and constant references stay legal
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "wall-clock call time.%s in a determinism-critical package; use logical time derived from the schedule", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(), "global-source call rand.%s in a determinism-critical package; draw from a seeded rand.New(rand.NewSource(seed))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fileIn reports whether the file's basename is in the allowlist.
+func fileIn(pass *Pass, f *ast.File, names []string) bool {
+	base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+	for _, n := range names {
+		if n == base {
+			return true
+		}
+	}
+	return false
+}

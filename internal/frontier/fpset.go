@@ -11,6 +11,7 @@ package frontier
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fingerprint"
 )
@@ -62,7 +63,7 @@ type FPVisitedSet struct {
 
 type fpVisitShard struct {
 	mu sync.RWMutex
-	m  map[fingerprint.Digest]struct{}
+	m  map[fingerprint.Digest]struct{} // ccvet:guardedby mu
 }
 
 // NewFPVisitedSet returns an empty set.
@@ -113,13 +114,16 @@ func (v *FPVisitedSet) Len() int {
 // and the collision counted — so explorations in verified mode are exact
 // even in the astronomically unlikely event of a 128-bit collision.
 type FPVerifiedSet struct {
-	shards     [numShards]fpVerifiedShard
-	collisions int64
+	shards [numShards]fpVerifiedShard
+	// collisions counts detected fingerprint collisions. Adders on
+	// different shards hold different shard mutexes, so the counter cannot
+	// ride on any of them; it must be atomic.
+	collisions atomic.Int64
 }
 
 type fpVerifiedShard struct {
 	mu sync.RWMutex
-	m  map[fingerprint.Digest][]string
+	m  map[fingerprint.Digest][]string // ccvet:guardedby mu
 }
 
 // NewFPVerifiedSet returns an empty set.
@@ -168,7 +172,7 @@ func (v *FPVerifiedSet) Add(d fingerprint.Digest, key string) bool {
 		}
 	}
 	if len(keys) > 0 {
-		v.collisions++
+		v.collisions.Add(1)
 	}
 	sh.m[d] = append(keys, key)
 	return true
@@ -189,10 +193,8 @@ func (v *FPVerifiedSet) Len() int {
 }
 
 // Collisions returns the number of verified fingerprint collisions
-// detected so far. Callers that only Add from a single merge goroutine
-// (the level-synchronous explorers) may read it without synchronization
-// after the run.
-func (v *FPVerifiedSet) Collisions() int64 { return v.collisions }
+// detected so far.
+func (v *FPVerifiedSet) Collisions() int64 { return v.collisions.Load() }
 
 // FPShardedMap is ShardedMap keyed by fingerprint, for commutative
 // concurrent aggregation under 16-byte keys.
@@ -202,7 +204,7 @@ type FPShardedMap[V any] struct {
 
 type fpMapShard[V any] struct {
 	mu sync.Mutex
-	m  map[fingerprint.Digest]V
+	m  map[fingerprint.Digest]V // ccvet:guardedby mu
 }
 
 // NewFPShardedMap returns an empty map.

@@ -150,7 +150,7 @@ type VisitedSet struct {
 
 type visitShard struct {
 	mu sync.RWMutex
-	m  map[string]struct{}
+	m  map[string]struct{} // ccvet:guardedby mu
 }
 
 // NewVisitedSet returns an empty set.
@@ -205,7 +205,7 @@ type Interner struct {
 
 type internShard struct {
 	mu sync.RWMutex
-	m  map[string]string
+	m  map[string]string // ccvet:guardedby mu
 }
 
 // NewInterner returns an empty interner.
@@ -246,7 +246,7 @@ type ShardedMap[V any] struct {
 
 type mapShard[V any] struct {
 	mu sync.Mutex
-	m  map[string]V
+	m  map[string]V // ccvet:guardedby mu
 }
 
 // NewShardedMap returns an empty map.

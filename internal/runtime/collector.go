@@ -20,16 +20,16 @@ import (
 type collector struct {
 	mu  sync.Mutex
 	n   int
-	sch sim.Schedule
-	seq []int // seq[from*n+to], mirroring sim.Config's channel counters
+	sch sim.Schedule // ccvet:guardedby mu
+	seq []int        // ccvet:guardedby mu — seq[from*n+to], mirroring sim.Config's channel counters
 	// failed marks crashed processors; refusals below keep the schedule
 	// consistent with fail-stop semantics.
-	failed []bool
-	err    error
+	failed []bool // ccvet:guardedby mu
+	err    error  // ccvet:guardedby mu
 
-	decisions []sim.Decision
-	decidedAt []time.Time
-	crashAt   []time.Time
+	decisions []sim.Decision // ccvet:guardedby mu
+	decidedAt []time.Time    // ccvet:guardedby mu
+	crashAt   []time.Time    // ccvet:guardedby mu
 
 	start time.Time
 }
@@ -48,6 +48,8 @@ func newCollector(n int) *collector {
 
 // nextSeq allocates the next sequence number from→to, exactly as
 // sim.Config does during replay.
+//
+//ccvet:holds mu
 func (co *collector) nextSeq(from, to sim.ProcID) int {
 	i := int(from)*co.n + int(to)
 	co.seq[i]++

@@ -34,10 +34,10 @@ type detector struct {
 	exited   []atomic.Bool  // processor left its loop (halt/quiesce), heartbeats stopped benignly
 
 	mu        sync.Mutex
-	pending   map[sim.ProcID]pendingCrash  // stamped notices awaiting detection
-	detected  map[sim.ProcID]time.Duration // crash → detection latency
-	suspected map[sim.ProcID]bool
-	falseSusp int
+	pending   map[sim.ProcID]pendingCrash  // ccvet:guardedby mu — stamped notices awaiting detection
+	detected  map[sim.ProcID]time.Duration // ccvet:guardedby mu — crash → detection latency
+	suspected map[sim.ProcID]bool          // ccvet:guardedby mu
+	falseSusp int                          // ccvet:guardedby mu
 }
 
 // pendingCrash is a confirmed crash whose notices await the timeout.

@@ -107,12 +107,12 @@ const agingLimit = 8
 // at-least-once duplicates, and aging enforces fairness.
 type mailbox struct {
 	mu       sync.Mutex
-	msgs     []sim.Message
-	passed   []int // times each buffered message was passed over
-	seen     map[sim.MsgID]bool
-	closed   bool
+	msgs     []sim.Message      // ccvet:guardedby mu
+	passed   []int              // ccvet:guardedby mu — times each buffered message was passed over
+	seen     map[sim.MsgID]bool // ccvet:guardedby mu
+	closed   bool               // ccvet:guardedby mu
 	dedupOff bool
-	rng      *rand.Rand
+	rng      *rand.Rand // ccvet:guardedby mu — seeded delivery-order source; draws must be serialized
 	notify   chan struct{}
 	// pending counts messages popped by recv but not yet recorded and
 	// applied by the node; the quiescence monitor must see zero.
@@ -178,6 +178,8 @@ func (mb *mailbox) tryRecv() (sim.Message, bool) {
 
 // pick chooses the next message: uniformly at random, except a message
 // passed over agingLimit times is served first. Callers hold mb.mu.
+//
+//ccvet:holds mu
 func (mb *mailbox) pick() sim.Message {
 	idx := -1
 	for i, age := range mb.passed {

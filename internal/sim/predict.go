@@ -127,7 +127,7 @@ const predictShards = 64
 
 type predictShard struct {
 	mu sync.RWMutex
-	m  map[fingerprint.Digest]predictEntry
+	m  map[fingerprint.Digest]predictEntry // ccvet:guardedby mu
 }
 
 // Predictor is a concurrency-safe transition cache for fingerprint
