@@ -13,11 +13,22 @@
 // and every recorded trace must replay as a legal run of the model with
 // the same decisions.
 //
+// With -serve/-join the soak spans OS processes: a coordinator owns host
+// 0's slice of processors and -joins joiner processes own the rest, meshed
+// over TCP on localhost with seeded link faults (interval partitions,
+// stalls, connection resets) layered above the sockets. Every link-fault
+// decision is a pure function of (link seed, link, interval), so two soaks
+// with the same -seed inject byte-identical link schedules; -print-faults
+// renders that schedule without running anything so the claim is diffable.
+//
 // Usage:
 //
 //	cclive -proto tree -n 3 -problem WT-TC -runs 200 -seed 1984 -drop 0.1
 //	cclive -proto star -n 4 -problem HT-IC -runs 100 -dup 0.2 -delay 500us
 //	cclive -proto tree -n 3 -problem WT-TC -no-dedup -dup 0.5   # must fail
+//	cclive -serve -spawn 2 -proto ackcommit -n 100 -runs 5 \
+//	    -sever-rate 0.2 -stall-rate 0.1 -conform-sample 0.4    # distributed
+//	cclive -join 127.0.0.1:9000                                # one joiner
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 divergences or violations
 // found, 3 soak interrupted (SIGINT or -timeout) before completing.
@@ -25,13 +36,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -51,15 +65,49 @@ type runOutcome struct {
 	diverged  bool
 	panicked  bool
 	aborted   bool
+	conformed bool // conformance replay actually ran (sampling may skip it)
 	err       error
 	divs      []consensus.LiveDivergence
 	result    *consensus.LiveResult
 	plan      consensus.ChaosRunPlan
 	crashes   int
 	detectMax time.Duration
+	decideMax time.Duration
 	recovery  time.Duration
 	falseSusp int
+	linkSusp  int
 	events    int
+	transport consensus.LiveTransportStats
+}
+
+// soakFlags carries every parsed flag the soak modes share.
+type soakFlags struct {
+	protoName, problem string
+	seed               int64
+	runs               int
+	drop, dup          float64
+	delay              time.Duration
+	heartbeat, detect  time.Duration
+	deadline, timeout  time.Duration
+	noDedup, verbose   bool
+	traceDir           string
+	jsonPath           string
+	sample             float64
+	crashHorizon       int
+
+	// Distributed mode.
+	serve       bool
+	joinAddr    string
+	joins       int
+	listen      string
+	spawn       int
+	partInt     time.Duration
+	severRate   float64
+	stallRate   float64
+	resetRate   float64
+	partIvals   int
+	isolate     []int
+	printFaults bool
 }
 
 func run() int {
@@ -69,8 +117,8 @@ func run() int {
 		problem   = flag.String("problem", "WT-TC", "problem: {WT,ST,HT}-{IC,TC}")
 		ruleName  = flag.String("rule", "unanimity", "decision rule: unanimity, threshold-K, or broadcast-P (termination standalone satisfies threshold-1, not unanimity)")
 		runs      = flag.Int("runs", 200, "number of live executions")
-		seed      = flag.Int64("seed", 1, "soak seed; derives per-run seeds, inputs, and crash schedules")
-		parallel  = flag.Int("parallel", 0, "concurrent live runs (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "soak seed; derives per-run seeds, inputs, crash schedules, and link-fault schedules")
+		parallel  = flag.Int("parallel", 0, "concurrent live runs, in-memory mode only (0 = GOMAXPROCS)")
 		maxFail   = flag.Int("max-failures", -1, "maximum injected crashes per run (-1 = N-1, 0 = crash-free)")
 		drop      = flag.Float64("drop", 0.1, "per-attempt probability a delivery is lost in transit")
 		dup       = flag.Float64("dup", 0.1, "per-delivery probability the ack is lost (duplicate retransmit)")
@@ -82,16 +130,63 @@ func run() int {
 		inputsArg = flag.String("inputs", "", "fixed input vector like 101 (empty = random per run)")
 		traceDir  = flag.String("trace-dir", "", "directory for divergence traces (empty = don't write)")
 		noDedup   = flag.Bool("no-dedup", false, "disable receiver-side dedup (teeth check: conformance must then fail under -dup)")
+		jsonPath  = flag.String("json", "", "write a machine-readable soak summary to this file (\"-\" = stdout)")
+		sample    = flag.Float64("conform-sample", 1, "fraction of runs whose traces are conformance-replayed (seeded per run; 1 = all)")
+		crashHor  = flag.Int("crash-horizon", 0, "fold planned crash steps into [0,H) so injections land inside short large-N runs (0 = as planned)")
 		verbose   = flag.Bool("v", false, "print every failing run, not just the first five")
+
+		serve       = flag.Bool("serve", false, "coordinator mode: run the soak across -joins joiner processes over TCP")
+		joinAddr    = flag.String("join", "", "joiner mode: serve runs for the coordinator at this control address")
+		joins       = flag.Int("joins", 2, "number of joiner processes (serve mode; hosts = joins+1)")
+		listen      = flag.String("listen", "127.0.0.1:0", "control-plane listen address (serve mode)")
+		spawn       = flag.Int("spawn", 0, "fork this many joiner processes automatically (serve mode; implies -joins)")
+		partInt     = flag.Duration("partition-interval", 250*time.Millisecond, "wall length of one link-fault interval")
+		severRate   = flag.Float64("sever-rate", 0, "per-(link,interval) probability the link is severed (one side of a partition)")
+		stallRate   = flag.Float64("stall-rate", 0, "per-(link,interval) probability the link stalls for half the interval")
+		resetRate   = flag.Float64("reset-rate", 0, "per-(link,interval) probability the connection is reset")
+		partIvals   = flag.Int("partition-intervals", 8, "link faults only fire in the first this-many intervals, so every schedule heals")
+		isolateArg  = flag.String("isolate", "", "comma-separated host ids permanently partitioned from the rest (teeth check: the soak must fail)")
+		printFaults = flag.Bool("print-faults", false, "print every planned run's link-fault schedule and exit (pure; nothing runs)")
 	)
 	flag.Parse()
 
-	proto, err := consensus.ProtocolByName(*protoName, *n)
+	isolate, err := parseIsolate(*isolateArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cclive:", err)
 		return 1
 	}
-	prob, err := consensus.ParseProblem(*problem)
+	f := soakFlags{
+		protoName: *protoName, problem: *problem, seed: *seed, runs: *runs,
+		drop: *drop, dup: *dup, delay: *delay,
+		heartbeat: *heartbeat, detect: *detect, deadline: *deadline, timeout: *timeout,
+		noDedup: *noDedup, verbose: *verbose, traceDir: *traceDir,
+		jsonPath: *jsonPath, sample: *sample, crashHorizon: *crashHor,
+		serve: *serve, joinAddr: *joinAddr, joins: *joins, listen: *listen, spawn: *spawn,
+		partInt: *partInt, severRate: *severRate, stallRate: *stallRate, resetRate: *resetRate,
+		partIvals: *partIvals, isolate: isolate, printFaults: *printFaults,
+	}
+	if f.spawn > 0 {
+		f.joins = f.spawn
+	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	// Joiner mode needs no protocol flags: everything arrives in the spec.
+	if f.joinAddr != "" {
+		if err := consensus.DistJoin(ctx, f.joinAddr, distOptions()); err != nil {
+			fmt.Fprintln(os.Stderr, "cclive: join:", err)
+			return 1
+		}
+		return 0
+	}
+
+	proto, err := consensus.ProtocolByName(f.protoName, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclive:", err)
+		return 1
+	}
+	prob, err := consensus.ParseProblem(f.problem)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cclive:", err)
 		return 1
@@ -117,18 +212,39 @@ func run() int {
 		mf = nProcs - 1
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 
-	plans := consensus.ChaosPlanRuns(*seed, *runs, nProcs, mf, fixed)
-	outcomes := make([]runOutcome, len(plans))
+	plans := consensus.ChaosPlanRuns(f.seed, f.runs, nProcs, mf, fixed)
+	if f.crashHorizon > 0 {
+		// Fold each planned crash step into [0, H). The chaos planner draws
+		// steps from a 4n²+8 horizon, which at large N lands nearly every
+		// injection beyond quiescence; folding keeps the schedule a pure
+		// function of the seed while making large-N soaks actually crash.
+		for i := range plans {
+			for j := range plans[i].Failures {
+				plans[i].Failures[j].AfterStep %= f.crashHorizon
+			}
+		}
+	}
 
-	par := *parallel
+	if f.printFaults {
+		return dumpFaultSchedules(f, plans)
+	}
+	if f.serve {
+		return runServe(ctx, f, proto, prob, plans)
+	}
+	return runInMemory(ctx, f, proto, prob, plans, *parallel)
+}
+
+// runInMemory is the single-process soak: a worker pool of concurrent live
+// runs over the in-memory transport.
+func runInMemory(ctx context.Context, f soakFlags, proto consensus.Protocol, prob consensus.Problem, plans []consensus.ChaosRunPlan, parallel int) int {
+	outcomes := make([]runOutcome, len(plans))
+	par := parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -142,18 +258,18 @@ func run() int {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				outcomes[i] = executeRun(ctx, proto, prob, plans[i], consensus.LiveConfig{
+				outcomes[i] = executeRun(ctx, proto, prob, f, plans[i], consensus.LiveConfig{
 					Faults: consensus.LiveFaultPlan{
 						Seed:         plans[i].Seed,
-						DropRate:     *drop,
-						DupRate:      *dup,
-						MaxDelay:     *delay,
-						DisableDedup: *noDedup,
+						DropRate:     f.drop,
+						DupRate:      f.dup,
+						MaxDelay:     f.delay,
+						DisableDedup: f.noDedup,
 					},
 					Failures:      plans[i].Failures,
-					Heartbeat:     *heartbeat,
-					DetectTimeout: *detect,
-					Deadline:      *deadline,
+					Heartbeat:     f.heartbeat,
+					DetectTimeout: f.detect,
+					Deadline:      f.deadline,
 				})
 			}
 		}()
@@ -169,13 +285,142 @@ feed:
 	close(idxCh)
 	wg.Wait()
 
-	return report(outcomes, proto.Name(), *protoName, prob, *seed, *runs, *traceDir, *verbose)
+	return report(outcomes, proto.Name(), f, prob, "memory", 1)
 }
 
-// executeRun performs one live run to a verdict, converting panics in
-// protocol or runtime code into reported failures instead of a crashed
-// soak.
-func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Problem, plan consensus.ChaosRunPlan, cfg consensus.LiveConfig) (out runOutcome) {
+// distOptions is the registry both sides of the control plane share.
+func distOptions() consensus.DistOptions {
+	return consensus.DistOptions{
+		Resolve: consensus.ProtocolByName,
+		Decode:  consensus.ParsePayloadKey,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "cclive: "+format+"\n", args...)
+		},
+	}
+}
+
+// planSpec derives one distributed run's spec from its chaos plan. The
+// link-fault seed is the plan's pure LinkSeed, so two soaks with the same
+// -seed schedule byte-identical link faults.
+func planSpec(f soakFlags, nProcs, hosts int, plan consensus.ChaosRunPlan) consensus.DistSpec {
+	return consensus.DistSpec{
+		Proto:  f.protoName,
+		N:      nProcs,
+		Inputs: plan.Inputs,
+		Owner:  consensus.DistOwner(nProcs, hosts),
+		Faults: consensus.LiveFaultPlan{
+			Seed:         plan.Seed,
+			DropRate:     f.drop,
+			DupRate:      f.dup,
+			MaxDelay:     f.delay,
+			DisableDedup: f.noDedup,
+		},
+		Links:             planLinks(f, plan),
+		PartitionInterval: f.partInt,
+		Heartbeat:         f.heartbeat,
+		DetectTimeout:     f.detect,
+		Deadline:          f.deadline,
+		Failures:          plan.Failures,
+	}
+}
+
+func planLinks(f soakFlags, plan consensus.ChaosRunPlan) consensus.LinkFaultPlan {
+	return consensus.LinkFaultPlan{
+		Seed:            plan.LinkSeed,
+		SeverRate:       f.severRate,
+		StallRate:       f.stallRate,
+		ResetRate:       f.resetRate,
+		ActiveIntervals: f.partIvals,
+		Isolate:         f.isolate,
+	}
+}
+
+// dumpFaultSchedules renders every planned run's link-fault schedule —
+// a pure function of the soak seed — and exits without running anything.
+// Diffing two invocations with the same -seed proves schedule identity.
+func dumpFaultSchedules(f soakFlags, plans []consensus.ChaosRunPlan) int {
+	hosts := f.joins + 1
+	hostIDs := make([]int, hosts)
+	for h := range hostIDs {
+		hostIDs[h] = h
+	}
+	for i, plan := range plans {
+		fmt.Printf("run %d seed=%d linkseed=%d\n", i, plan.Seed, plan.LinkSeed)
+		fmt.Print(planLinks(f, plan).Render(hostIDs, f.partIvals))
+	}
+	return 0
+}
+
+// runServe is the coordinator: admit the joiners once, then push every
+// planned run through the standing session sequentially.
+func runServe(ctx context.Context, f soakFlags, proto consensus.Protocol, prob consensus.Problem, plans []consensus.ChaosRunPlan) int {
+	nProcs := proto.N()
+	hosts := f.joins + 1
+	opts := distOptions()
+
+	// -spawn forks the joiners as soon as the control address is bound, so
+	// one command runs the whole multi-process soak.
+	var children []*exec.Cmd
+	if f.spawn > 0 {
+		opts.OnListen = func(addr string) {
+			for i := 0; i < f.spawn; i++ {
+				child := exec.Command(os.Args[0], "-join", addr)
+				child.Stdout = os.Stderr
+				child.Stderr = os.Stderr
+				if err := child.Start(); err != nil {
+					fmt.Fprintln(os.Stderr, "cclive: spawn:", err)
+					return
+				}
+				children = append(children, child)
+			}
+		}
+	}
+	coord, err := consensus.NewDistCoordinator(ctx, f.listen, f.joins, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclive: serve:", err)
+		return 1
+	}
+
+	outcomes := make([]runOutcome, len(plans))
+	code := 0
+	for i, plan := range plans {
+		outcomes[i].plan = plan
+		if ctx.Err() != nil {
+			outcomes[i].aborted = true
+			continue
+		}
+		rep, err := coord.Run(ctx, planSpec(f, nProcs, hosts, plan))
+		if err != nil {
+			if ctx.Err() != nil {
+				outcomes[i].aborted = true
+				continue
+			}
+			// A control-plane failure kills the session; no later run
+			// can succeed, so fail fast.
+			fmt.Fprintf(os.Stderr, "cclive: run %d: %v\n", i, err)
+			code = 1
+			for j := i; j < len(plans); j++ {
+				outcomes[j].plan = plans[j]
+				outcomes[j].aborted = true
+			}
+			break
+		}
+		outcomes[i] = judgeResult(rep.Result, proto, prob, f, plan)
+	}
+	_ = coord.Close()
+	for _, child := range children {
+		_ = child.Wait()
+	}
+	if rc := report(outcomes, proto.Name(), f, prob, "distributed", hosts); code == 0 {
+		code = rc
+	}
+	return code
+}
+
+// executeRun performs one in-memory live run to a verdict, converting
+// panics in protocol or runtime code into reported failures instead of a
+// crashed soak.
+func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Problem, f soakFlags, plan consensus.ChaosRunPlan, cfg consensus.LiveConfig) (out runOutcome) {
 	out.plan = plan
 	defer func() {
 		if r := recover(); r != nil {
@@ -194,6 +439,18 @@ func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Pr
 		out.err = err
 		return out
 	}
+	if res.Err != nil && ctx.Err() != nil {
+		out.aborted = true
+		return out
+	}
+	return judgeResult(res, proto, prob, f, plan)
+}
+
+// judgeResult converts a finished run (from either transport) into an
+// outcome: measurements, transport counters, and — for sampled runs — the
+// conformance verdict.
+func judgeResult(res *consensus.LiveResult, proto consensus.Protocol, prob consensus.Problem, f soakFlags, plan consensus.ChaosRunPlan) (out runOutcome) {
+	out.plan = plan
 	out.done = true
 	out.result = res
 	out.quiescent = res.Quiescent
@@ -201,20 +458,29 @@ func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Pr
 	out.crashes = len(res.Crashes)
 	out.recovery = res.Recovery
 	out.falseSusp = res.FalseSuspicions
+	out.linkSusp = res.LinkSuspicions
+	out.transport = res.Transport
 	for _, c := range res.Crashes {
 		if c.Detection > out.detectMax {
 			out.detectMax = c.Detection
 		}
 	}
-	if res.Err != nil {
-		if ctx.Err() != nil {
-			out.done = false
-			out.aborted = true
-			return out
+	for _, d := range res.Decided {
+		if d > out.decideMax {
+			out.decideMax = d
 		}
+	}
+	if res.Err != nil {
 		out.err = res.Err
 	}
-	conf, cerr := consensus.LiveConform(res, proto, prob)
+	if !shouldConform(plan.Seed, f.sample) {
+		return out
+	}
+	out.conformed = true
+	// The streaming replay keeps memory flat: distributed soaks at N=100
+	// record crash-amplified traces of millions of events, and the
+	// materializing replay would retain every intermediate configuration.
+	conf, cerr := consensus.LiveConformStream(res, proto, prob)
 	if cerr != nil {
 		out.err = cerr
 		return out
@@ -226,13 +492,103 @@ func executeRun(ctx context.Context, proto consensus.Protocol, prob consensus.Pr
 	return out
 }
 
-// report prints the soak summary, writes divergence traces, and chooses
-// the exit code.
-func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.Problem, seed int64, runs int, traceDir string, verbose bool) int {
+// shouldConform decides — purely from the run seed — whether this run's
+// trace is conformance-replayed. At rate 1 every run is; at large N a
+// sampled fraction keeps soak throughput while still replaying a seeded,
+// reproducible subset.
+func shouldConform(runSeed int64, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	x := uint64(runSeed) ^ 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < rate
+}
+
+func parseIsolate(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -isolate entry %q: %v", part, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// jsonSummary is the machine-readable soak summary written by -json.
+type jsonSummary struct {
+	Proto     string `json:"proto"`
+	Problem   string `json:"problem"`
+	N         int    `json:"n"`
+	Runs      int    `json:"runs"`
+	Seed      int64  `json:"seed"`
+	Mode      string `json:"mode"`
+	Hosts     int    `json:"hosts"`
+	Completed int    `json:"completed"`
+	Aborted   int    `json:"aborted"`
+	Quiesced  int    `json:"quiesced"`
+	Failing   int    `json:"failing"`
+	Conformed int    `json:"conformed"`
+
+	Crashes         int   `json:"crashes"`
+	FalseSuspicions int   `json:"falseSuspicions"`
+	LinkSuspicions  int   `json:"linkSuspicions"`
+	Events          int64 `json:"events"`
+
+	DetectionNs *latencyQuantiles `json:"detectionNs,omitempty"`
+	RecoveryNs  *latencyQuantiles `json:"recoveryNs,omitempty"`
+	DecisionNs  *latencyQuantiles `json:"decisionNs,omitempty"`
+
+	Transport consensus.LiveTransportStats `json:"transport"`
+}
+
+type latencyQuantiles struct {
+	Count int   `json:"count"`
+	Min   int64 `json:"min"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	Max   int64 `json:"max"`
+}
+
+func quantiles(ds []time.Duration) *latencyQuantiles {
+	if len(ds) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) int64 {
+		return int64(sorted[int(p*float64(len(sorted)-1))])
+	}
+	return &latencyQuantiles{
+		Count: len(sorted),
+		Min:   int64(sorted[0]),
+		P50:   q(0.5),
+		P90:   q(0.9),
+		Max:   int64(sorted[len(sorted)-1]),
+	}
+}
+
+// report prints the soak summary, writes divergence traces and the JSON
+// summary, and chooses the exit code.
+func report(outcomes []runOutcome, protoCanon string, f soakFlags, prob consensus.Problem, mode string, hosts int) int {
 	var (
-		completed, quiesced, failing, aborted int
-		crashes, falseSusp                    int
-		detections, recoveries                []time.Duration
+		completed, quiesced, failing, aborted, conformed int
+		crashes, falseSusp, linkSusp                     int
+		events                                           int64
+		transport                                        consensus.LiveTransportStats
+		detections, recoveries, decisions                []time.Duration
 	)
 	type failure struct {
 		idx int
@@ -248,13 +604,22 @@ func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.P
 		if out.quiescent {
 			quiesced++
 		}
+		if out.conformed {
+			conformed++
+		}
 		crashes += out.crashes
 		falseSusp += out.falseSusp
+		linkSusp += out.linkSusp
+		events += int64(out.events)
+		transport = addTransport(transport, out.transport)
 		if out.detectMax > 0 {
 			detections = append(detections, out.detectMax)
 		}
 		if out.recovery > 0 {
 			recoveries = append(recoveries, out.recovery)
+		}
+		if out.decideMax > 0 {
+			decisions = append(decisions, out.decideMax)
 		}
 		if out.diverged || out.err != nil {
 			failing++
@@ -262,10 +627,26 @@ func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.P
 		}
 	}
 
-	fmt.Printf("%s vs %s: %d live runs, seed %d (%d completed, %d aborted)\n",
-		protoCanon, prob.Name(), runs, seed, completed, aborted)
-	fmt.Printf("  quiesced %d, failing %d, crashes injected %d, false suspicions %d\n",
-		quiesced, failing, crashes, falseSusp)
+	where := ""
+	if mode == "distributed" {
+		where = fmt.Sprintf(" across %d hosts", hosts)
+	}
+	fmt.Printf("%s vs %s: %d live runs%s, seed %d (%d completed, %d aborted)\n",
+		protoCanon, prob.Name(), f.runs, where, f.seed, completed, aborted)
+	fmt.Printf("  quiesced %d, failing %d, conformance-replayed %d, crashes injected %d\n",
+		quiesced, failing, conformed, crashes)
+	fmt.Printf("  suspicions: %d false, %d link-loss\n", falseSusp, linkSusp)
+	st := transport
+	fmt.Printf("  transport: %d accepted, %d settled, %d dropped, %d duplicated\n",
+		st.Accepted, st.Settled, st.Drops, st.Dups)
+	if mode == "distributed" {
+		fmt.Printf("  mesh: %d frames sent (%d resent), %d dials (%d reconnects, %d resets), %d link-downs, %d severed intervals, %d frames held\n",
+			st.FramesSent, st.FramesResent, st.Dials, st.Reconnects, st.Resets,
+			st.LinkDowns, st.SeveredIntervals, st.HeldFrames)
+	}
+	// Formerly-silent loss paths: always printed, never dropped quietly.
+	fmt.Printf("  silent-loss: %d encode failures, %d garbage frames\n",
+		st.EncodeFailures, st.GarbageFrames)
 	if len(detections) > 0 {
 		fmt.Printf("  detection latency:  %s\n", distribution(detections))
 	}
@@ -273,34 +654,56 @@ func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.P
 		fmt.Printf("  recovery latency:   %s (crash → last survivor decision, %d runs)\n",
 			distribution(recoveries), len(recoveries))
 	}
+	if len(decisions) > 0 {
+		fmt.Printf("  decision latency:   %s (go → last decision)\n", distribution(decisions))
+	}
 
 	written := 0
-	for i, f := range failures {
-		if verbose || i < 5 {
+	for i, fl := range failures {
+		if f.verbose || i < 5 {
 			what := "failed"
-			if f.out.diverged {
-				what = fmt.Sprintf("DIVERGED: %s", f.out.divs[0])
-			} else if f.out.err != nil {
-				what = f.out.err.Error()
+			if fl.out.diverged {
+				what = fmt.Sprintf("DIVERGED: %s", fl.out.divs[0])
+			} else if fl.out.err != nil {
+				what = fl.out.err.Error()
 			}
-			fmt.Printf("  run %d (seed %d, inputs %s): %s\n", f.idx, f.out.plan.Seed, renderInputs(f.out.plan.Inputs), what)
+			fmt.Printf("  run %d (seed %d, inputs %s): %s\n", fl.idx, fl.out.plan.Seed, renderInputs(fl.out.plan.Inputs), what)
 		} else if i == 5 {
 			fmt.Printf("  … and %d more failing runs (use -v to list all)\n", len(failures)-5)
 		}
-		if traceDir != "" && f.out.result != nil {
-			path, err := writeDivergenceTrace(traceDir, protoCanon, protoArg, prob, seed, f.idx, f.out)
+		if f.traceDir != "" && fl.out.result != nil {
+			path, err := writeDivergenceTrace(f.traceDir, protoCanon, f.protoName, prob, f.seed, fl.idx, fl.out)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cclive:", err)
 				return 1
 			}
 			written++
-			if verbose || i < 5 {
+			if f.verbose || i < 5 {
 				fmt.Printf("    trace: %s\n", path)
 			}
 		}
 	}
 	if written > 0 {
-		fmt.Printf("  %d trace(s) written to %s\n", written, traceDir)
+		fmt.Printf("  %d trace(s) written to %s\n", written, f.traceDir)
+	}
+
+	if f.jsonPath != "" {
+		sum := jsonSummary{
+			Proto: protoCanon, Problem: prob.Name(), N: len(outcomes[0].plan.Inputs),
+			Runs: f.runs, Seed: f.seed, Mode: mode, Hosts: hosts,
+			Completed: completed, Aborted: aborted, Quiesced: quiesced,
+			Failing: failing, Conformed: conformed,
+			Crashes: crashes, FalseSuspicions: falseSusp, LinkSuspicions: linkSusp,
+			Events:      events,
+			DetectionNs: quantiles(detections),
+			RecoveryNs:  quantiles(recoveries),
+			DecisionNs:  quantiles(decisions),
+			Transport:   transport,
+		}
+		if err := writeJSON(f.jsonPath, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "cclive:", err)
+			return 1
+		}
 	}
 
 	switch {
@@ -313,6 +716,38 @@ func report(outcomes []runOutcome, protoCanon, protoArg string, prob consensus.P
 	default:
 		fmt.Println("OK: every live trace replays as a legal run of the model")
 		return 0
+	}
+}
+
+func writeJSON(path string, sum jsonSummary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func addTransport(a, b consensus.LiveTransportStats) consensus.LiveTransportStats {
+	return consensus.LiveTransportStats{
+		Accepted:         a.Accepted + b.Accepted,
+		Settled:          a.Settled + b.Settled,
+		EncodeFailures:   a.EncodeFailures + b.EncodeFailures,
+		GarbageFrames:    a.GarbageFrames + b.GarbageFrames,
+		Drops:            a.Drops + b.Drops,
+		Dups:             a.Dups + b.Dups,
+		FramesSent:       a.FramesSent + b.FramesSent,
+		FramesResent:     a.FramesResent + b.FramesResent,
+		Dials:            a.Dials + b.Dials,
+		Reconnects:       a.Reconnects + b.Reconnects,
+		Resets:           a.Resets + b.Resets,
+		LinkDowns:        a.LinkDowns + b.LinkDowns,
+		SeveredIntervals: a.SeveredIntervals + b.SeveredIntervals,
+		HeldFrames:       a.HeldFrames + b.HeldFrames,
 	}
 }
 

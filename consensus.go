@@ -51,6 +51,8 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/protocols"
 	"repro/internal/runtime"
+	"repro/internal/runtime/dist"
+	"repro/internal/runtime/netx"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/taxonomy"
@@ -71,6 +73,8 @@ type (
 	Decision = sim.Decision
 	// Message is an in-flight message.
 	Message = sim.Message
+	// Payload is a protocol-defined message body with a canonical key.
+	Payload = sim.Payload
 	// MsgID is the paper's message triple (p, q, k).
 	MsgID = sim.MsgID
 	// Event is a schedule element: a delivery, a sending step, or a failure.
@@ -204,6 +208,27 @@ type (
 	LiveDivergence = runtime.Divergence
 	// ChaosRunPlan is the seed-derived recipe for one chaos or live run.
 	ChaosRunPlan = chaos.RunPlan
+	// LiveTransportStats snapshots the transport-layer loss, duplication,
+	// and reconnection counters of a run.
+	LiveTransportStats = runtime.TransportStats
+)
+
+// Distributed-runtime types (cmd/cclive -serve / -join).
+type (
+	// DistSpec describes one distributed run: protocol, inputs, the
+	// processor→host owner map, and both fault plans.
+	DistSpec = dist.Spec
+	// DistOptions injects the protocol registry into the control plane.
+	DistOptions = dist.Options
+	// DistReport is a finished distributed run: the merged result plus
+	// each host's share.
+	DistReport = dist.Report
+	// DistCoordinator is a standing multi-run distributed session.
+	DistCoordinator = dist.Coordinator
+	// LinkFaultPlan seeds interval-based link faults (partitions, stalls,
+	// resets) in the TCP mesh; every decision is a pure function of
+	// (seed, link, interval).
+	LinkFaultPlan = netx.LinkFaultPlan
 )
 
 // Core (Section 4) types.
@@ -415,6 +440,36 @@ func Live(ctx context.Context, p Protocol, inputs []Bit, cfg LiveConfig) (*LiveR
 func LiveConform(res *LiveResult, p Protocol, problem Problem) (*LiveConformance, error) {
 	return runtime.Conform(res, p, problem)
 }
+
+// LiveConformStream is LiveConform in O(N) memory: the replay holds only
+// the current configuration, so crash-amplified traces with millions of
+// events — routine in distributed soaks at N=100 — check in flat memory
+// instead of retaining the whole configuration history. The verdict is
+// identical; the returned Conformance.Run is nil.
+func LiveConformStream(res *LiveResult, p Protocol, problem Problem) (*LiveConformance, error) {
+	return runtime.ConformStream(res, p, problem)
+}
+
+// NewDistCoordinator opens a distributed session: it binds the control
+// plane on listenAddr and admits exactly joins joiner processes, which then
+// serve any number of Run calls until Close.
+func NewDistCoordinator(ctx context.Context, listenAddr string, joins int, opts DistOptions) (*DistCoordinator, error) {
+	return dist.NewCoordinator(ctx, listenAddr, joins, opts)
+}
+
+// DistJoin runs one joiner process against a coordinator for a whole
+// session, returning when the coordinator says done or hangs up.
+func DistJoin(ctx context.Context, ctrlAddr string, opts DistOptions) error {
+	return dist.Join(ctx, ctrlAddr, opts)
+}
+
+// DistOwner assigns n processors to hosts in contiguous slices, the
+// standard layout for distributed soaks.
+func DistOwner(n, hosts int) []int { return dist.ContiguousOwner(n, hosts) }
+
+// ParsePayloadKey reconstructs a protocol payload from its canonical
+// wire-format key; it is the decode half of a distributed registry.
+func ParsePayloadKey(key string) (Payload, error) { return protocols.ParsePayloadKey(key) }
 
 // BuildChaosTrace serializes one failure of a chaos report into a
 // replayable trace; maxSteps is the sweep's effective per-run budget.

@@ -47,7 +47,11 @@ var wallClockPackages = []string{
 // wallClockFiles restricts coverage to named files for packages that are
 // split into a live half and a replay/conformance half.
 var wallClockFiles = map[string][]string{
-	"internal/runtime": {"conformance.go", "frame.go"},
+	"internal/runtime": {"conformance.go", "frame.go", "merge.go"},
+	// The link-fault plan and the wire codec must be pure so fault
+	// schedules are replayable byte-for-byte; only the mesh half of netx
+	// may read clocks.
+	"internal/runtime/netx": {"faults.go", "wire.go"},
 }
 
 func wallClockApplies(relPath string) bool {

@@ -196,10 +196,26 @@ func (r *Report) Clean() bool { return len(r.Failures) == 0 }
 type RunPlan struct {
 	// Seed is the per-run scheduler seed.
 	Seed int64
+	// LinkSeed keys the link-fault schedule of distributed live runs. It
+	// is a pure hash of Seed — never a draw from the master stream — so
+	// plans derived before link faults existed are byte-for-byte unchanged.
+	LinkSeed int64
 	// Inputs is the initial input vector.
 	Inputs []sim.Bit
 	// Failures is the planned fail-stop injection schedule.
 	Failures []sim.FailureAt
+}
+
+// linkSeed derives a run's link-fault seed from its scheduler seed with a
+// splitmix64 finalizer, keeping the master RNG stream untouched.
+func linkSeed(seed int64) int64 {
+	x := uint64(seed) ^ 0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // runResult is one worker's verdict on one run.
@@ -310,6 +326,7 @@ func PlanRuns(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []RunPlan {
 	plans := make([]RunPlan, runs)
 	for i := range plans {
 		pl := RunPlan{Seed: master.Int63()}
+		pl.LinkSeed = linkSeed(pl.Seed)
 		if len(fixed) > 0 {
 			pl.Inputs = append([]sim.Bit(nil), fixed[i%len(fixed)]...)
 		} else {

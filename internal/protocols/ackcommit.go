@@ -290,7 +290,7 @@ func (s ackState) enterAckTerm() ackState {
 	s.out = nil
 	s.afterSend = sim.NoDecision
 	committable := s.decided == sim.Commit || (s.biasKnown && s.bias)
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, committable, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

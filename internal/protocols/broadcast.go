@@ -221,7 +221,7 @@ func (s bcastState) enterBcastTerm() bcastState {
 	s.phase = bcastTerm
 	s.out = nil
 	committable := s.haveValue && s.value == sim.One
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, committable, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

@@ -232,7 +232,7 @@ func (c Chain) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
 			if m.Notice {
 				s.removed = s.removed.add(from)
 			}
-			s.amnOut = allProcs(s.n).del(s.self) &^ s.removed
+			s.amnOut = allProcs(s.n).del(s.self).minus(s.removed)
 			if s.amnOut.empty() {
 				s.amnesicSent = true
 			}
@@ -307,7 +307,7 @@ func (c Chain) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.State {
 func (s chainState) enterChainTerm() chainState {
 	s.phase = chainTerm
 	s.out = nil
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, s.decided == sim.Commit, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

@@ -20,38 +20,99 @@ import (
 	"repro/internal/sim"
 )
 
-// procSet is a set of processors as a bitmask; N ≤ 31.
-type procSet uint32
+// procSet is a set of processors as a two-word bitmask; N ≤ 128. The live
+// runtime soaks protocols at N=100+, so the former uint32 mask (N ≤ 31) was
+// widened; for sets that fit the old mask the canonical key is unchanged,
+// keeping every committed state key and golden trace stable.
+type procSet struct{ lo, hi uint64 }
 
-func bit(p sim.ProcID) procSet { return 1 << uint(p) }
+const maxProcSet = 128
+
+func bit(p sim.ProcID) procSet {
+	if p < 0 || int(p) >= maxProcSet {
+		panic("protocols: processor id " + strconv.Itoa(int(p)) + " outside procSet range [0,128)")
+	}
+	if p < 64 {
+		return procSet{lo: 1 << uint(p)}
+	}
+	return procSet{hi: 1 << uint(p-64)}
+}
 
 // allProcs returns the full set {p_0 … p_{n-1}}.
-func allProcs(n int) procSet { return procSet(1<<uint(n)) - 1 }
+func allProcs(n int) procSet {
+	if n < 0 || n > maxProcSet {
+		panic("protocols: N=" + strconv.Itoa(n) + " outside procSet range [0,128]")
+	}
+	switch {
+	case n >= maxProcSet:
+		return procSet{lo: ^uint64(0), hi: ^uint64(0)}
+	case n >= 64:
+		return procSet{lo: ^uint64(0), hi: 1<<uint(n-64) - 1}
+	default:
+		return procSet{lo: 1<<uint(n) - 1}
+	}
+}
 
-func (s procSet) has(p sim.ProcID) bool    { return s&bit(p) != 0 }
-func (s procSet) add(p sim.ProcID) procSet { return s | bit(p) }
-func (s procSet) del(p sim.ProcID) procSet { return s &^ bit(p) }
-func (s procSet) count() int               { return bits.OnesCount32(uint32(s)) }
-func (s procSet) empty() bool              { return s == 0 }
+func (s procSet) has(p sim.ProcID) bool {
+	b := bit(p)
+	return s.lo&b.lo|s.hi&b.hi != 0
+}
+
+func (s procSet) add(p sim.ProcID) procSet {
+	b := bit(p)
+	return procSet{lo: s.lo | b.lo, hi: s.hi | b.hi}
+}
+
+func (s procSet) del(p sim.ProcID) procSet {
+	b := bit(p)
+	return procSet{lo: s.lo &^ b.lo, hi: s.hi &^ b.hi}
+}
+
+func (s procSet) count() int {
+	return bits.OnesCount64(s.lo) + bits.OnesCount64(s.hi)
+}
+
+func (s procSet) empty() bool { return s.lo|s.hi == 0 }
 
 // contains reports whether s ⊇ t.
-func (s procSet) contains(t procSet) bool { return s&t == t }
+func (s procSet) contains(t procSet) bool {
+	return s.lo&t.lo == t.lo && s.hi&t.hi == t.hi
+}
+
+// minus returns s ∖ t.
+func (s procSet) minus(t procSet) procSet {
+	return procSet{lo: s.lo &^ t.lo, hi: s.hi &^ t.hi}
+}
 
 // lowest returns the smallest member; callers must ensure non-emptiness.
 func (s procSet) lowest() sim.ProcID {
-	return sim.ProcID(bits.TrailingZeros32(uint32(s)))
+	if s.lo != 0 {
+		return sim.ProcID(bits.TrailingZeros64(s.lo))
+	}
+	return sim.ProcID(64 + bits.TrailingZeros64(s.hi))
 }
 
 // members lists the set in ascending order.
 func (s procSet) members() []sim.ProcID {
 	out := make([]sim.ProcID, 0, s.count())
-	for rest := s; rest != 0; rest &= rest - 1 {
-		out = append(out, rest.lowest())
+	for rest := s.lo; rest != 0; rest &= rest - 1 {
+		out = append(out, sim.ProcID(bits.TrailingZeros64(rest)))
+	}
+	for rest := s.hi; rest != 0; rest &= rest - 1 {
+		out = append(out, sim.ProcID(64+bits.TrailingZeros64(rest)))
 	}
 	return out
 }
 
-func (s procSet) key() string { return strconv.FormatUint(uint64(s), 16) }
+// key canonically encodes the set. Sets with no member ≥ 64 render exactly
+// as the old 32-bit mask did (bare hex of the low word), so state keys for
+// every N ≤ 31 configuration are byte-identical to the pre-widening ones.
+func (s procSet) key() string {
+	if s.hi == 0 {
+		return strconv.FormatUint(s.lo, 16)
+	}
+	return strconv.FormatUint(s.hi, 16) + "." + fmt.Sprintf("%016x", s.lo)
+}
 
 // ---- Message payloads shared across the protocol library ----
 
@@ -172,7 +233,7 @@ func (c termCore) advance() termCore {
 			c.done = true
 			return c
 		}
-		c.got = 0
+		c.got = procSet{}
 		c.out = c.waitSet()
 		c = c.consumeEarly()
 	}

@@ -206,7 +206,7 @@ func (s fxState) enterFxTerm() fxState {
 	s.phase = fxTerm
 	s.out = nil
 	committable := s.decided == sim.Commit
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, committable, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

@@ -1,0 +1,70 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParsePayloadKey inverts Payload.Key for every payload type in the
+// protocol library. The distributed runtime carries only the canonical key
+// across the wire — the receiving node reconstructs the concrete payload
+// value here so the protocol's transition functions see exactly the typed
+// message the sender emitted. The round-trip contract is total:
+// ParsePayloadKey(p.Key()).Key() == p.Key() for every library payload, and
+// any string outside the key grammar is an error, never a silent guess.
+//
+//ccvet:pure
+func ParsePayloadKey(key string) (sim.Payload, error) {
+	switch key {
+	case "ack":
+		return ackMsg{}, nil
+	case "amnesic":
+		return amnesicMsg{}, nil
+	case "hi":
+		return hiMsg{}, nil
+	case "done":
+		return doneMsg{}, nil
+	case "bias:c":
+		return biasMsg{Committable: true}, nil
+	case "bias:n":
+		return biasMsg{Committable: false}, nil
+	case "val0":
+		return valMsg{V: sim.Zero}, nil
+	case "val1":
+		return valMsg{V: sim.One}, nil
+	case "dec:abort":
+		return decisionMsg{D: sim.Abort}, nil
+	case "dec:commit":
+		return decisionMsg{D: sim.Commit}, nil
+	case "dec:undecided":
+		return decisionMsg{D: sim.NoDecision}, nil
+	}
+	switch {
+	case strings.HasPrefix(key, "term"):
+		rest := key[len("term"):]
+		var committable bool
+		switch {
+		case strings.HasSuffix(rest, ":c"):
+			committable = true
+		case strings.HasSuffix(rest, ":n"):
+			committable = false
+		default:
+			return nil, fmt.Errorf("protocols: malformed termination payload key %q", key)
+		}
+		round, err := strconv.Atoi(rest[:len(rest)-2])
+		if err != nil || round < 0 {
+			return nil, fmt.Errorf("protocols: malformed termination round in payload key %q", key)
+		}
+		return termMsg{Round: round, Committable: committable}, nil
+	case strings.HasPrefix(key, "x"):
+		id, err := strconv.Atoi(key[1:])
+		if err != nil {
+			return nil, fmt.Errorf("protocols: malformed dashed-message payload key %q", key)
+		}
+		return xMsg{ID: id}, nil
+	}
+	return nil, fmt.Errorf("protocols: unknown payload key %q", key)
+}

@@ -1,0 +1,46 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestParsePayloadKeyRoundTrips proves ParsePayloadKey a left inverse of
+// Key over every payload the library can emit.
+func TestParsePayloadKeyRoundTrips(t *testing.T) {
+	payloads := []sim.Payload{
+		valMsg{V: sim.Zero}, valMsg{V: sim.One},
+		biasMsg{Committable: true}, biasMsg{Committable: false},
+		ackMsg{},
+		decisionMsg{D: sim.Abort}, decisionMsg{D: sim.Commit}, decisionMsg{D: sim.NoDecision},
+		termMsg{Round: 1, Committable: true}, termMsg{Round: 127, Committable: false},
+		amnesicMsg{},
+		hiMsg{}, doneMsg{}, xMsg{ID: 1}, xMsg{ID: 3},
+	}
+	for _, p := range payloads {
+		got, err := ParsePayloadKey(p.Key())
+		if err != nil {
+			t.Fatalf("ParsePayloadKey(%q): %v", p.Key(), err)
+		}
+		if got != p {
+			t.Errorf("ParsePayloadKey(%q) = %#v, want %#v", p.Key(), got, p)
+		}
+		if got.Key() != p.Key() {
+			t.Errorf("round-trip key mismatch: %q → %q", p.Key(), got.Key())
+		}
+	}
+}
+
+// TestParsePayloadKeyRejectsGarbage: strings outside the key grammar are
+// errors, never a silently wrong payload.
+func TestParsePayloadKeyRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"", "valx", "val2", "bias:", "bias:x", "dec:", "dec:maybe",
+		"term:c", "term1:", "term-1:c", "termx:c", "x", "xq", "failed", "garbage",
+	} {
+		if p, err := ParsePayloadKey(bad); err == nil {
+			t.Errorf("ParsePayloadKey(%q) = %#v, want error", bad, p)
+		}
+	}
+}

@@ -372,11 +372,11 @@ func (pv Perverse) Receive(p sim.ProcID, state sim.State, m sim.Message) sim.Sta
 func (s perverseState) needHis() procSet {
 	switch s.self {
 	case 0:
-		return bit(1) | bit(3)
+		return bit(1).add(3)
 	case 1:
-		return bit(0) | bit(3)
+		return bit(0).add(3)
 	default:
-		return 0
+		return procSet{}
 	}
 }
 
@@ -441,7 +441,7 @@ func (s perverseState) enterPerverseTerm() perverseState {
 	s.phase = pvTerm
 	s.out = nil
 	committable := s.decided == sim.Commit || (s.biasKnown && s.bias)
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, committable, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

@@ -286,7 +286,7 @@ func (s starState) enterStarTerm() starState {
 	s.phase = starTerm
 	s.out = nil
 	s.afterSend = sim.NoDecision
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, s.decided == sim.Commit, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

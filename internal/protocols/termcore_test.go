@@ -32,9 +32,23 @@ func TestProcSetBasics(t *testing.T) {
 }
 
 func TestProcSetProperties(t *testing.T) {
-	f := func(a, b uint16) bool {
-		x, y := procSet(a), procSet(b)
-		union := x | y
+	f := func(a, b uint16, shift uint8) bool {
+		// Exercise both words of the widened set: sprinkle members across
+		// the [0,128) range, not just the low 16 bits.
+		off := int(shift) % 112
+		var x, y procSet
+		for i := 0; i < 16; i++ {
+			if a&(1<<uint(i)) != 0 {
+				x = x.add(sim.ProcID(i + off))
+			}
+			if b&(1<<uint(i)) != 0 {
+				y = y.add(sim.ProcID(i + off))
+			}
+		}
+		union := x
+		for _, p := range y.members() {
+			union = union.add(p)
+		}
 		if !union.contains(x) || !union.contains(y) {
 			return false
 		}

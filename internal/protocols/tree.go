@@ -303,7 +303,7 @@ func (t Tree) Receive(p sim.ProcID, st sim.State, m sim.Message) sim.State {
 			if m.Notice {
 				s.removed = s.removed.add(from)
 			}
-			s.amnOut = allProcs(s.n).del(s.self) &^ s.removed
+			s.amnOut = allProcs(s.n).del(s.self).minus(s.removed)
 			if s.amnOut.empty() {
 				s.amnesicSent = true
 			}
@@ -479,8 +479,8 @@ func (s treeState) enterTerm() treeState {
 	s.phase = phaseTerm
 	s.out = nil
 	s.afterSend = sim.NoDecision
-	s.vals, s.acks = 0, 0
-	up := allProcs(s.n) &^ s.removed
+	s.vals, s.acks = procSet{}, procSet{}
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, s.committableNow(), up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

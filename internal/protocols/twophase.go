@@ -223,7 +223,7 @@ func (t TwoPhaseCommit) Receive(p sim.ProcID, state sim.State, m sim.Message) si
 func (s tpcState) enterTpcTerm() tpcState {
 	s.phase = tpcTerm
 	s.out = nil
-	up := allProcs(s.n) &^ s.removed
+	up := allProcs(s.n).minus(s.removed)
 	s.term = newTermCore(s.self, s.n, s.decided == sim.Commit, up)
 	if s.term.done && s.decided == sim.NoDecision {
 		s.decided = s.term.decision()

@@ -22,6 +22,15 @@ type collector struct {
 	n   int
 	sch sim.Schedule // ccvet:guardedby mu
 	seq []int        // ccvet:guardedby mu — seq[from*n+to], mirroring sim.Config's channel counters
+	// clock is the collector's Lamport clock; ts[i] is the timestamp of
+	// sch[i]. In a single-process run the total order already is the mutex
+	// admission order and the timestamps are simply 1,2,3…; in a
+	// distributed run each group's collector stamps its local events and
+	// receives witnesses piggybacked on incoming frames, so merging all
+	// groups' schedules by (ts, group, local index) yields a total order
+	// consistent with happens-before.
+	clock uint64   // ccvet:guardedby mu
+	ts    []uint64 // ccvet:guardedby mu — Lamport timestamp per schedule event
 	// failed marks crashed processors; refusals below keep the schedule
 	// consistent with fail-stop semantics.
 	failed []bool // ccvet:guardedby mu
@@ -46,6 +55,19 @@ func newCollector(n int) *collector {
 	}
 }
 
+// tick advances the Lamport clock past witness and stamps the current
+// event, returning its timestamp. Callers hold co.mu.
+//
+//ccvet:holds mu
+func (co *collector) tick(witness uint64) uint64 {
+	if witness > co.clock {
+		co.clock = witness
+	}
+	co.clock++
+	co.ts = append(co.ts, co.clock)
+	return co.clock
+}
+
 // nextSeq allocates the next sequence number from→to, exactly as
 // sim.Config does during replay.
 //
@@ -62,27 +84,28 @@ func (co *collector) nextSeq(from, to sim.ProcID) int {
 // the node to hand to the network. ok is false if p has crashed or the run
 // already failed; err is non-nil for a model-contract violation, which
 // aborts the run.
-func (co *collector) recordSend(p sim.ProcID, envs []sim.Envelope) (msgs []sim.Message, ok bool, err error) {
+func (co *collector) recordSend(p sim.ProcID, envs []sim.Envelope) (msgs []sim.Message, ts uint64, ok bool, err error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.failed[p] || co.err != nil {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 	if len(envs) > 1 {
 		co.err = fmt.Errorf("%w: %s emitted %d messages", sim.ErrMultiSend, p, len(envs))
-		return nil, false, co.err
+		return nil, 0, false, co.err
 	}
 	for _, env := range envs {
 		if env.To == p {
 			co.err = fmt.Errorf("%w: from %s", sim.ErrSelfSend, p)
-			return nil, false, co.err
+			return nil, 0, false, co.err
 		}
 		if int(env.To) < 0 || int(env.To) >= co.n {
 			co.err = fmt.Errorf("runtime: %s sent to out-of-range %s", p, env.To)
-			return nil, false, co.err
+			return nil, 0, false, co.err
 		}
 	}
 	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.SendStepEvent})
+	ts = co.tick(0)
 	for _, env := range envs {
 		m := sim.Message{
 			ID:      sim.MsgID{From: p, To: env.To, Seq: co.nextSeq(p, env.To)},
@@ -90,18 +113,21 @@ func (co *collector) recordSend(p sim.ProcID, envs []sim.Envelope) (msgs []sim.M
 		}.Memoized()
 		msgs = append(msgs, m)
 	}
-	return msgs, true, nil
+	return msgs, ts, true, nil
 }
 
-// recordDeliver admits one delivery event. ok is false if p has crashed or
-// the run failed; the node must then discard the message unapplied.
-func (co *collector) recordDeliver(p sim.ProcID, id sim.MsgID) bool {
+// recordDeliver admits one delivery event; witness is the Lamport
+// timestamp carried by the message's frame, so the delivery is stamped
+// after its send. ok is false if p has crashed or the run failed; the node
+// must then discard the message unapplied.
+func (co *collector) recordDeliver(p sim.ProcID, id sim.MsgID, witness uint64) bool {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.failed[p] || co.err != nil {
 		return false
 	}
 	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.Deliver, Msg: id})
+	co.tick(witness)
 	return true
 }
 
@@ -111,15 +137,16 @@ func (co *collector) recordDeliver(p sim.ProcID, id sim.MsgID) bool {
 // order. The notices are returned for the failure detector to hold until
 // its timeout fires — the *fact* of the failure is fixed here; *when*
 // survivors learn of it is the detector's business.
-func (co *collector) recordCrash(p sim.ProcID) (notices []sim.Message, ok bool) {
+func (co *collector) recordCrash(p sim.ProcID) (notices []sim.Message, ts uint64, ok bool) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.failed[p] || co.err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	co.failed[p] = true
 	co.crashAt[p] = time.Now()
 	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.Fail})
+	ts = co.tick(0)
 	for q := 0; q < co.n; q++ {
 		if sim.ProcID(q) == p {
 			continue
@@ -130,7 +157,7 @@ func (co *collector) recordCrash(p sim.ProcID) (notices []sim.Message, ok bool) 
 		}.Memoized()
 		notices = append(notices, m)
 	}
-	return notices, true
+	return notices, ts, true
 }
 
 // recordDecision notes p's first visible decision and when it was reached.
@@ -166,10 +193,11 @@ func (co *collector) failure() error {
 }
 
 // snapshot copies the schedule and per-processor records for the result.
-func (co *collector) snapshot() (sim.Schedule, []sim.Decision, []time.Time, []time.Time) {
+func (co *collector) snapshot() (sim.Schedule, []uint64, []sim.Decision, []time.Time, []time.Time) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return append(sim.Schedule(nil), co.sch...),
+		append([]uint64(nil), co.ts...),
 		append([]sim.Decision(nil), co.decisions...),
 		append([]time.Time(nil), co.decidedAt...),
 		append([]time.Time(nil), co.crashAt...)

@@ -1,0 +1,85 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/taxonomy"
+)
+
+// assertSameConformance holds Conform and ConformStream together: same
+// replayed count, same divergences in the same order with the same details.
+func assertSameConformance(t *testing.T, name string, res *Result, proto sim.Protocol, prob taxonomy.Problem) {
+	t.Helper()
+	full, errFull := Conform(res, proto, prob)
+	stream, errStream := ConformStream(res, proto, prob)
+	if (errFull == nil) != (errStream == nil) {
+		t.Fatalf("%s: error mismatch: Conform %v, ConformStream %v", name, errFull, errStream)
+	}
+	if errFull != nil {
+		return
+	}
+	if full.Replayed != stream.Replayed {
+		t.Errorf("%s: Replayed %d (full) != %d (stream)", name, full.Replayed, stream.Replayed)
+	}
+	if !reflect.DeepEqual(full.Divergences, stream.Divergences) {
+		t.Errorf("%s: divergences differ:\n full   %v\n stream %v", name, full.Divergences, stream.Divergences)
+	}
+}
+
+func TestConformStreamMatchesConform(t *testing.T) {
+	treeProto := protocols.Tree{Procs: 3}
+	ones3 := []sim.Bit{sim.One, sim.One, sim.One}
+	clean := mustRun(t, treeProto, ones3, fastConfig(FaultPlan{Seed: 1}, nil))
+	assertSameConformance(t, "clean-tree", clean, treeProto, problem(taxonomy.WT, taxonomy.TC))
+
+	starProto := protocols.Star{Procs: 4}
+	lossy := mustRun(t, starProto, []sim.Bit{sim.One, sim.Zero, sim.One, sim.One},
+		fastConfig(FaultPlan{Seed: 7, DropRate: 0.3, DupRate: 0.3, MaxDelay: 500 * time.Microsecond}, nil))
+	assertSameConformance(t, "lossy-star", lossy, starProto, problem(taxonomy.HT, taxonomy.IC))
+
+	crashed := mustRun(t, treeProto, ones3,
+		fastConfig(FaultPlan{Seed: 11, DropRate: 0.15, MaxDelay: 300 * time.Microsecond},
+			[]sim.FailureAt{{Proc: 1, AfterStep: 2}}))
+	assertSameConformance(t, "crashed-tree", crashed, treeProto, problem(taxonomy.WT, taxonomy.TC))
+
+	// Doctored divergences: both implementations must report the same
+	// verdict on traces that do NOT conform.
+	flipped := *clean
+	flipped.Decisions = append([]sim.Decision(nil), clean.Decisions...)
+	flipped.Decisions[0] = sim.Abort
+	assertSameConformance(t, "flipped-decision", &flipped, treeProto, problem(taxonomy.WT, taxonomy.TC))
+
+	truncated := *clean
+	truncated.Schedule = clean.Schedule[:len(clean.Schedule)/2]
+	assertSameConformance(t, "truncated-schedule", &truncated, treeProto, problem(taxonomy.WT, taxonomy.TC))
+
+	bogus := *clean
+	bogus.Schedule = append(append([]sim.Event(nil), clean.Schedule...),
+		sim.Event{Proc: 0, Type: sim.Deliver, Msg: sim.MsgID{From: 2, To: 0, Seq: 99}})
+	assertSameConformance(t, "bogus-event", &bogus, treeProto, problem(taxonomy.WT, taxonomy.TC))
+}
+
+// TestConformStreamClean is the streaming replay's own happy path: a live
+// run conforms via ConformStream without ever materializing the history.
+func TestConformStreamClean(t *testing.T) {
+	proto := protocols.AckCommit{Procs: 4}
+	inputs := []sim.Bit{sim.One, sim.One, sim.One, sim.One}
+	res := mustRun(t, proto, inputs, fastConfig(FaultPlan{Seed: 3}, nil))
+	conf, err := ConformStream(res, proto, problem(taxonomy.WT, taxonomy.TC))
+	if err != nil {
+		t.Fatalf("ConformStream: %v", err)
+	}
+	if !conf.OK() {
+		t.Fatalf("expected clean conformance, got %v", conf.Divergences)
+	}
+	if conf.Run != nil {
+		t.Fatal("streaming conformance must not materialize the run")
+	}
+	if conf.Replayed != len(res.Schedule) {
+		t.Fatalf("replayed %d of %d events", conf.Replayed, len(res.Schedule))
+	}
+}

@@ -25,6 +25,8 @@ func (d Divergence) String() string { return d.Kind + ": " + d.Detail }
 // deterministic simulator.
 type Conformance struct {
 	// Run is the replayed execution, up to the first inapplicable event.
+	// ConformStream leaves it nil: the streaming replay never materializes
+	// the configuration history.
 	Run *sim.Run
 	// Replayed is how many schedule events applied cleanly.
 	Replayed int
@@ -91,6 +93,63 @@ func Conform(res *Result, proto sim.Protocol, problem taxonomy.Problem) (*Confor
 		}
 		complete := res.Quiescent && run.Final().Quiescent()
 		for _, v := range problem.Validate(run, complete) {
+			conf.Divergences = append(conf.Divergences, Divergence{Kind: v.Kind, Detail: v.Detail})
+		}
+	}
+	return conf, nil
+}
+
+// ConformStream is Conform in O(N) memory: it replays the schedule holding
+// only the current configuration and folds each one into a streaming
+// validator instead of materializing the run. Conform retains every
+// intermediate configuration — O(events × N²) memory — which at N=100 with
+// a crash-amplified trace of a few million events is tens of gigabytes;
+// the streaming replay of the same trace stays flat. The verdict is
+// identical (TestConformStreamMatchesConform) except that the returned
+// Conformance.Run is nil.
+//
+//ccvet:pure
+func ConformStream(res *Result, proto sim.Protocol, problem taxonomy.Problem) (*Conformance, error) {
+	run, err := sim.NewRun(proto, res.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	cur := run.Final()
+	checker := taxonomy.NewStreamChecker(problem, cur)
+	conf := &Conformance{}
+	for i, e := range res.Schedule {
+		next, _, err := sim.Apply(proto, cur, e)
+		if err != nil {
+			conf.Divergences = append(conf.Divergences, Divergence{
+				Kind:   "replay",
+				Detail: fmt.Sprintf("event %d (%s) does not apply: %v", i, e, err),
+			})
+			break
+		}
+		cur = next
+		checker.Observe(e, next)
+		conf.Replayed++
+	}
+	replayedAll := conf.Replayed == len(res.Schedule)
+
+	if replayedAll && res.Quiescent && !cur.Quiescent() {
+		conf.Divergences = append(conf.Divergences, Divergence{
+			Kind:   "quiescence",
+			Detail: "live run claimed quiescence but the replayed configuration has enabled events (a message the transport lost?)",
+		})
+	}
+	if replayedAll {
+		for p := 0; p < proto.N(); p++ {
+			replayed, _ := checker.Decision(sim.ProcID(p))
+			if live := res.Decisions[p]; live != replayed {
+				conf.Divergences = append(conf.Divergences, Divergence{
+					Kind:   "decision",
+					Detail: fmt.Sprintf("%s decided %s live but %s in replay", sim.ProcID(p), live, replayed),
+				})
+			}
+		}
+		complete := res.Quiescent && cur.Quiescent()
+		for _, v := range checker.Finish(complete) {
 			conf.Divergences = append(conf.Divergences, Divergence{Kind: v.Kind, Detail: v.Detail})
 		}
 	}

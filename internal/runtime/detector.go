@@ -26,7 +26,7 @@ import (
 // model while detection latency remains an honest timeout measurement.
 type detector struct {
 	col     *collector
-	net     *Network
+	net     Transport
 	beat    time.Duration
 	timeout time.Duration
 
@@ -38,15 +38,17 @@ type detector struct {
 	detected  map[sim.ProcID]time.Duration // ccvet:guardedby mu — crash → detection latency
 	suspected map[sim.ProcID]bool          // ccvet:guardedby mu
 	falseSusp int                          // ccvet:guardedby mu
+	linkSusp  int                          // ccvet:guardedby mu — keepalive link-down verdicts from the transport
 }
 
 // pendingCrash is a confirmed crash whose notices await the timeout.
 type pendingCrash struct {
 	notices []sim.Message
+	ts      uint64 // Lamport timestamp of the fail event stamping the notices
 	at      time.Time
 }
 
-func newDetector(n int, col *collector, net *Network, beat, timeout time.Duration) *detector {
+func newDetector(n int, col *collector, net Transport, beat, timeout time.Duration) *detector {
 	d := &detector{
 		col:       col,
 		net:       net,
@@ -76,10 +78,20 @@ func (d *detector) markExited(p sim.ProcID) { d.exited[int(p)].Store(true) }
 
 // markCrashed hands the detector the stamped notices of an injected crash.
 // They are released to the transport once the heartbeat timeout expires.
-func (d *detector) markCrashed(p sim.ProcID, notices []sim.Message, at time.Time) {
+func (d *detector) markCrashed(p sim.ProcID, notices []sim.Message, ts uint64, at time.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.pending[p] = pendingCrash{notices: notices, at: at}
+	d.pending[p] = pendingCrash{notices: notices, ts: ts, at: at}
+}
+
+// noteLinkDown records a keepalive verdict from the transport: the link
+// toward some peer went silent past the keepalive timeout. Link silence is
+// suspicion-only evidence — a partition severs links without crashing
+// anybody — so it is counted, never acted on.
+func (d *detector) noteLinkDown() {
+	d.mu.Lock()
+	d.linkSusp++
+	d.mu.Unlock()
 }
 
 // poll is one detection sweep; the monitor calls it on every tick. For each
@@ -103,7 +115,7 @@ func (d *detector) poll() {
 			}
 			d.mu.Unlock()
 			for _, m := range pc.notices {
-				d.net.Send(m)
+				d.net.Send(m, pc.ts)
 			}
 			continue
 		}
@@ -127,10 +139,10 @@ func (d *detector) undetected() int {
 	return len(d.pending)
 }
 
-// stats returns detection latencies per crashed processor and the false
-// suspicion count.
-func (d *detector) stats() (map[sim.ProcID]time.Duration, int) {
+// stats returns detection latencies per crashed processor, the false
+// suspicion count, and the link-down suspicion count.
+func (d *detector) stats() (map[sim.ProcID]time.Duration, int, int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return maps.Clone(d.detected), d.falseSusp
+	return maps.Clone(d.detected), d.falseSusp, d.linkSusp
 }

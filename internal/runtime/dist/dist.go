@@ -1,0 +1,838 @@
+// Package dist runs live executions across several OS processes: a
+// coordinator (host 0) and joiners (hosts 1..H-1), each running a
+// runtime.Group over a shared netx mesh, stitched together by a JSON-lines
+// control plane on one TCP connection per joiner.
+//
+// A session admits a fixed set of joiners once, then executes any number of
+// runs over the standing control connections — each run gets a fresh mesh
+// and a fresh group on every host, so per-run fault seeds and link state
+// never leak between runs. Control flow:
+//
+//	joiner → coord   hello                   (once per session)
+//	  per run:
+//	coord  → joiner  welcome{host, spec}
+//	joiner → coord   ready{dataAddr}         (fresh mesh listening)
+//	coord  → joiner  peers{addrs}            (all hosts known)
+//	joiner → coord   armed                   (group built, mesh wired)
+//	coord  → joiner  go{startNs}             (everybody starts together)
+//	joiner → coord   status…                 (periodic, drives quiescence)
+//	coord  → joiner  crash{proc}             (routed failure injections)
+//	coord  → joiner  finish                  (global quiescence or deadline)
+//	joiner → coord   report{group result}
+//	coord  → joiner  bye                     (run over; next welcome or done)
+//	  end of session:
+//	coord  → joiner  done                    (joiner exits cleanly)
+//
+// The coordinator aggregates statuses into the distributed quiescence
+// predicate — every host idle with empty boxes, nothing pending or in
+// flight, no undetected crash, all injections fired, and the global event
+// count stable across consecutive fresh rounds — then merges the group
+// results by Lamport order into a runtime.Result identical in shape to a
+// single-process run's, ready for the same conformance replay.
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/runtime/netx"
+	"repro/internal/sim"
+)
+
+// Spec is everything a host needs to run its slice of one distributed
+// execution. The coordinator sends it verbatim to every joiner, so all
+// hosts derive their fault schedules from the same seeds.
+type Spec struct {
+	// Proto names the protocol (resolved via Options.Resolve) and N its
+	// processor count.
+	Proto string `json:"proto"`
+	N     int    `json:"n"`
+	// Inputs is the full input vector.
+	Inputs []sim.Bit `json:"inputs"`
+	// Owner maps each processor to its host; hosts must be 0..H-1 with
+	// host 0 the coordinator.
+	Owner []int `json:"owner"`
+	// Faults is the message-level fault plan (drops, dups, delays).
+	Faults runtime.FaultPlan `json:"faults"`
+	// Links is the link-level fault plan (partitions, stalls, resets).
+	Links             netx.LinkFaultPlan `json:"links"`
+	PartitionInterval time.Duration      `json:"partitionInterval"`
+	// Mesh tuning; zero values take netx defaults.
+	QueueCap         int           `json:"queueCap"`
+	Keepalive        time.Duration `json:"keepalive"`
+	KeepaliveTimeout time.Duration `json:"keepaliveTimeout"`
+	// Detector tuning; zero values take runtime defaults.
+	Heartbeat     time.Duration `json:"heartbeat"`
+	DetectTimeout time.Duration `json:"detectTimeout"`
+	// Deadline bounds the run; past it the coordinator collects whatever
+	// exists and reports a non-quiescent result.
+	Deadline time.Duration `json:"deadline"`
+	// Failures is the planned fail-stop injection schedule, fired against
+	// the global event count and routed to each victim's host.
+	Failures []sim.FailureAt `json:"failures"`
+}
+
+// Hosts returns the host count implied by the owner map.
+func (s *Spec) Hosts() int {
+	h := 0
+	for _, o := range s.Owner {
+		if o+1 > h {
+			h = o + 1
+		}
+	}
+	return h
+}
+
+func (s *Spec) validate() error {
+	if s.N < 1 || len(s.Inputs) != s.N || len(s.Owner) != s.N {
+		return fmt.Errorf("dist: spec wants n=%d with %d inputs and %d owners", s.N, len(s.Inputs), len(s.Owner))
+	}
+	seen := make(map[int]bool)
+	for p, o := range s.Owner {
+		if o < 0 {
+			return fmt.Errorf("dist: processor %d has negative host %d", p, o)
+		}
+		seen[o] = true
+	}
+	for h := 0; h < s.Hosts(); h++ {
+		if !seen[h] {
+			return fmt.Errorf("dist: host %d owns no processors", h)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) deadline() time.Duration {
+	if s.Deadline <= 0 {
+		return 60 * time.Second
+	}
+	return s.Deadline
+}
+
+// ContiguousOwner assigns n processors to hosts in contiguous slices, the
+// standard layout for soaks (processor p goes to host p*hosts/n).
+func ContiguousOwner(n, hosts int) []int {
+	owner := make([]int, n)
+	for p := range owner {
+		owner[p] = p * hosts / n
+	}
+	return owner
+}
+
+// Options injects the protocol registry into the control plane, keeping
+// this package independent of the protocol library.
+type Options struct {
+	// Resolve builds the named protocol at size n. Required.
+	Resolve func(name string, n int) (sim.Protocol, error)
+	// Decode reconstructs a payload from its canonical key. Required.
+	Decode func(key string) (sim.Payload, error)
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+	// OnListen, if set, receives the coordinator's bound control address
+	// once it is accepting joiners (useful with a ":0" listen address).
+	OnListen func(addr string)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Report is a finished distributed run: the merged result plus each host's
+// share, for per-host transport diagnostics.
+type Report struct {
+	Result  *runtime.Result
+	PerHost []*runtime.GroupResult
+}
+
+// ctrl is the one JSON-lines message shape of the control plane; Type
+// selects which fields are meaningful.
+type ctrl struct {
+	Type     string               `json:"type"`
+	Host     int                  `json:"host,omitempty"`
+	Spec     *Spec                `json:"spec,omitempty"`
+	DataAddr string               `json:"dataAddr,omitempty"`
+	Peers    map[int]string       `json:"peers,omitempty"`
+	StartNs  int64                `json:"startNs,omitempty"`
+	Status   *runtime.GroupStatus `json:"status,omitempty"`
+	Proc     int                  `json:"proc,omitempty"`
+	Report   *runtime.GroupResult `json:"report,omitempty"`
+	Err      string               `json:"err,omitempty"`
+}
+
+// statusInterval is how often each host pushes its status; the
+// coordinator's quiescence rounds are paced by it.
+const statusInterval = 2 * time.Millisecond
+
+func startMesh(host int, spec *Spec, holder *atomic.Pointer[runtime.Group]) (*netx.Mesh, error) {
+	return netx.Listen("127.0.0.1:0", netx.Config{
+		Self:              host,
+		QueueCap:          spec.QueueCap,
+		Keepalive:         spec.Keepalive,
+		KeepaliveTimeout:  spec.KeepaliveTimeout,
+		PartitionInterval: spec.PartitionInterval,
+		Faults:            spec.Links,
+		OnFrame: func(_ int, payload []byte) {
+			if g := holder.Load(); g != nil {
+				g.DeliverWire(payload)
+			}
+		},
+		OnPeerDown: func(int) {
+			if g := holder.Load(); g != nil {
+				g.NoteLinkDown()
+			}
+		},
+	})
+}
+
+func buildGroup(host int, spec *Spec, proto sim.Protocol, mesh *netx.Mesh, decode func(string) (sim.Payload, error)) (*runtime.Group, error) {
+	return runtime.StartGroup(runtime.GroupConfig{
+		Proto:         proto,
+		Inputs:        spec.Inputs,
+		Host:          host,
+		Owner:         spec.Owner,
+		Mesh:          mesh,
+		DecodePayload: decode,
+		Faults:        spec.Faults,
+		Heartbeat:     spec.Heartbeat,
+		DetectTimeout: spec.DetectTimeout,
+	})
+}
+
+// ---- Coordinator ----
+
+// joinerConn is the coordinator's view of one joiner across a session.
+type joinerConn struct {
+	host int
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu     sync.Mutex
+	status runtime.GroupStatus // ccvet:guardedby mu
+	gen    int                 // ccvet:guardedby mu — bumps on every status push
+	err    error               // ccvet:guardedby mu — first read error; the session is over
+}
+
+func (j *joinerConn) send(m ctrl) error { return j.enc.Encode(m) }
+
+// reset clears per-run state before a new welcome goes out.
+func (j *joinerConn) reset() {
+	j.mu.Lock()
+	j.status = runtime.GroupStatus{}
+	j.gen = 0
+	j.mu.Unlock()
+}
+
+// Coordinator is a standing distributed session: a fixed set of joiners,
+// any number of runs.
+type Coordinator struct {
+	opts      Options
+	ln        net.Listener
+	joiners   []*joinerConn
+	handshake chan ctrl
+	reports   chan *runtime.GroupResult
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewCoordinator binds the control plane on listenAddr and admits exactly
+// `joins` joiner processes (host ids 1..joins in arrival order). It returns
+// once every joiner has said hello.
+func NewCoordinator(ctx context.Context, listenAddr string, joins int, opts Options) (*Coordinator, error) {
+	if opts.Resolve == nil || opts.Decode == nil {
+		return nil, fmt.Errorf("dist: Options.Resolve and Options.Decode are required")
+	}
+	if joins < 0 {
+		return nil, fmt.Errorf("dist: negative joiner count %d", joins)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: control listen %s: %w", listenAddr, err)
+	}
+	c := &Coordinator{
+		opts:      opts,
+		ln:        ln,
+		handshake: make(chan ctrl, joins+1),
+		reports:   make(chan *runtime.GroupResult, joins+1),
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr().String())
+	}
+	opts.logf("control plane on %s, waiting for %d joiner(s)", ln.Addr(), joins)
+	for h := 1; h <= joins; h++ {
+		conn, err := acceptCtx(ctx, ln)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		j := &joinerConn{host: h, conn: conn, enc: json.NewEncoder(conn)}
+		c.joiners = append(c.joiners, j)
+		c.wg.Add(1)
+		go c.readLoop(j)
+	}
+	for range c.joiners {
+		m, err := next(ctx, c.handshake)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		if m.Type != "hello" {
+			_ = c.Close()
+			return nil, fmt.Errorf("dist: expected hello, got %q", m.Type)
+		}
+	}
+	return c, nil
+}
+
+// Addr returns the bound control address joiners should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Hosts returns the session's host count (joiners plus the coordinator).
+func (c *Coordinator) Hosts() int { return len(c.joiners) + 1 }
+
+// Close ends the session: joiners receive done and exit, connections and
+// the listener close.
+func (c *Coordinator) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, j := range c.joiners {
+		_ = j.send(ctrl{Type: "done"})
+		_ = j.conn.Close()
+	}
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Run executes one distributed run over the standing session and returns
+// the merged result. Errors are control-plane failures; a run that merely
+// missed its deadline comes back as a Report whose Result.Err says so.
+func (c *Coordinator) Run(ctx context.Context, spec Spec) (*Report, error) {
+	if c.closed {
+		return nil, fmt.Errorf("dist: session closed")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Hosts() != c.Hosts() {
+		return nil, fmt.Errorf("dist: spec spans %d hosts, session has %d", spec.Hosts(), c.Hosts())
+	}
+	proto, err := c.opts.Resolve(spec.Proto, spec.N)
+	if err != nil {
+		return nil, err
+	}
+	if proto.N() != spec.N {
+		return nil, fmt.Errorf("dist: protocol %s has %d processors, spec says %d", spec.Proto, proto.N(), spec.N)
+	}
+
+	// Handshake: fresh mesh + group on every host.
+	var holder atomic.Pointer[runtime.Group]
+	mesh, err := startMesh(0, &spec, &holder)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = mesh.Close() }()
+	addrs := map[int]string{0: mesh.Addr()}
+
+	for _, j := range c.joiners {
+		j.reset()
+		if err := j.send(ctrl{Type: "welcome", Host: j.host, Spec: &spec}); err != nil {
+			return nil, fmt.Errorf("dist: welcome host %d: %w", j.host, err)
+		}
+	}
+	for range c.joiners {
+		m, err := next(ctx, c.handshake)
+		if err != nil {
+			return nil, err
+		}
+		if m.Type != "ready" || m.DataAddr == "" {
+			return nil, fmt.Errorf("dist: expected ready, got %q", m.Type)
+		}
+		addrs[m.Host] = m.DataAddr
+	}
+
+	group, err := buildGroup(0, &spec, proto, mesh, c.opts.Decode)
+	if err != nil {
+		return nil, err
+	}
+	holder.Store(group)
+	mesh.SetPeers(addrs)
+	for _, j := range c.joiners {
+		if err := j.send(ctrl{Type: "peers", Peers: addrs}); err != nil {
+			return nil, fmt.Errorf("dist: peers to host %d: %w", j.host, err)
+		}
+	}
+	for range c.joiners {
+		m, err := next(ctx, c.handshake)
+		if err != nil {
+			return nil, err
+		}
+		if m.Type != "armed" {
+			return nil, fmt.Errorf("dist: expected armed, got %q", m.Type)
+		}
+	}
+
+	// Go.
+	startNs := time.Now().UnixNano()
+	for _, j := range c.joiners {
+		if err := j.send(ctrl{Type: "go", StartNs: startNs}); err != nil {
+			return nil, fmt.Errorf("dist: go to host %d: %w", j.host, err)
+		}
+	}
+	group.Start()
+
+	runErr := c.monitor(ctx, &spec, group)
+
+	// Finish: collect every host's share, local group last.
+	for _, j := range c.joiners {
+		_ = j.send(ctrl{Type: "finish"})
+	}
+	results := make([]*runtime.GroupResult, 0, c.Hosts())
+	for range c.joiners {
+		res, err := nextReport(ctx, c.reports)
+		if err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+			break
+		}
+		results = append(results, res)
+	}
+	results = append(results, group.Finish())
+	for _, j := range c.joiners {
+		_ = j.send(ctrl{Type: "bye"})
+	}
+
+	if len(results) < c.Hosts() {
+		return nil, fmt.Errorf("dist: only %d of %d hosts reported: %w", len(results), c.Hosts(), runErr)
+	}
+	merged, err := runtime.MergeGroups(proto.Name(), spec.Inputs, spec.Owner, results, startNs)
+	if err != nil {
+		return nil, err
+	}
+	merged.Quiescent = runErr == nil
+	merged.Elapsed = time.Duration(time.Now().UnixNano() - startNs)
+	merged.Err = runErr
+	for _, f := range spec.Failures {
+		found := false
+		for _, cr := range merged.Crashes {
+			if cr.Proc == f.Proc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged.Unfired = append(merged.Unfired, f)
+		}
+	}
+	return &Report{Result: merged, PerHost: results}, nil
+}
+
+// monitor drives injections and detects global quiescence. It returns nil
+// on quiescence and an error on deadline or a host-reported failure.
+func (c *Coordinator) monitor(ctx context.Context, spec *Spec, group *runtime.Group) error {
+	deadline := time.NewTimer(spec.deadline())
+	defer deadline.Stop()
+	// Poll at half the status rate so every quiescence round can see a
+	// fresh status from every joiner.
+	tick := time.NewTicker(2 * statusInterval)
+	defer tick.Stop()
+
+	fired := make([]bool, len(spec.Failures))
+	lastGen := make([]int, len(c.joiners))
+	for i, j := range c.joiners {
+		j.mu.Lock()
+		lastGen[i] = j.gen
+		j.mu.Unlock()
+	}
+	stable, lastEvents := 0, -1
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return fmt.Errorf("dist: run did not quiesce within %s", spec.deadline())
+		case <-tick.C:
+		}
+
+		local := group.Status()
+		if local.Err != "" {
+			return fmt.Errorf("dist: host 0: %s", local.Err)
+		}
+		events := local.Events
+		quiet := local.Idle && local.BoxesEmpty && local.Pending == 0 && local.InFlight == 0 && local.Undetected == 0
+		fresh := true
+		for i, j := range c.joiners {
+			j.mu.Lock()
+			st, gen, jerr := j.status, j.gen, j.err
+			j.mu.Unlock()
+			if jerr != nil {
+				return fmt.Errorf("dist: host %d control connection: %w", j.host, jerr)
+			}
+			if st.Err != "" {
+				return fmt.Errorf("dist: host %d: %s", j.host, st.Err)
+			}
+			events += st.Events
+			if !(st.Idle && st.BoxesEmpty && st.Pending == 0 && st.InFlight == 0 && st.Undetected == 0) {
+				quiet = false
+			}
+			if gen == lastGen[i] {
+				fresh = false // no new word from this host since the last round
+			}
+			lastGen[i] = gen
+		}
+
+		// Fire due injections against the global event count, routed to
+		// the victim's host.
+		for i, f := range spec.Failures {
+			if fired[i] || f.AfterStep > events {
+				continue
+			}
+			fired[i] = true
+			host := spec.Owner[f.Proc]
+			if host == 0 {
+				group.Crash(f.Proc)
+			} else {
+				for _, j := range c.joiners {
+					if j.host == host {
+						_ = j.send(ctrl{Type: "crash", Proc: int(f.Proc)})
+						break
+					}
+				}
+			}
+			c.opts.logf("crash injected: processor %d on host %d (event %d)", f.Proc, host, events)
+		}
+		allFired := true
+		for i := range spec.Failures {
+			if !fired[i] && spec.Failures[i].AfterStep <= events {
+				allFired = false
+			}
+		}
+
+		if quiet && allFired && fresh {
+			if events == lastEvents {
+				stable++
+			} else {
+				stable = 0
+			}
+			lastEvents = events
+			if stable >= 3 {
+				return nil
+			}
+		} else {
+			stable, lastEvents = 0, -1
+		}
+	}
+}
+
+// readLoop drains one joiner's control connection for the whole session:
+// statuses update the shared snapshot, reports complete a run, everything
+// else feeds the handshake channel.
+func (c *Coordinator) readLoop(j *joinerConn) {
+	defer c.wg.Done()
+	dec := json.NewDecoder(bufio.NewReader(j.conn))
+	for {
+		var m ctrl
+		if err := dec.Decode(&m); err != nil {
+			j.mu.Lock()
+			if j.err == nil {
+				j.err = err
+			}
+			j.mu.Unlock()
+			// Unblock a Run that is waiting on this host's report.
+			select {
+			case c.reports <- nil:
+			default:
+			}
+			return
+		}
+		switch m.Type {
+		case "status":
+			if m.Status != nil {
+				j.mu.Lock()
+				j.status = *m.Status
+				j.gen++
+				j.mu.Unlock()
+			}
+		case "report":
+			c.reports <- m.Report
+		default:
+			c.handshake <- m
+		}
+	}
+}
+
+func next(ctx context.Context, ch <-chan ctrl) (ctrl, error) {
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-ctx.Done():
+		return ctrl{}, ctx.Err()
+	case <-time.After(30 * time.Second):
+		return ctrl{}, fmt.Errorf("dist: handshake timed out")
+	}
+}
+
+func nextReport(ctx context.Context, ch <-chan *runtime.GroupResult) (*runtime.GroupResult, error) {
+	select {
+	case res := <-ch:
+		if res == nil {
+			return nil, fmt.Errorf("dist: a host's control connection dropped before it reported")
+		}
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("dist: timed out waiting for a host report")
+	}
+}
+
+func acceptCtx(ctx context.Context, ln net.Listener) (net.Conn, error) {
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	//ccvet:ignore golifecycle Accept cannot be interrupted portably; on ctx.Done the listener is closed, which makes Accept return and the goroutine exit
+	go func() {
+		conn, err := ln.Accept()
+		ch <- res{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("dist: accept: %w", r.err)
+		}
+		return r.conn, nil
+	case <-ctx.Done():
+		ln.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Serve is the single-run convenience: admit the spec's joiners, run once,
+// tear the session down.
+func Serve(ctx context.Context, listenAddr string, spec Spec, opts Options) (*Report, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinator(ctx, listenAddr, spec.Hosts()-1, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+	return c.Run(ctx, spec)
+}
+
+// ---- Joiner ----
+
+// Join runs one joiner process for a whole session: dial the coordinator
+// (with retry, since the joiner may start first), then serve runs until the
+// coordinator says done or hangs up.
+func Join(ctx context.Context, ctrlAddr string, opts Options) error {
+	if opts.Resolve == nil || opts.Decode == nil {
+		return fmt.Errorf("dist: Options.Resolve and Options.Decode are required")
+	}
+	conn, err := dialRetry(ctx, ctrlAddr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	enc := json.NewEncoder(conn)
+	inCh := make(chan ctrl, 64)
+	// Deferred order on return: close the connection (failing the decoder's
+	// read), drain inCh until the decoder closes it, then join it.
+	defer wg.Wait()
+	defer func() {
+		for range inCh {
+		}
+	}()
+	defer conn.Close()
+	readErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		for {
+			var m ctrl
+			if err := dec.Decode(&m); err != nil {
+				readErr <- err
+				close(inCh)
+				return
+			}
+			inCh <- m
+		}
+	}()
+	j := &joinerSession{ctx: ctx, enc: enc, inCh: inCh, readErr: readErr, opts: opts}
+
+	if err := enc.Encode(ctrl{Type: "hello"}); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	for {
+		m, ok, err := j.recvAny()
+		if err != nil {
+			return err
+		}
+		if !ok || m.Type == "done" {
+			return nil // session over
+		}
+		if m.Type != "welcome" {
+			return fmt.Errorf("dist: expected welcome, got %q", m.Type)
+		}
+		if m.Spec == nil {
+			return fmt.Errorf("dist: welcome without a spec")
+		}
+		if err := j.runOne(*m.Spec, m.Host); err != nil {
+			return err
+		}
+	}
+}
+
+// joinerSession is one joiner's side of the control connection.
+type joinerSession struct {
+	ctx     context.Context
+	enc     *json.Encoder
+	inCh    chan ctrl
+	readErr chan error
+	opts    Options
+}
+
+// recvAny returns the next control message; ok=false means the connection
+// closed cleanly from the joiner's point of view.
+func (j *joinerSession) recvAny() (ctrl, bool, error) {
+	select {
+	case m, ok := <-j.inCh:
+		if !ok {
+			return ctrl{}, false, nil
+		}
+		return m, true, nil
+	case <-j.ctx.Done():
+		return ctrl{}, false, j.ctx.Err()
+	}
+}
+
+// recv returns the next message, requiring the given type.
+func (j *joinerSession) recv(typ string) (ctrl, error) {
+	select {
+	case m, ok := <-j.inCh:
+		if !ok {
+			return ctrl{}, fmt.Errorf("dist: control connection lost: %v", <-j.readErr)
+		}
+		if m.Type != typ {
+			return ctrl{}, fmt.Errorf("dist: expected %q, got %q", typ, m.Type)
+		}
+		return m, nil
+	case <-j.ctx.Done():
+		return ctrl{}, j.ctx.Err()
+	case <-time.After(30 * time.Second):
+		return ctrl{}, fmt.Errorf("dist: timed out waiting for %q", typ)
+	}
+}
+
+// runOne executes one run's slice on this host.
+func (j *joinerSession) runOne(spec Spec, host int) error {
+	proto, err := j.opts.Resolve(spec.Proto, spec.N)
+	if err != nil {
+		return err
+	}
+	var holder atomic.Pointer[runtime.Group]
+	mesh, err := startMesh(host, &spec, &holder)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mesh.Close() }()
+	if err := j.enc.Encode(ctrl{Type: "ready", Host: host, DataAddr: mesh.Addr()}); err != nil {
+		return fmt.Errorf("dist: ready: %w", err)
+	}
+	p, err := j.recv("peers")
+	if err != nil {
+		return err
+	}
+	group, err := buildGroup(host, &spec, proto, mesh, j.opts.Decode)
+	if err != nil {
+		return err
+	}
+	holder.Store(group)
+	mesh.SetPeers(p.Peers)
+	if err := j.enc.Encode(ctrl{Type: "armed", Host: host}); err != nil {
+		return fmt.Errorf("dist: armed: %w", err)
+	}
+	if _, err := j.recv("go"); err != nil {
+		return err
+	}
+	group.Start()
+	j.opts.logf("host %d running %d processor(s)", host, countOwned(spec.Owner, host))
+
+	tick := time.NewTicker(statusInterval)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-j.ctx.Done():
+			return j.ctx.Err()
+		case <-tick.C:
+			st := group.Status()
+			if err := j.enc.Encode(ctrl{Type: "status", Host: host, Status: &st}); err != nil {
+				return fmt.Errorf("dist: status push: %w", err)
+			}
+		case m, ok := <-j.inCh:
+			if !ok {
+				return fmt.Errorf("dist: control connection lost: %v", <-j.readErr)
+			}
+			switch m.Type {
+			case "crash":
+				group.Crash(sim.ProcID(m.Proc))
+			case "finish":
+				break loop
+			}
+		}
+	}
+
+	res := group.Finish()
+	if err := j.enc.Encode(ctrl{Type: "report", Host: host, Report: res}); err != nil {
+		return fmt.Errorf("dist: report: %w", err)
+	}
+	// Wait for bye so the mesh outlives any peer still flushing acks.
+	if _, err := j.recv("bye"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func dialRetry(ctx context.Context, addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return nil, fmt.Errorf("dist: dial %s: %w", addr, lastErr)
+}
+
+func countOwned(owner []int, host int) int {
+	c := 0
+	for _, o := range owner {
+		if o == host {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,524 @@
+package runtime
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime/netx"
+	"repro/internal/sim"
+)
+
+// This file is the distributed half of the runtime: a Group runs a
+// contiguous slice of a protocol's processors inside one OS process, with
+// local traffic short-circuited through shared mailboxes and remote
+// traffic carried as opaque frames over a netx mesh. Each group stamps its
+// local total order with the collector's Lamport clock; a coordinator
+// merges the groups' schedules into one global total order (MergeGroups)
+// that replays through the same Conform check as a single-process run.
+
+// GroupConfig configures one process's slice of a distributed run.
+type GroupConfig struct {
+	// Proto is the full protocol; Proto.N() is the global processor count.
+	Proto sim.Protocol
+	// Inputs is the full input vector.
+	Inputs []sim.Bit
+	// Host is this process's index in the mesh.
+	Host int
+	// Owner maps each processor to the host index running it.
+	Owner []int
+	// Mesh is the established byte mesh between hosts. The group sends on
+	// it; inbound frames must be routed to DeliverWire by the mesh owner.
+	Mesh *netx.Mesh
+	// DecodePayload reconstructs a payload value from its canonical key,
+	// for frames that crossed the wire. Injected (rather than imported)
+	// so the runtime stays independent of the protocol library.
+	DecodePayload func(key string) (sim.Payload, error)
+	// Faults is the message-level fault plan (drops, dups, delays),
+	// applied sender-side above the reliable links.
+	Faults FaultPlan
+	// Heartbeat and DetectTimeout tune the failure detector exactly as in
+	// Config.
+	Heartbeat     time.Duration
+	DetectTimeout time.Duration
+}
+
+// GroupStatus is one process's contribution to the distributed quiescence
+// predicate; the coordinator aggregates these across hosts.
+type GroupStatus struct {
+	// Events is the number of locally recorded schedule events; the
+	// coordinator's quiescence check requires the global sum stable
+	// across consecutive polls.
+	Events int `json:"events"`
+	// Idle: every hosted node is blocked on an empty mailbox or exited.
+	Idle bool `json:"idle"`
+	// BoxesEmpty: every hosted mailbox holds nothing deliverable.
+	BoxesEmpty bool `json:"boxesEmpty"`
+	// Pending counts deliveries popped but not yet recorded and applied.
+	Pending int64 `json:"pending"`
+	// InFlight counts accepted messages not yet settled, including frames
+	// still queued or unacked on outbound links.
+	InFlight int `json:"inFlight"`
+	// Undetected counts confirmed local crashes whose notices have not
+	// been released yet.
+	Undetected int `json:"undetected"`
+	// Err is a local model-contract violation, fatal to the run.
+	Err string `json:"err,omitempty"`
+}
+
+// GroupResult is one process's share of a finished distributed run.
+// Per-processor slices are indexed by global processor id; entries for
+// processors hosted elsewhere are zero.
+type GroupResult struct {
+	Host            int            `json:"host"`
+	Schedule        sim.Schedule   `json:"schedule"`
+	TS              []uint64       `json:"ts"`
+	Decisions       []sim.Decision `json:"decisions"`
+	DecidedAtNs     []int64        `json:"decidedAtNs"` // absolute UnixNano; 0 = never decided
+	CrashAtNs       []int64        `json:"crashAtNs"`   // absolute UnixNano; 0 = never crashed
+	DetectionNs     []int64        `json:"detectionNs"` // crash → notice release, per hosted crash
+	FalseSuspicions int            `json:"falseSuspicions"`
+	LinkSuspicions  int            `json:"linkSuspicions"`
+	Transport       TransportStats `json:"transport"`
+}
+
+// Group runs the hosted slice of processors. Construction wires everything
+// but starts nothing; Start launches the node goroutines (after the
+// coordinator's barrier), and Finish tears the group down and snapshots
+// its share of the run.
+type Group struct {
+	cfg     GroupConfig
+	n       int
+	col     *collector
+	det     *detector
+	tr      *tcpTransport
+	boxes   map[sim.ProcID]*mailbox
+	nodes   map[sim.ProcID]*node
+	hosted  []sim.ProcID // owned processors in ascending order
+	pending atomic.Int64
+	done    chan struct{}
+	started bool
+	wg      sync.WaitGroup
+}
+
+// StartGroup builds a group for every processor p with Owner[p] == Host.
+// Nodes do not step until Start is called.
+func StartGroup(cfg GroupConfig) (*Group, error) {
+	n := cfg.Proto.N()
+	if len(cfg.Inputs) != n || len(cfg.Owner) != n {
+		return nil, fmt.Errorf("runtime: group wants %d inputs and owners, got %d and %d", n, len(cfg.Inputs), len(cfg.Owner))
+	}
+	if cfg.Mesh == nil || cfg.DecodePayload == nil {
+		return nil, fmt.Errorf("runtime: group needs a mesh and a payload decoder")
+	}
+	g := &Group{
+		cfg:   cfg,
+		n:     n,
+		col:   newCollector(n),
+		boxes: make(map[sim.ProcID]*mailbox),
+		nodes: make(map[sim.ProcID]*node),
+		done:  make(chan struct{}),
+	}
+	counters := &transportCounters{}
+	for p := 0; p < n; p++ {
+		if cfg.Owner[p] != cfg.Host {
+			continue
+		}
+		pid := sim.ProcID(p)
+		g.hosted = append(g.hosted, pid)
+		g.boxes[pid] = newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &g.pending, counters)
+	}
+	g.tr = newTCPTransport(g, counters)
+	hb, dt := cfg.Heartbeat, cfg.DetectTimeout
+	if hb <= 0 {
+		hb = time.Millisecond
+	}
+	if dt <= 0 {
+		dt = 15 * time.Millisecond
+	}
+	g.det = newDetector(n, g.col, g.tr, hb, dt)
+	for p := 0; p < n; p++ {
+		if cfg.Owner[p] != cfg.Host {
+			// Remote processors are not this detector's business: their
+			// own host watches their heartbeats.
+			g.det.markExited(sim.ProcID(p))
+			continue
+		}
+		pid := sim.ProcID(p)
+		g.nodes[pid] = &node{
+			p:       pid,
+			proto:   cfg.Proto,
+			state:   cfg.Proto.Init(pid, cfg.Inputs[p], n),
+			mb:      g.boxes[pid],
+			net:     g.tr,
+			col:     g.col,
+			det:     g.det,
+			crashed: make(chan struct{}),
+			done:    g.done,
+		}
+	}
+	return g, nil
+}
+
+// Start launches the hosted nodes, the fault scheduler, and the local
+// detector loop. Call exactly once, after every group in the run is built.
+func (g *Group) Start() {
+	if g.started {
+		return
+	}
+	g.started = true
+	now := time.Now().UnixNano()
+	for _, p := range g.hosted {
+		g.det.lastBeat[p].Store(now)
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.tr.sched.run()
+	}()
+	g.wg.Add(1)
+	go g.pollLoop()
+	for _, p := range g.hosted {
+		g.wg.Add(1)
+		go func(nd *node) {
+			defer g.wg.Done()
+			nd.loop()
+		}(g.nodes[p])
+	}
+}
+
+// pollLoop drives the local failure detector while the run lasts.
+func (g *Group) pollLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(pollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-t.C:
+			g.det.poll()
+		}
+	}
+}
+
+// DeliverWire routes one mesh payload — the send event's Lamport timestamp
+// followed by the message frame — into the destination's mailbox.
+// Anything that does not parse is counted as a garbage frame, never
+// silently dropped.
+func (g *Group) DeliverWire(payload []byte) {
+	if len(payload) < 8 {
+		g.tr.counters.garbageFrames.Add(1)
+		return
+	}
+	ts := binary.BigEndian.Uint64(payload[:8])
+	frame := payload[8:]
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		g.tr.counters.garbageFrames.Add(1)
+		return
+	}
+	m := sim.Message{ID: f.ID(), Notice: f.Notice}
+	if !f.Notice {
+		p, err := g.cfg.DecodePayload(f.PayloadKey)
+		if err != nil {
+			g.tr.counters.garbageFrames.Add(1)
+			return
+		}
+		m.Payload = p
+	}
+	mb := g.boxes[f.To]
+	if mb == nil {
+		g.tr.counters.garbageFrames.Add(1)
+		return
+	}
+	mb.deliver(frame, m, ts)
+}
+
+// NoteLinkDown forwards a mesh keepalive verdict to the failure detector
+// as suspicion-only evidence.
+func (g *Group) NoteLinkDown() { g.det.noteLinkDown() }
+
+// Crash injects a fail-stop failure on a hosted processor.
+func (g *Group) Crash(p sim.ProcID) {
+	nd := g.nodes[p]
+	if nd == nil {
+		return
+	}
+	notices, ts, ok := g.col.recordCrash(p)
+	if !ok {
+		return
+	}
+	g.det.markCrashed(p, notices, ts, time.Now())
+	close(nd.crashed)
+	g.boxes[p].close()
+}
+
+// Status snapshots the group's contribution to the quiescence predicate.
+func (g *Group) Status() GroupStatus {
+	st := GroupStatus{
+		Events:     g.col.events(),
+		Idle:       true,
+		BoxesEmpty: true,
+		Pending:    g.pending.Load(),
+		InFlight:   g.tr.InFlight(),
+		Undetected: g.det.undetected(),
+	}
+	for _, p := range g.hosted {
+		if g.nodes[p].phase.Load() == phaseRunning {
+			st.Idle = false
+		}
+		if !g.boxes[p].empty() {
+			st.BoxesEmpty = false
+		}
+	}
+	if err := g.col.failure(); err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// Finish stops the group and returns its share of the run. The mesh is the
+// caller's to close (after every group has reported).
+func (g *Group) Finish() *GroupResult {
+	close(g.done)
+	g.wg.Wait()
+	sched, ts, decisions, decidedAt, crashAt := g.col.snapshot()
+	latencies, falseSusp, linkSusp := g.det.stats()
+	res := &GroupResult{
+		Host:            g.cfg.Host,
+		Schedule:        sched,
+		TS:              ts,
+		Decisions:       decisions,
+		DecidedAtNs:     make([]int64, g.n),
+		CrashAtNs:       make([]int64, g.n),
+		DetectionNs:     make([]int64, g.n),
+		FalseSuspicions: falseSusp,
+		LinkSuspicions:  linkSusp,
+		Transport:       g.tr.Stats(),
+	}
+	for p := 0; p < g.n; p++ {
+		if !decidedAt[p].IsZero() {
+			res.DecidedAtNs[p] = decidedAt[p].UnixNano()
+		}
+		if !crashAt[p].IsZero() {
+			res.CrashAtNs[p] = crashAt[p].UnixNano()
+		}
+		if d, ok := latencies[sim.ProcID(p)]; ok {
+			res.DetectionNs[p] = int64(d)
+		}
+	}
+	return res
+}
+
+// ---- The TCP-backed transport ----
+
+// tcpTransport implements Transport for a group: local destinations
+// short-circuit into shared mailboxes, remote destinations ride the mesh.
+// Message-level faults (drop, dup, delay) are applied sender-side by a
+// single scheduler goroutine over a timing heap — never a goroutine per
+// message — and the reliable links below absorb retransmission.
+type tcpTransport struct {
+	g        *Group
+	counters *transportCounters
+	sched    *sendScheduler
+}
+
+func newTCPTransport(g *Group, counters *transportCounters) *tcpTransport {
+	t := &tcpTransport{g: g, counters: counters}
+	t.sched = newSendScheduler(g.cfg.Faults, counters, t.attemptDeliver, g.done)
+	return t
+}
+
+// Send accepts a message: encode once, then hand the delivery schedule to
+// the fault scheduler.
+func (t *tcpTransport) Send(m sim.Message, lamport uint64) {
+	t.counters.accepted.Add(1)
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.counters.encodeFailures.Add(1)
+		return
+	}
+	t.sched.accept(m, frame, lamport)
+}
+
+// attemptDeliver performs one non-dropped delivery attempt.
+func (t *tcpTransport) attemptDeliver(a attempt) {
+	to := a.m.ID.To
+	if t.g.cfg.Owner[to] == t.g.cfg.Host {
+		t.g.boxes[to].deliver(a.frame, a.m, a.ts)
+		return
+	}
+	payload := make([]byte, 8+len(a.frame))
+	binary.BigEndian.PutUint64(payload, a.ts)
+	copy(payload[8:], a.frame)
+	// Send blocks under backpressure (full link queue); the scheduler
+	// tolerates that — at-least-once delivery has no deadline.
+	_ = t.g.cfg.Mesh.Send(t.g.cfg.Owner[to], payload)
+}
+
+// InFlight counts messages not yet settled locally plus frames still
+// queued or unacked on the mesh.
+func (t *tcpTransport) InFlight() int {
+	return int(t.sched.inflight.Load()) + t.g.cfg.Mesh.Pending()
+}
+
+// Stats merges the message-level counters with the mesh's link counters.
+func (t *tcpTransport) Stats() TransportStats {
+	st := t.counters.snapshot()
+	ms := t.g.cfg.Mesh.Stats()
+	st.FramesSent = ms.FramesSent
+	st.FramesResent = ms.FramesResent
+	st.Dials = ms.Dials
+	st.Reconnects = ms.Reconnects
+	st.Resets = ms.Resets
+	st.LinkDowns = ms.LinkDowns
+	st.SeveredIntervals = ms.SeveredIntervals
+	st.HeldFrames = ms.HeldFrames
+	return st
+}
+
+// ---- The seeded attempt scheduler ----
+
+// attempt is one pending delivery attempt of one message.
+type attempt struct {
+	due   time.Time
+	m     sim.Message
+	frame []byte
+	ts    uint64
+	try   int
+}
+
+// attemptHeap is a min-heap of attempts by due time.
+type attemptHeap []attempt
+
+func (h attemptHeap) Len() int           { return len(h) }
+func (h attemptHeap) Less(i, j int) bool { return h[i].due.Before(h[j].due) }
+func (h attemptHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *attemptHeap) Push(x any)        { *h = append(*h, x.(attempt)) }
+func (h *attemptHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// sendScheduler executes every message's delivery attempts from one
+// goroutine over a timing heap. Fault decisions remain a pure function of
+// (seed, message triple, attempt) exactly as in the in-memory Network, so
+// a TCP run with the same message-fault seed injects the same drop/dup
+// pattern.
+type sendScheduler struct {
+	faults   FaultPlan
+	counters *transportCounters
+	deliver  func(attempt)
+	done     chan struct{}
+	notify   chan struct{}
+
+	mu       sync.Mutex
+	heap     attemptHeap // ccvet:guardedby mu
+	inflight atomic.Int64
+}
+
+func newSendScheduler(faults FaultPlan, counters *transportCounters, deliver func(attempt), done chan struct{}) *sendScheduler {
+	return &sendScheduler{
+		faults:   faults,
+		counters: counters,
+		deliver:  deliver,
+		done:     done,
+		notify:   make(chan struct{}, 1),
+	}
+}
+
+// accept enqueues a fresh message's first delivery attempt.
+func (s *sendScheduler) accept(m sim.Message, frame []byte, ts uint64) {
+	s.inflight.Add(1)
+	s.push(attempt{
+		due:   time.Now().Add(s.faults.delay(m.ID, 0)),
+		m:     m,
+		frame: frame,
+		ts:    ts,
+	})
+}
+
+func (s *sendScheduler) push(a attempt) {
+	s.mu.Lock()
+	heap.Push(&s.heap, a)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the scheduler goroutine: pop due attempts, apply the seeded fault
+// decisions, deliver or reschedule.
+func (s *sendScheduler) run() {
+	for {
+		s.mu.Lock()
+		var wait time.Duration = -1
+		var a attempt
+		ready := false
+		if len(s.heap) > 0 {
+			now := time.Now()
+			if !s.heap[0].due.After(now) {
+				a = heap.Pop(&s.heap).(attempt)
+				ready = true
+			} else {
+				wait = s.heap[0].due.Sub(now)
+			}
+		}
+		s.mu.Unlock()
+		if ready {
+			s.execute(a)
+			continue
+		}
+		if wait < 0 {
+			select {
+			case <-s.notify:
+			case <-s.done:
+				return
+			}
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-s.notify:
+		case <-s.done:
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// execute applies the fault decisions of one due attempt.
+func (s *sendScheduler) execute(a attempt) {
+	if s.faults.drop(a.m.ID, a.try) {
+		s.counters.drops.Add(1)
+		s.requeue(a)
+		return
+	}
+	s.deliver(a)
+	if s.faults.dup(a.m.ID, a.try) {
+		// Ack lost: retransmit a duplicate the receiver's dedup absorbs.
+		s.counters.dups.Add(1)
+		s.requeue(a)
+		return
+	}
+	s.counters.settled.Add(1)
+	s.inflight.Add(-1)
+}
+
+// requeue schedules the next attempt after backoff plus transit delay.
+func (s *sendScheduler) requeue(a attempt) {
+	delay := s.faults.backoff(a.m.ID, a.try)
+	a.try++
+	a.due = time.Now().Add(delay + s.faults.delay(a.m.ID, a.try))
+	s.push(a)
+}

@@ -85,6 +85,16 @@ type Result struct {
 	// FalseSuspicions counts heartbeat timeouts on live processors; the
 	// detector never acts on them, but honesty requires counting them.
 	FalseSuspicions int
+	// LinkSuspicions counts keepalive link-down verdicts from the
+	// transport (always zero for the in-memory transport).
+	LinkSuspicions int
+	// Decided holds each processor's time-to-first-decision from run
+	// start; zero for processors that never decided.
+	Decided []time.Duration
+	// Transport snapshots the transport's counters at the end of the run,
+	// including the loss paths (encode failures, garbage frames) that were
+	// once silent.
+	Transport TransportStats
 	// Recovery is the crash-to-recovery latency: from the first crash to
 	// the last post-crash decision by a survivor. Zero when no survivor
 	// decided after a crash.
@@ -122,11 +132,12 @@ func Run(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, cfg Config) 
 
 	done := make(chan struct{})
 	var pending atomic.Int64
+	counters := &transportCounters{}
 	boxes := make([]*mailbox, n)
 	for p := range boxes {
-		boxes[p] = newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &pending)
+		boxes[p] = newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &pending, counters)
 	}
-	net := newNetwork(cfg.Faults, boxes, done)
+	net := newNetwork(cfg.Faults, boxes, counters, done)
 	col := newCollector(n)
 	det := newDetector(n, col, net, cfg.heartbeat(), cfg.detectTimeout())
 
@@ -184,9 +195,9 @@ monitor:
 				continue
 			}
 			fired[i] = true
-			notices, ok := col.recordCrash(f.Proc)
+			notices, ts, ok := col.recordCrash(f.Proc)
 			if ok {
-				det.markCrashed(f.Proc, notices, time.Now())
+				det.markCrashed(f.Proc, notices, ts, time.Now())
 				close(nodes[f.Proc].crashed)
 				boxes[f.Proc].close()
 			}
@@ -219,8 +230,8 @@ monitor:
 	wg.Wait()
 	net.wait()
 
-	sched, decisions, decidedAt, crashAt := col.snapshot()
-	latencies, falseSusp := det.stats()
+	sched, _, decisions, decidedAt, crashAt := col.snapshot()
+	latencies, falseSusp, linkSusp := det.stats()
 	res := &Result{
 		Proto:           proto.Name(),
 		Inputs:          append([]sim.Bit(nil), inputs...),
@@ -228,8 +239,16 @@ monitor:
 		Decisions:       decisions,
 		Quiescent:       quiescent,
 		FalseSuspicions: falseSusp,
+		LinkSuspicions:  linkSusp,
+		Decided:         make([]time.Duration, n),
+		Transport:       net.Stats(),
 		Elapsed:         time.Since(start),
 		Err:             runErr,
+	}
+	for p := 0; p < n; p++ {
+		if !decidedAt[p].IsZero() {
+			res.Decided[p] = decidedAt[p].Sub(start)
+		}
 	}
 	for i, f := range cfg.Failures {
 		if !fired[i] {

@@ -1,0 +1,126 @@
+package netx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The netx wire protocol: length-prefixed frames over one TCP connection
+// per directed process pair. The payload of a data frame is opaque to this
+// package — the runtime's own Frame codec lives above — so netx stays a
+// byte mesh with no knowledge of messages, processors, or protocols.
+//
+// Layout: u32 big-endian length of (type ‖ body), then the type byte, then
+// the body. Bodies:
+//
+//	hello: u32 sender process id — first frame after every (re)dial
+//	data:  u64 link sequence number ‖ payload bytes
+//	ack:   u64 cumulative ack — receiver has all data frames ≤ this seq
+//	ping:  empty — sender keepalive
+//	pong:  empty — receiver's answer
+//
+// Data seqs are per directed link, start at 1, and never reset: after a
+// reconnect the sender replays every frame above the last cumulative ack,
+// so the link delivers each payload exactly once, in order, across any
+// number of connection incarnations.
+const (
+	frameHello byte = 1
+	frameData  byte = 2
+	frameAck   byte = 3
+	framePing  byte = 4
+	framePong  byte = 5
+)
+
+// maxWireFrame bounds one frame on the wire; anything larger is a corrupt
+// length prefix, not a real frame.
+const maxWireFrame = 1 << 20
+
+// appendFrame appends one length-prefixed frame to dst.
+//
+//ccvet:pure
+func appendFrame(dst []byte, typ byte, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// appendHello appends a hello frame announcing the dialing process.
+//
+//ccvet:pure
+func appendHello(dst []byte, self int) []byte {
+	var body [4]byte
+	binary.BigEndian.PutUint32(body[:], uint32(self))
+	return appendFrame(dst, frameHello, body[:])
+}
+
+// appendData appends a data frame carrying one opaque payload.
+//
+//ccvet:pure
+func appendData(dst []byte, seq uint64, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+len(payload)))
+	dst = append(dst, frameData)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return append(dst, payload...)
+}
+
+// appendAck appends a cumulative-ack frame.
+//
+//ccvet:pure
+func appendAck(dst []byte, cum uint64) []byte {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], cum)
+	return appendFrame(dst, frameAck, body[:])
+}
+
+// readWireFrame reads one frame, reusing buf when it is large enough. The
+// returned body aliases the read buffer and is valid until the next call.
+func readWireFrame(r *bufio.Reader, buf []byte) (typ byte, body, newBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxWireFrame {
+		return 0, nil, buf, fmt.Errorf("netx: frame length %d outside (0, %d]", n, maxWireFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// parseHello extracts the sender id from a hello body.
+//
+//ccvet:pure
+func parseHello(body []byte) (int, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("netx: hello body is %d bytes, want 4", len(body))
+	}
+	return int(binary.BigEndian.Uint32(body)), nil
+}
+
+// parseData splits a data body into its seq and payload.
+//
+//ccvet:pure
+func parseData(body []byte) (uint64, []byte, error) {
+	if len(body) < 8 {
+		return 0, nil, fmt.Errorf("netx: data body is %d bytes, want ≥ 8", len(body))
+	}
+	return binary.BigEndian.Uint64(body[:8]), body[8:], nil
+}
+
+// parseAck extracts the cumulative ack.
+//
+//ccvet:pure
+func parseAck(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("netx: ack body is %d bytes, want 8", len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}

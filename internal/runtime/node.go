@@ -30,7 +30,7 @@ type node struct {
 	proto sim.Protocol
 	state sim.State
 	mb    *mailbox
-	net   *Network
+	net   Transport
 	col   *collector
 	det   *detector
 
@@ -59,17 +59,17 @@ func (nd *node) loop() {
 		switch nd.state.Kind() {
 		case sim.Sending:
 			s2, envs := nd.proto.SendStep(nd.p, nd.state)
-			msgs, ok, err := nd.col.recordSend(nd.p, envs)
+			msgs, ts, ok, err := nd.col.recordSend(nd.p, envs)
 			if err != nil || !ok {
 				return
 			}
 			nd.state = s2
 			nd.reportDecision()
 			for _, m := range msgs {
-				nd.net.Send(m)
+				nd.net.Send(m, ts)
 			}
 		case sim.Receiving:
-			m, ok := nd.mb.tryRecv()
+			m, witness, ok := nd.mb.tryRecv()
 			if !ok {
 				nd.phase.Store(phaseBlocked)
 				select {
@@ -82,7 +82,7 @@ func (nd *node) loop() {
 					return
 				}
 			}
-			if !nd.col.recordDeliver(nd.p, m.ID) {
+			if !nd.col.recordDeliver(nd.p, m.ID, witness) {
 				nd.mb.stepDone()
 				return
 			}

@@ -96,6 +96,91 @@ func (fp FaultPlan) backoff(id sim.MsgID, attempt int) time.Duration {
 	return d + jitter
 }
 
+// Transport is the message system underneath a live run: it must emulate
+// the model's faultless, fair, unordered message system — at-least-once
+// delivery into the destination's mailbox, upgraded to exactly-once by
+// receiver-side dedup. Two implementations exist: the in-memory Network
+// below (goroutine-per-message delivery agents over shared mailboxes) and
+// the TCP transport in group.go (per-link queues over a netx mesh spanning
+// OS processes). Both run the identical conformance suite: a recorded trace
+// must replay as a legal run of the model whichever transport carried it.
+type Transport interface {
+	// Send accepts a message for delivery. It never fails: from the
+	// sender's point of view the message system is faultless. lamport is
+	// the collector timestamp of the send event, carried on the wire so a
+	// distributed run's merged schedule preserves the happens-before
+	// order (the in-memory transport ignores it).
+	Send(m sim.Message, lamport uint64)
+	// InFlight returns the number of accepted messages not yet settled
+	// (delivered to a mailbox, or discarded at a closed one); quiescence
+	// requires zero.
+	InFlight() int
+	// Stats snapshots the transport's counters.
+	Stats() TransportStats
+}
+
+// TransportStats counts everything the transport did — including the two
+// formerly silent loss paths (unencodable messages discarded at Send,
+// garbage frames discarded at delivery), which are now first-class run
+// statistics surfaced by the cclive soak summary. Link-level fields stay
+// zero for the in-memory transport.
+type TransportStats struct {
+	// Accepted counts messages handed to Send.
+	Accepted int64 `json:"accepted"`
+	// Settled counts accepted messages that reached their mailbox (or
+	// were discarded at a closed/deduplicating one).
+	Settled int64 `json:"settled"`
+	// EncodeFailures counts messages Send discarded because their wire
+	// frame failed to encode — a silent loss the conformance replay would
+	// otherwise have to infer.
+	EncodeFailures int64 `json:"encodeFailures"`
+	// GarbageFrames counts frames discarded at delivery because they were
+	// corrupt or did not carry their message's triple.
+	GarbageFrames int64 `json:"garbageFrames"`
+	// Drops counts seeded in-transit losses of delivery attempts.
+	Drops int64 `json:"drops"`
+	// Dups counts seeded ack losses (duplicate retransmissions).
+	Dups int64 `json:"dups"`
+
+	// FramesSent counts link frames written to peer sockets.
+	FramesSent int64 `json:"framesSent,omitempty"`
+	// FramesResent counts link frames re-sent after a reconnect resumed
+	// per-link sequence state.
+	FramesResent int64 `json:"framesResent,omitempty"`
+	// Dials counts link connection attempts (first dials and redials).
+	Dials int64 `json:"dials,omitempty"`
+	// Reconnects counts links that lost an established connection and
+	// re-established it.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	// Resets counts injected connection resets.
+	Resets int64 `json:"resets,omitempty"`
+	// LinkDowns counts keepalive verdicts: a link declared down after
+	// silence exceeded the keepalive timeout.
+	LinkDowns int64 `json:"linkDowns,omitempty"`
+	// SeveredIntervals counts (link, interval) pairs the fault plan
+	// severed; HeldFrames counts frames parked while their link was
+	// severed or stalled.
+	SeveredIntervals int64 `json:"severedIntervals,omitempty"`
+	HeldFrames       int64 `json:"heldFrames,omitempty"`
+}
+
+// transportCounters is the mutable atomic counter block behind
+// TransportStats, shared between a transport and the mailboxes it feeds.
+type transportCounters struct {
+	accepted, settled, encodeFailures, garbageFrames, drops, dups atomic.Int64
+}
+
+func (c *transportCounters) snapshot() TransportStats {
+	return TransportStats{
+		Accepted:       c.accepted.Load(),
+		Settled:        c.settled.Load(),
+		EncodeFailures: c.encodeFailures.Load(),
+		GarbageFrames:  c.garbageFrames.Load(),
+		Drops:          c.drops.Load(),
+		Dups:           c.dups.Load(),
+	}
+}
+
 // agingLimit is the fairness bound: a buffered message passed over this
 // many times is delivered next, so no message starves however the seeded
 // picks fall (the model's fair-buffer guarantee).
@@ -108,6 +193,7 @@ const agingLimit = 8
 type mailbox struct {
 	mu       sync.Mutex
 	msgs     []sim.Message      // ccvet:guardedby mu
+	tss      []uint64           // ccvet:guardedby mu — Lamport witness carried by each buffered message
 	passed   []int              // ccvet:guardedby mu — times each buffered message was passed over
 	seen     map[sim.MsgID]bool // ccvet:guardedby mu
 	closed   bool               // ccvet:guardedby mu
@@ -117,28 +203,35 @@ type mailbox struct {
 	// pending counts messages popped by recv but not yet recorded and
 	// applied by the node; the quiescence monitor must see zero.
 	pending *atomic.Int64
+	// counters is the owning transport's counter block: garbage frames
+	// discarded here are counted, never silently lost.
+	counters *transportCounters
 }
 
-func newMailbox(seed int64, dedupOff bool, pending *atomic.Int64) *mailbox {
+func newMailbox(seed int64, dedupOff bool, pending *atomic.Int64, counters *transportCounters) *mailbox {
 	return &mailbox{
 		seen:     make(map[sim.MsgID]bool),
 		dedupOff: dedupOff,
 		rng:      rand.New(rand.NewSource(seed)),
 		notify:   make(chan struct{}, 1),
 		pending:  pending,
+		counters: counters,
 	}
 }
 
-// deliver buffers one transported frame. Duplicate triples are absorbed
-// here (unless dedup is disabled), and frames for a closed mailbox — a
-// crashed or halted processor — are discarded: the model ignores the
-// buffers of failed and halted processors.
-func (mb *mailbox) deliver(frame []byte, m sim.Message) {
+// deliver buffers one transported frame stamped with the Lamport timestamp
+// of its send event. Duplicate triples are absorbed here (unless dedup is
+// disabled), and frames for a closed mailbox — a crashed or halted
+// processor — are discarded: the model ignores the buffers of failed and
+// halted processors.
+func (mb *mailbox) deliver(frame []byte, m sim.Message, ts uint64) {
 	id, err := DedupKey(frame)
 	if err != nil || id != m.ID {
 		// A frame that does not carry its message's triple is a transport
-		// bug; drop it so dedup cannot be keyed on garbage. The lost
-		// message then surfaces as a conformance divergence.
+		// bug; drop it so dedup cannot be keyed on garbage, and count the
+		// loss. The missing message then surfaces as a conformance
+		// divergence, with the counter naming the mechanism.
+		mb.counters.garbageFrames.Add(1)
 		return
 	}
 	mb.mu.Lock()
@@ -154,6 +247,7 @@ func (mb *mailbox) deliver(frame []byte, m sim.Message) {
 		mb.seen[id] = true
 	}
 	mb.msgs = append(mb.msgs, m)
+	mb.tss = append(mb.tss, ts)
 	mb.passed = append(mb.passed, 0)
 	mb.mu.Unlock()
 	select {
@@ -165,22 +259,22 @@ func (mb *mailbox) deliver(frame []byte, m sim.Message) {
 // tryRecv pops one message if any is buffered. On success the global
 // pending counter is raised; the node must call stepDone once the delivery
 // is recorded and applied. On failure the node blocks on mb.notify.
-func (mb *mailbox) tryRecv() (sim.Message, bool) {
+func (mb *mailbox) tryRecv() (sim.Message, uint64, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if mb.closed || len(mb.msgs) == 0 {
-		return sim.Message{}, false
+		return sim.Message{}, 0, false
 	}
-	m := mb.pick()
+	m, ts := mb.pick()
 	mb.pending.Add(1)
-	return m, true
+	return m, ts, true
 }
 
 // pick chooses the next message: uniformly at random, except a message
 // passed over agingLimit times is served first. Callers hold mb.mu.
 //
 //ccvet:holds mu
-func (mb *mailbox) pick() sim.Message {
+func (mb *mailbox) pick() (sim.Message, uint64) {
 	idx := -1
 	for i, age := range mb.passed {
 		if age >= agingLimit {
@@ -191,17 +285,18 @@ func (mb *mailbox) pick() sim.Message {
 	if idx < 0 {
 		idx = mb.rng.Intn(len(mb.msgs))
 	}
-	m := mb.msgs[idx]
+	m, ts := mb.msgs[idx], mb.tss[idx]
 	for i := range mb.passed {
 		if i != idx {
 			mb.passed[i]++
 		}
 	}
 	last := len(mb.msgs) - 1
-	mb.msgs[idx], mb.passed[idx] = mb.msgs[last], mb.passed[last]
+	mb.msgs[idx], mb.tss[idx], mb.passed[idx] = mb.msgs[last], mb.tss[last], mb.passed[last]
 	mb.msgs = mb.msgs[:last]
+	mb.tss = mb.tss[:last]
 	mb.passed = mb.passed[:last]
-	return m
+	return m, ts
 }
 
 func (mb *mailbox) stepDone() { mb.pending.Add(-1) }
@@ -211,6 +306,7 @@ func (mb *mailbox) close() {
 	mb.mu.Lock()
 	mb.closed = true
 	mb.msgs = nil
+	mb.tss = nil
 	mb.passed = nil
 	mb.mu.Unlock()
 }
@@ -234,33 +330,38 @@ func (mb *mailbox) empty() bool {
 type Network struct {
 	faults   FaultPlan
 	boxes    []*mailbox
+	counters *transportCounters
 	inFlight atomic.Int64
 	done     chan struct{}
 	wg       sync.WaitGroup
 }
 
-func newNetwork(faults FaultPlan, boxes []*mailbox, done chan struct{}) *Network {
-	return &Network{faults: faults, boxes: boxes, done: done}
+func newNetwork(faults FaultPlan, boxes []*mailbox, counters *transportCounters, done chan struct{}) *Network {
+	return &Network{faults: faults, boxes: boxes, counters: counters, done: done}
 }
 
 // Send accepts a message for delivery. It never blocks and never fails:
 // from the sender's point of view the message system is faultless.
-func (nw *Network) Send(m sim.Message) {
+func (nw *Network) Send(m sim.Message, lamport uint64) {
+	nw.counters.accepted.Add(1)
 	frame, err := EncodeMessage(m)
 	if err != nil {
-		// Unencodable messages cannot occur for in-range processors; treat
-		// as a silent loss that conformance will surface.
+		// Unencodable messages cannot occur for in-range processors; count
+		// the loss so a bug here shows up in run stats, not only as an
+		// unexplained conformance divergence.
+		nw.counters.encodeFailures.Add(1)
 		return
 	}
 	nw.inFlight.Add(1)
 	nw.wg.Add(1)
-	go nw.deliverLoop(m, frame)
+	go nw.deliverLoop(m, frame, lamport)
 }
 
 // deliverLoop is one message's reliable-delivery agent.
-func (nw *Network) deliverLoop(m sim.Message, frame []byte) {
+func (nw *Network) deliverLoop(m sim.Message, frame []byte, ts uint64) {
 	defer nw.wg.Done()
 	defer nw.inFlight.Add(-1)
+	defer nw.counters.settled.Add(1)
 	for attempt := 0; ; attempt++ {
 		if d := nw.faults.delay(m.ID, attempt); d > 0 {
 			if !nw.sleep(d) {
@@ -269,17 +370,19 @@ func (nw *Network) deliverLoop(m sim.Message, frame []byte) {
 		}
 		if nw.faults.drop(m.ID, attempt) {
 			// Lost in transit: retransmit after backoff.
+			nw.counters.drops.Add(1)
 			if !nw.sleep(nw.faults.backoff(m.ID, attempt)) {
 				return
 			}
 			continue
 		}
-		nw.boxes[m.ID.To].deliver(frame, m)
+		nw.boxes[m.ID.To].deliver(frame, m, ts)
 		if !nw.faults.dup(m.ID, attempt) {
 			return
 		}
 		// The acknowledgement was lost: the agent cannot know the message
 		// arrived, so it retransmits a duplicate after backoff.
+		nw.counters.dups.Add(1)
 		if !nw.sleep(nw.faults.backoff(m.ID, attempt)) {
 			return
 		}
@@ -301,6 +404,9 @@ func (nw *Network) sleep(d time.Duration) bool {
 // InFlight returns the number of accepted messages not yet delivered (or
 // discarded at a closed mailbox).
 func (nw *Network) InFlight() int { return int(nw.inFlight.Load()) }
+
+// Stats snapshots the transport's counters.
+func (nw *Network) Stats() TransportStats { return nw.counters.snapshot() }
 
 // wait blocks until every delivery agent has exited.
 func (nw *Network) wait() { nw.wg.Wait() }

@@ -1,0 +1,221 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StreamChecker validates a run against a problem one configuration at a
+// time, retaining O(N) state instead of the run's whole configuration
+// history. It exists for conformance replay of live traces: a distributed
+// soak at N=100 records millions of events, and materializing a sim.Run
+// for Problem.Validate would hold every intermediate configuration —
+// O(events × N²) memory — while the checks themselves only ever need the
+// current configuration, a per-processor first-decision ledger, and a
+// has-a-failure-happened flag.
+//
+// StreamChecker produces exactly the violations Problem.Validate produces
+// on the equivalent materialized run, in the same order with the same
+// details (TestStreamCheckerMatchesValidate holds the two implementations
+// together). Decisions are irrevocable in the model — sim.Apply rejects a
+// revision — which is what makes the first-decision ledger a faithful
+// substitute for scanning the history.
+type StreamChecker struct {
+	p      Problem
+	inputs []sim.Bit
+	n      int
+
+	idx       int  // index of the last observed configuration
+	anyFail   bool // a Fail event preceded the current configuration
+	undecided int  // processors with no recorded first decision
+
+	first       []sim.Decision // first decision each processor ever held
+	firstHas    []bool
+	firstFailed []bool // a failure preceded the first-decision configuration
+
+	ruleViol []*Violation // per-processor decision-rule violation, at most one
+	icViol   *Violation   // first interactive-consistency violation
+
+	final *sim.Config
+}
+
+// NewStreamChecker starts a streaming validation of a run whose initial
+// configuration is c (the result of sim.NewConfig for the run's inputs).
+func NewStreamChecker(p Problem, c *sim.Config) *StreamChecker {
+	n := c.N()
+	sc := &StreamChecker{
+		p:           p,
+		inputs:      c.Inputs,
+		n:           n,
+		idx:         -1,
+		undecided:   n,
+		first:       make([]sim.Decision, n),
+		firstHas:    make([]bool, n),
+		firstFailed: make([]bool, n),
+		ruleViol:    make([]*Violation, n),
+	}
+	sc.observe(c)
+	return sc
+}
+
+// Observe records the next configuration of the run, produced by applying
+// event e to the previously observed configuration. Configurations must
+// arrive in schedule order.
+func (sc *StreamChecker) Observe(e sim.Event, next *sim.Config) {
+	if e.Type == sim.Fail {
+		sc.anyFail = true
+	}
+	sc.observe(next)
+}
+
+// observe folds one configuration into the ledgers: first decisions (with
+// the decision-rule check at the moment of decision) and, for IC problems,
+// the per-configuration consistency scan.
+func (sc *StreamChecker) observe(c *sim.Config) {
+	sc.idx++
+	sc.final = c
+	if sc.undecided > 0 {
+		for proc := 0; proc < sc.n; proc++ {
+			if sc.firstHas[proc] {
+				continue
+			}
+			d, ok := c.States[proc].Decided()
+			if !ok {
+				continue
+			}
+			sc.first[proc] = d
+			sc.firstHas[proc] = true
+			sc.firstFailed[proc] = sc.anyFail
+			sc.undecided--
+			if !sc.p.Rule.Permits(d, sc.inputs, sc.anyFail) {
+				sc.ruleViol[proc] = &Violation{
+					Kind: "rule",
+					Detail: fmt.Sprintf("%s decided %s on inputs %v (failureSeen=%v), forbidden by %s",
+						sim.ProcID(proc), d, sc.inputs, sc.anyFail, sc.p.Rule.Name()),
+				}
+			}
+		}
+	}
+	if sc.p.Consistency == IC && sc.icViol == nil {
+		sc.checkIC(c)
+	}
+}
+
+// checkIC is CheckIC's inner per-configuration scan: no two simultaneously
+// nonfaulty processors may stand by different decisions. The first-decision
+// ledger doubles as CheckIC's decision ledger because decisions are
+// irrevocable.
+func (sc *StreamChecker) checkIC(c *sim.Config) {
+	seen := sim.NoDecision
+	var seenBy sim.ProcID
+	for proc, s := range c.States {
+		if s.Kind() == sim.Failed {
+			continue
+		}
+		if !sc.firstHas[proc] {
+			continue
+		}
+		d := sc.first[proc]
+		if seen == sim.NoDecision {
+			seen, seenBy = d, sim.ProcID(proc)
+			continue
+		}
+		if d != seen {
+			sc.icViol = &Violation{
+				Kind: "IC",
+				Detail: fmt.Sprintf("configuration %d: %s decided %s while %s decided %s",
+					sc.idx, seenBy, seen, sim.ProcID(proc), d),
+			}
+			return
+		}
+	}
+}
+
+// Decision returns the first decision processor p made at any point in the
+// observed prefix — sim.Run.DecisionOf over the streamed history.
+func (sc *StreamChecker) Decision(p sim.ProcID) (sim.Decision, bool) {
+	if !sc.firstHas[p] {
+		return sim.NoDecision, false
+	}
+	return sc.first[p], true
+}
+
+// Final returns the most recently observed configuration.
+func (sc *StreamChecker) Final() *sim.Config { return sc.final }
+
+// Finish returns the violations of the observed run, exactly as
+// Problem.Validate would report them on the materialized equivalent.
+// Termination conditions are checked only when complete is true.
+func (sc *StreamChecker) Finish(complete bool) []Violation {
+	var out []Violation
+	for _, v := range sc.ruleViol {
+		if v != nil {
+			out = append(out, *v)
+		}
+	}
+	switch sc.p.Consistency {
+	case IC:
+		if sc.icViol != nil {
+			out = append(out, *sc.icViol)
+		}
+	case TC:
+		seen := sim.NoDecision
+		var seenBy sim.ProcID
+		for proc := 0; proc < sc.n; proc++ {
+			if !sc.firstHas[proc] {
+				continue
+			}
+			d := sc.first[proc]
+			if seen == sim.NoDecision {
+				seen, seenBy = d, sim.ProcID(proc)
+				continue
+			}
+			if d != seen {
+				out = append(out, Violation{
+					Kind:   "TC",
+					Detail: fmt.Sprintf("%s decided %s but %s decided %s", seenBy, seen, sim.ProcID(proc), d),
+				})
+				break
+			}
+		}
+	}
+	if complete {
+		out = append(out, sc.checkTermination()...)
+	}
+	return out
+}
+
+// checkTermination is CheckTermination on the streamed run: every check
+// reads only the final configuration and the first-decision ledger.
+func (sc *StreamChecker) checkTermination() []Violation {
+	var out []Violation
+	t := sc.p.Termination
+	for proc := 0; proc < sc.n; proc++ {
+		pid := sim.ProcID(proc)
+		s := sc.final.States[pid]
+		if s.Kind() == sim.Failed {
+			continue
+		}
+		if !sc.firstHas[proc] {
+			out = append(out, Violation{
+				Kind:   "WT",
+				Detail: fmt.Sprintf("nonfaulty %s never decided", pid),
+			})
+			continue
+		}
+		if t >= ST && !s.Amnesic() && s.Kind() != sim.Halted {
+			out = append(out, Violation{
+				Kind:   "ST",
+				Detail: fmt.Sprintf("nonfaulty %s never became amnesic (final state %s)", pid, s.Key()),
+			})
+		}
+		if t >= HT && s.Kind() != sim.Halted {
+			out = append(out, Violation{
+				Kind:   "HT",
+				Detail: fmt.Sprintf("nonfaulty %s never halted (final state %s)", pid, s.Key()),
+			})
+		}
+	}
+	return out
+}

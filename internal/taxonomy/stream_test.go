@@ -1,0 +1,167 @@
+package taxonomy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+// streamViolations replays a materialized run through a StreamChecker,
+// configuration by configuration.
+func streamViolations(p Problem, run *sim.Run, complete bool) []Violation {
+	sc := NewStreamChecker(p, run.Initial())
+	for i, e := range run.Schedule {
+		sc.Observe(e, run.Configs[i+1])
+	}
+	return sc.Finish(complete)
+}
+
+// assertStreamMatches holds StreamChecker and Problem.Validate together:
+// identical violations, in order, details included, for both the
+// incomplete and the complete reading of the run.
+func assertStreamMatches(t *testing.T, name string, p Problem, run *sim.Run) {
+	t.Helper()
+	for _, complete := range []bool{false, true} {
+		want := p.Validate(run, complete)
+		got := streamViolations(p, run, complete)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s (complete=%v):\n stream   %v\n validate %v", name, complete, got, want)
+		}
+	}
+}
+
+func TestStreamCheckerMatchesValidate(t *testing.T) {
+	wtTC := Problem{Rule: UnanimityRule{}, Termination: WT, Consistency: TC}
+	cases := []struct {
+		name string
+		p    Problem
+		run  *sim.Run
+	}{
+		{"clean-ackcommit", wtTC, completeRun(t, protocols.AckCommit{Procs: 4}, "1111")},
+		{"halting-commit", Problem{Rule: UnanimityRule{}, Termination: HT, Consistency: TC},
+			completeRun(t, protocols.HaltingCommit{Procs: 4}, "1101")},
+		{"chain-misses-HT", Problem{Rule: UnanimityRule{}, Termination: HT, Consistency: TC},
+			completeRun(t, protocols.Chain{Procs: 3}, "111")},
+		{"chain-misses-ST", Problem{Rule: UnanimityRule{}, Termination: ST, Consistency: TC},
+			completeRun(t, protocols.Chain{Procs: 3}, "111")},
+		{"amnesic-tree-ST", Problem{Rule: UnanimityRule{}, Termination: ST, Consistency: TC},
+			completeRun(t, protocols.Tree{Procs: 3, ST: true}, "111")},
+		{"crash-ackcommit", wtTC,
+			completeRun(t, protocols.AckCommit{Procs: 5}, "11111", sim.FailureAt{Proc: 2, AfterStep: 3})},
+		{"rule-violation", wtTC, mustRandomRun(t, commitAnywayProto{}, []sim.Bit{sim.Zero, sim.One})},
+		{"star-TC-violation", wtTC, starTCViolationRun(t)},
+		{"star-under-IC", Problem{Rule: UnanimityRule{}, Termination: WT, Consistency: IC}, starTCViolationRun(t)},
+		{"split-decisions-TC", wtTC, splitDecisionRun()},
+		{"split-decisions-IC", Problem{Rule: UnanimityRule{}, Termination: WT, Consistency: IC}, splitDecisionRun()},
+	}
+	for _, tc := range cases {
+		assertStreamMatches(t, tc.name, tc.p, tc.run)
+	}
+}
+
+// TestStreamCheckerMatchesValidateRandom sweeps seeded random runs — with
+// and without crashes — across protocols and problems, holding the two
+// validators together on executions nobody hand-picked.
+func TestStreamCheckerMatchesValidateRandom(t *testing.T) {
+	protos := []sim.Protocol{
+		protocols.AckCommit{Procs: 4},
+		protocols.Tree{Procs: 7},
+		protocols.Star{Procs: 4},
+		protocols.Chain{Procs: 3},
+	}
+	problems := []Problem{
+		{Rule: UnanimityRule{}, Termination: WT, Consistency: TC},
+		{Rule: UnanimityRule{}, Termination: ST, Consistency: TC},
+		{Rule: UnanimityRule{}, Termination: HT, Consistency: IC},
+	}
+	for _, proto := range protos {
+		inputs := make([]sim.Bit, proto.N())
+		for i := range inputs {
+			inputs[i] = sim.One
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, failures := range [][]sim.FailureAt{nil, {{Proc: sim.ProcID(seed) % sim.ProcID(proto.N()), AfterStep: int(seed)}}} {
+				run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: seed, Failures: failures})
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", proto.Name(), seed, err)
+				}
+				for _, p := range problems {
+					assertStreamMatches(t, proto.Name(), p, run)
+				}
+			}
+		}
+	}
+}
+
+func mustRandomRun(t *testing.T, proto sim.Protocol, inputs []sim.Bit) *sim.Run {
+	t.Helper()
+	run, err := sim.RandomRun(proto, inputs, sim.RunnerOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// starTCViolationRun rebuilds the Theorem 8 counterexample of
+// TestCheckTCFindsStarViolation: the coordinator commits, halts, and
+// fails; the lone survivor aborts — a TC violation with failures in the
+// middle of the schedule.
+func starTCViolationRun(t *testing.T) *sim.Run {
+	t.Helper()
+	in, err := sim.InputsFromString("111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := protocols.Star{Procs: 3}
+	run := &sim.Run{Proto: proto, Configs: []*sim.Config{sim.NewConfig(proto, in)}}
+	if err := run.Extend(sim.Schedule{
+		{Proc: 1, Type: sim.SendStepEvent},
+		{Proc: 2, Type: sim.SendStepEvent},
+		{Proc: 0, Type: sim.Deliver, Msg: sim.MsgID{From: 1, To: 0, Seq: 1}},
+		{Proc: 0, Type: sim.Deliver, Msg: sim.MsgID{From: 2, To: 0, Seq: 1}},
+		{Proc: 0, Type: sim.SendStepEvent},
+		{Proc: 0, Type: sim.SendStepEvent},
+		{Proc: 0, Type: sim.Fail},
+		{Proc: 2, Type: sim.Fail},
+		{Proc: 1, Type: sim.Deliver, Msg: sim.MsgID{From: 2, To: 1, Seq: 1}},
+		{Proc: 1, Type: sim.SendStepEvent},
+		{Proc: 1, Type: sim.Deliver, Msg: sim.MsgID{From: 0, To: 1, Seq: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// splitDecisionRun is a zero-event run of a bogus protocol whose two
+// processors start decided on opposite values: the smallest run that
+// violates IC (simultaneously), TC (ever), and the unanimity rule.
+func splitDecisionRun() *sim.Run {
+	proto := splitDecisionProto{}
+	return &sim.Run{Proto: proto, Configs: []*sim.Config{sim.NewConfig(proto, []sim.Bit{sim.One, sim.One})}}
+}
+
+type splitDecisionProto struct{}
+
+type splitDecisionState struct{ id sim.ProcID }
+
+func (s splitDecisionState) Kind() sim.StateKind { return sim.Receiving }
+func (s splitDecisionState) Decided() (sim.Decision, bool) {
+	if s.id == 0 {
+		return sim.Commit, true
+	}
+	return sim.Abort, true
+}
+func (s splitDecisionState) Amnesic() bool { return false }
+func (s splitDecisionState) Key() string   { return "split{" + s.id.String() + "}" }
+
+func (splitDecisionProto) Name() string { return "split-decision" }
+func (splitDecisionProto) N() int       { return 2 }
+func (splitDecisionProto) Init(p sim.ProcID, input sim.Bit, n int) sim.State {
+	return splitDecisionState{id: p}
+}
+func (splitDecisionProto) Receive(p sim.ProcID, s sim.State, m sim.Message) sim.State { return s }
+func (splitDecisionProto) SendStep(p sim.ProcID, s sim.State) (sim.State, []sim.Envelope) {
+	return s, nil
+}
