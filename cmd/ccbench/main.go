@@ -13,12 +13,21 @@
 //
 // Usage:
 //
-//	ccbench -proto tree,star,chain -n 3 -maxfail 2 -parallel 1,2,4,8 -o BENCH_explore.json
+//	ccbench -proto tree,star,chain -n 3 -maxfail 2 -parallel 1,2,4,8,16 -o BENCH_explore.json
 //	ccbench -against BENCH_explore.json -tolerance 0.30 -alloc-tolerance 0.20
+//	ccbench -proto tree -maxfail 2 -min-speedup 2
 //	ccbench -proto tree -parallel 1 -cpuprofile cpu.out -memprofile mem.out
 //
+// -min-speedup additionally requires parallel throughput to beat the
+// sequential run: the highest measured worker count no larger than
+// GOMAXPROCS must reach at least min-speedup times the parallelism-1
+// nodes/sec. The gate is CPU-aware — on a box whose GOMAXPROCS cannot run
+// two workers simultaneously it reports the measured ratio and passes,
+// since no scheduler can extract parallel speedup from one core.
+//
 // Exit codes: 0 ok, 1 error, 2 throughput or allocation regression beyond
-// tolerance against the -against baseline.
+// tolerance against the -against baseline, or parallel speedup below
+// -min-speedup.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -72,13 +82,14 @@ func run() int {
 		protoNames = flag.String("proto", "tree,star,chain", "comma-separated protocols to explore")
 		n          = flag.Int("n", 3, "number of processors")
 		maxFail    = flag.Int("maxfail", 2, "maximum injected failures")
-		parallel   = flag.String("parallel", "1,2,4,8", "comma-separated worker counts to measure")
+		parallel   = flag.String("parallel", "1,2,4,8,16", "comma-separated worker counts to measure")
 		repeat     = flag.Int("repeat", 3, "runs per configuration; the fastest is reported")
 		dedupName  = flag.String("dedup", "fingerprint", "visited-set engine: fingerprint, verified, or strings")
 		out        = flag.String("o", "BENCH_explore.json", "output file (- for stdout only)")
 		against    = flag.String("against", "", "baseline BENCH_explore.json to compare against")
 		tolerance  = flag.Float64("tolerance", 0.30, "allowed fractional nodes/sec regression vs the baseline")
 		allocTol   = flag.Float64("alloc-tolerance", 0.20, "allowed fractional allocs/node regression vs the baseline")
+		minSpeedup = flag.Float64("min-speedup", 0, "require this parallel-vs-sequential nodes/sec ratio (0 disables; skipped when GOMAXPROCS < 2)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	)
@@ -174,8 +185,82 @@ func run() int {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	rc := 0
+	if *minSpeedup > 0 {
+		rc = checkSpeedup(f, *minSpeedup)
+	}
 	if *against != "" {
-		return compare(f, *against, *tolerance, *allocTol)
+		if c := compare(f, *against, *tolerance, *allocTol); c > rc {
+			rc = c
+		}
+	}
+	return rc
+}
+
+// checkSpeedup enforces -min-speedup: for every (protocol, maxfail) group
+// that measured parallelism 1, the highest worker count no larger than
+// GOMAXPROCS must reach min times the sequential nodes/sec. On a machine
+// that cannot schedule two workers at once the ratio is reported but not
+// enforced — the number then measures coordination overhead, not speedup.
+func checkSpeedup(f File, min float64) int {
+	type group struct {
+		proto   string
+		maxFail int
+	}
+	base := make(map[group]Result)
+	best := make(map[group]Result)
+	for _, r := range f.Results {
+		g := group{r.Protocol, r.MaxFailures}
+		if r.Parallelism == 1 {
+			base[g] = r
+		} else if r.Parallelism <= f.GOMAXPROCS && r.Parallelism > best[g].Parallelism {
+			best[g] = r
+		}
+	}
+	enforce := f.GOMAXPROCS >= 2
+	if !enforce {
+		// One core: report against the highest level measured at all.
+		for _, r := range f.Results {
+			g := group{r.Protocol, r.MaxFailures}
+			if r.Parallelism > best[g].Parallelism {
+				best[g] = r
+			}
+		}
+	}
+	groups := make([]group, 0, len(base))
+	for g := range base { //ccvet:ignore detrange sorted immediately below
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].proto != groups[j].proto {
+			return groups[i].proto < groups[j].proto
+		}
+		return groups[i].maxFail < groups[j].maxFail
+	})
+	failed := false
+	for _, g := range groups {
+		b := base[g]
+		p, ok := best[g]
+		if !ok || p.Parallelism <= 1 {
+			fmt.Printf("%s/f%d: no parallel level to judge speedup against\n", g.proto, g.maxFail)
+			continue
+		}
+		ratio := p.NodesPerSec / b.NodesPerSec
+		switch {
+		case !enforce:
+			fmt.Printf("%s/f%d: speedup p%d/p1 = %.2fx (GOMAXPROCS=%d, gate skipped: one core cannot run workers in parallel)\n",
+				g.proto, g.maxFail, p.Parallelism, ratio, f.GOMAXPROCS)
+		case ratio < min:
+			fmt.Printf("%s/f%d: SPEEDUP REGRESSION p%d/p1 = %.2fx, want >= %.2fx (GOMAXPROCS=%d)\n",
+				g.proto, g.maxFail, p.Parallelism, ratio, min, f.GOMAXPROCS)
+			failed = true
+		default:
+			fmt.Printf("%s/f%d: ok speedup p%d/p1 = %.2fx (>= %.2fx)\n",
+				g.proto, g.maxFail, p.Parallelism, ratio, min)
+		}
+	}
+	if failed {
+		return 2
 	}
 	return 0
 }

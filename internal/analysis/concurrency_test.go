@@ -286,6 +286,33 @@ func (p *Pool) run() {
 	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
 }
 
+func TestGoLifecycleAcceptsWaitGroupFieldOnGenericType(t *testing.T) {
+	// The partitioned-pool idiom: the spawned callee is a method of a
+	// generic type, so the instantiated *types.Func must resolve back to
+	// its Origin declaration for the deferred Done to be found.
+	src := `package fixture
+
+import "sync"
+
+type Pool[T any] struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool[T]) Spawn(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.run(i)
+	}
+}
+
+func (p *Pool[T]) run(id int) {
+	defer p.wg.Done()
+	_ = id
+}
+`
+	wantFindings(t, vetFixture(t, GoLifecycleAnalyzer, src), 0, "")
+}
+
 func TestGoLifecycleAcceptsDoneChannel(t *testing.T) {
 	src := `package fixture
 

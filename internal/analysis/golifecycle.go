@@ -133,16 +133,21 @@ func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, enclosing *ast
 }
 
 // calleeFunc resolves the called function object of a go statement's call.
+// Methods of generic types (and generic functions) resolve to their
+// instantiation; Origin maps them back to the declaration the decls map is
+// keyed by, so `go p.worker(i)` on a Pool[S, E] still gets its body checked.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun].(*types.Func)
 	case *ast.SelectorExpr:
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
 	}
-	return nil
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
 }
 
 // shallowCalls collects call expressions in a body without descending into

@@ -14,10 +14,11 @@ import (
 )
 
 // diffParallelism is the set of worker counts the differential suite pits
-// against each other. Parallelism 1 runs the expansion inline; 2 and 8
-// exercise the worker pool (and, under -race, the synchronization of the
-// shared visited set, interner, and state aggregates).
-var diffParallelism = []int{1, 2, 8}
+// against each other. Parallelism 1 runs the expansion inline with no pool;
+// 2, 8, and 16 exercise the partitioned prefetch pool (and, under -race,
+// the synchronization of the shared visited set, the per-owner routing
+// channels, and the streamed census).
+var diffParallelism = []int{1, 2, 8, 16}
 
 // exploreDigest renders every observable field of an Exploration into one
 // canonical string, so "byte-identical results" is literally a string
@@ -104,7 +105,7 @@ func diffCases() []diffCase {
 var diffDedups = []frontier.Dedup{frontier.DedupStrings, frontier.DedupFingerprint, frontier.DedupVerified}
 
 // TestExploreDifferential asserts that exploring every library protocol
-// with every dedup engine at parallelism 1, 2, and 8 produces
+// with every dedup engine at parallelism 1, 2, 8, and 16 produces
 // byte-identical results: node counts, interned state keys, configuration
 // records, the aggregate state census, violations in order, and
 // FirstTrace. The string-keyed sequential run is the reference.

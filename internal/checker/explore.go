@@ -5,14 +5,18 @@
 // scenario-replay engine for the indistinguishability arguments of Theorems
 // 8 and 13.
 //
-// The walk is a level-synchronous breadth-first search: each frontier level
-// is expanded by a worker pool (Options.Parallelism), and the per-worker
-// results are folded into the Exploration by a sequential merge in frontier
-// order. The merge order is canonical, so the final Exploration — node
-// counts, state census, violation order, FirstTrace — is byte-identical at
-// every parallelism level, including the partial results returned on
-// cancellation or budget exhaustion. See internal/frontier for the
-// expansion/merge discipline.
+// The walk is asynchronous and fingerprint-partitioned: Options.Parallelism
+// owner workers each hold a static shard of the 128-bit digest space and
+// exchange successors over bounded channels with no global barrier
+// (frontier.Pool), while a sequential canonical replay pass walks the
+// stored expansions in breadth-first frontier order — re-expanding on
+// demand anything the pool never reached — and alone decides acceptance,
+// violation order, and budget exhaustion. The replay order is canonical,
+// so the final Exploration — node counts, state census, violation order,
+// FirstTrace — is byte-identical at every parallelism level, including the
+// partial results returned on cancellation or budget exhaustion. See
+// internal/frontier for the ownership/quiescence machinery and DESIGN.md
+// for why post-hoc ordering preserves the byte-identical contract.
 package checker
 
 import (
@@ -41,9 +45,10 @@ type Options struct {
 	// budget shared with scheme.Options). Exceeding it is an error, never
 	// a silent truncation.
 	MaxNodes int
-	// Parallelism is the number of worker goroutines expanding each
-	// frontier level (0 = GOMAXPROCS). The result is byte-identical at
-	// any setting; parallelism only changes wall-clock time.
+	// Parallelism is the number of owner workers the partitioned engine
+	// shards the digest space across (0 = GOMAXPROCS; 1 = fully
+	// sequential, no pool at all). The result is byte-identical at any
+	// setting; parallelism only changes wall-clock time.
 	Parallelism int
 	// Problem, if non-nil, enables inline conformance checking: the
 	// decision rule is checked at every decision transition, consistency
@@ -174,17 +179,16 @@ type Exploration struct {
 	// Status records whether the exploration completed, was interrupted by
 	// context cancellation, or exhausted its node budget. When Status is
 	// partial, every aggregate below still describes the visited prefix —
-	// partial results are returned, never discarded. One caveat: on a
-	// partial stop, States may additionally aggregate occurrence data from
-	// configurations generated on the final frontier level but never
-	// accepted into Configs; budget-exhausted explorations remain
-	// byte-identical at every parallelism level, while a mid-run
-	// cancellation may catch the workers at an arbitrary point and leave
-	// scheduling-dependent fringe data in States (Configs, Violations,
-	// NodeCount, and FrontierSize stay deterministic in both cases).
+	// partial results are returned, never discarded. The state census is
+	// fed exclusively by accepted configurations, so States, Configs,
+	// Violations, NodeCount, and FrontierSize are all byte-identical at
+	// every parallelism level for complete and budget-exhausted runs; a
+	// mid-run cancellation stops the canonical replay at a timing-dependent
+	// (but still canonical-prefix) point.
 	Status Status
-	// FrontierSize is the number of unexpanded nodes left on the frontier
-	// when a partial exploration stopped (0 for complete explorations).
+	// FrontierSize is the number of accepted nodes the canonical walk had
+	// not yet consumed when a partial exploration stopped, counting the
+	// node being walked or rejected (0 for complete explorations).
 	FrontierSize int
 	// States maps canonical state key → aggregate info.
 	States map[string]*StateInfo
@@ -374,38 +378,32 @@ func Explore(proto sim.Protocol, opts Options) (*Exploration, error) {
 }
 
 // succ is one edge generated while expanding a frontier node: the successor
-// key, the event, and — when the successor was not already visited before
-// this level — the precomputed node, its interned per-processor state keys,
-// and its violations. Everything here is computed by the worker; the merge
-// only orders and accepts.
+// key, the event, and — when the successor was not already visited when the
+// expansion ran — the precomputed node, its interned per-processor state
+// keys, and its violations. Everything here is computed by the expanding
+// worker; the canonical replay only orders and accepts.
 type succ struct {
 	key      string             // canonical node key; empty under fingerprint dedup
-	fp       fingerprint.Digest // node fingerprint; zero under strings dedup
+	fp       fingerprint.Digest // node fingerprint; routing digest under strings dedup at parallelism > 1, zero otherwise
 	event    sim.Event
 	edgeViol []taxonomy.Violation
-	// nd is nil when the successor was already in the visited set when the
-	// level was expanded (it may still be a within-level duplicate, which
-	// the merge detects). Under fingerprint dedup a nil nd additionally
-	// means the successor was never materialized at all: its fingerprint
-	// was derived from the parent's and found already visited.
+	// nd is nil when the successor was already in the shared visited set
+	// when the expansion ran — in which case the set's admit-implies-stored
+	// invariant lets the replay fetch the materialized node from the pool.
+	// Under fingerprint dedup a nil nd additionally means the successor was
+	// never materialized at all: its fingerprint was derived from the
+	// parent's and found already visited.
 	nd        *node
 	stateKeys []string
 	terminal  bool
 	nodeViol  []taxonomy.Violation
 }
 
-// expansion is one frontier node's worth of generated edges. isRoot marks
-// the synthetic level-0 expansion whose succs are initial configurations
-// (they get no parent links).
+// expansion is one frontier node's worth of generated edges.
 type expansion struct {
-	parentKey string
-	parentFP  fingerprint.Digest
-	isRoot    bool
-	succs     []succ
-	err       error
+	succs []succ
+	err   error
 }
-
-func (exp *expansion) root() bool { return exp.isRoot }
 
 // eventScratch pools per-expansion event slices so enumerating enabled
 // events allocates nothing in steady state.
@@ -417,8 +415,9 @@ var eventScratch = sync.Pool{
 }
 
 // explorer bundles the shared machinery of one exploration: the visited set
-// and state aggregates are written concurrently by workers (commutative
-// updates only); everything on x is written solely by the sequential merge.
+// and state aggregates are written concurrently by the pool's owner workers
+// and the census goroutines (commutative updates only); everything on x is
+// written solely by the sequential canonical replay.
 type explorer struct {
 	proto       sim.Protocol
 	n           int
@@ -432,6 +431,19 @@ type explorer struct {
 	fpVerified  *frontier.FPVerifiedSet
 	interner    *frontier.Interner
 	states      *frontier.ShardedMap[*StateInfo]
+	// pool is the asynchronous partitioned prefetch engine (nil at
+	// parallelism 1); seq is the replay's own sequential visited set,
+	// whose admissions — not the pool's — define the result (nil when
+	// pool is nil: with no concurrent admitters the shared set already
+	// fills in canonical order and serves both roles).
+	pool *frontier.Pool[*succ, expansion]
+	seq  *frontier.SeqVisited
+	// routeFP marks strings dedup at parallelism > 1, where successors
+	// additionally carry a routing digest of the canonical key so the
+	// partitioned pool can shard them.
+	routeFP bool
+	// census streams accepted configurations into the state census.
+	census *censusSink
 	// keyCache memoizes state digest → interned state Key string, so the
 	// fingerprint engine builds each distinct state's key exactly once for
 	// the census instead of once per occurrence.
@@ -468,15 +480,21 @@ func (e *explorer) admit(s *succ) bool {
 	}
 }
 
-// aggregate folds one newly generated configuration into the concurrent
-// state census and returns its interned per-processor state keys. Every
-// update is a set union, so aggregating the same configuration twice (two
-// workers generating the same within-level duplicate) is harmless.
-func (e *explorer) aggregate(nd *node) []string {
+// stateKeysOf returns the interned per-processor state keys of one
+// materialized configuration. Runs on whatever goroutine expands the node;
+// the interner and key cache are concurrent.
+func (e *explorer) stateKeysOf(nd *node) []string {
 	keys := make([]string, e.n)
 	for p := 0; p < e.n; p++ {
 		keys[p] = e.stateKey(nd, p)
 	}
+	return keys
+}
+
+// censusAdd folds one accepted configuration into the concurrent state
+// census. Every update is a set union, so census workers may process
+// accepted nodes in any order without perturbing the result.
+func (e *explorer) censusAdd(nd *node, keys []string) {
 	for p := 0; p < e.n; p++ {
 		pid := sim.ProcID(p)
 		sample := nd.cfg.States[p]
@@ -506,7 +524,6 @@ func (e *explorer) aggregate(nd *node) []string {
 			return si
 		})
 	}
-	return keys
 }
 
 // stateKey returns the interned canonical key of nd's processor-p state.
@@ -524,11 +541,12 @@ func (e *explorer) stateKey(nd *node, p int) string {
 	return e.interner.Intern(nd.cfg.States[p].Key())
 }
 
-// expand generates all successors of one frontier node. Runs on a worker:
-// it must not touch e.x, and its only writes go through the commutative
+// expand generates all successors of one frontier node. Runs on a pool
+// owner (or on the replay goroutine, for nodes the pool never reached): it
+// must not touch e.x, and its only writes go through the commutative
 // interner/state/key-cache aggregates.
 func (e *explorer) expand(nd *node) expansion {
-	out := expansion{parentKey: nd.ckey, parentFP: nd.fp}
+	var out expansion
 	scratch := eventScratch.Get().(*[]sim.Event)
 	defer func() {
 		*scratch = (*scratch)[:0]
@@ -586,6 +604,10 @@ func (e *explorer) expand(nd *node) expansion {
 		default:
 			nxt.ckey = nxt.key()
 			s.key = nxt.ckey
+			if e.routeFP {
+				nxt.fp = fingerprint.OfString(nxt.ckey)
+				s.fp = nxt.fp
+			}
 		}
 		if e.opts.Problem != nil {
 			s.edgeViol = decisionEdgeViolations(*e.opts.Problem, nd, nxt)
@@ -593,7 +615,7 @@ func (e *explorer) expand(nd *node) expansion {
 		if !e.seen(&s) {
 			s.nd = nxt
 			s.terminal = cfg.Quiescent()
-			s.stateKeys = e.aggregate(nxt)
+			s.stateKeys = e.stateKeysOf(nxt)
 			if e.opts.Problem != nil {
 				s.nodeViol = nodeViolations(*e.opts.Problem, nxt)
 			}
@@ -633,57 +655,210 @@ func (e *explorer) predictSeen(nd *node, ev sim.Event) (fingerprint.Digest, bool
 	return fp, true
 }
 
-// mergeLevel folds one level's expansions into the exploration, walking them
-// in frontier order (and each node's edges in event order) so the result is
-// independent of which worker expanded what. It returns the next frontier;
-// stop is set when the exploration should end with the current partial
-// result (first violation reached, or budget exhausted — the latter also
-// carries a *BudgetError).
-func (e *explorer) mergeLevel(exps []expansion) (next []*node, stop bool, err error) {
-	x := e.x
-	for i := range exps {
-		exp := &exps[i]
-		if exp.err != nil {
-			return nil, false, exp.err
+// censusItem is one accepted configuration bound for the state census.
+type censusItem struct {
+	nd   *node
+	keys []string
+}
+
+// censusSink feeds accepted configurations into the concurrent state
+// census. At parallelism 1 it aggregates inline; above that it streams
+// items to census goroutines over a channel so the replay's hot loop never
+// pays for the O(N²) concurrency-set union. Census updates are set unions,
+// so processing order never shows in the snapshot.
+type censusSink struct {
+	e    *explorer
+	ch   chan censusItem
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+func (e *explorer) newCensusSink(workers int) *censusSink {
+	cs := &censusSink{e: e}
+	if workers <= 1 {
+		return cs
+	}
+	cs.ch = make(chan censusItem, 256)
+	for i := 0; i < workers; i++ {
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			for it := range cs.ch {
+				cs.e.censusAdd(it.nd, it.keys)
+			}
+		}()
+	}
+	return cs
+}
+
+func (cs *censusSink) add(nd *node, keys []string) {
+	if cs.ch == nil {
+		cs.e.censusAdd(nd, keys)
+		return
+	}
+	cs.ch <- censusItem{nd: nd, keys: keys}
+}
+
+// close drains the census; idempotent so it can be deferred (releasing the
+// workers when the replay re-panics a deterministic protocol panic) and
+// also called on the happy path before the snapshot.
+func (cs *censusSink) close() {
+	cs.once.Do(func() {
+		if cs.ch != nil {
+			close(cs.ch)
+			cs.wg.Wait()
 		}
-		for j := range exp.succs {
-			s := &exp.succs[j]
-			if !exp.root() {
-				if x.parents != nil {
-					if _, ok := x.parents[s.key]; !ok {
-						x.parents[s.key] = parentLink{parent: exp.parentKey, event: s.event}
-					}
-				} else if x.parentsFP != nil {
-					if _, ok := x.parentsFP[s.fp]; !ok {
-						x.parentsFP[s.fp] = parentLinkFP{parent: exp.parentFP, event: s.event}
-					}
-				}
-			}
-			for _, v := range s.edgeViol {
-				x.addViolation(v, s)
-			}
-			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
-				return next, true, nil
-			}
-			if s.nd == nil || !e.admit(s) {
-				continue
-			}
-			if len(x.Configs) >= e.opts.maxNodes() {
-				x.Status = StatusExhausted
-				x.FrontierSize = len(next) + 1
-				return next, true, &BudgetError{Protocol: e.proto.Name(), Nodes: e.opts.maxNodes()}
-			}
-			e.record(s)
-			for _, v := range s.nodeViol {
-				x.addViolation(v, s)
-			}
-			if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
-				return next, true, nil
-			}
-			next = append(next, s.nd)
+	})
+}
+
+// replayer is the sequential canonical ordering pass that turns the pool's
+// unordered speculative store into a deterministic Exploration: a FIFO walk
+// over accepted nodes reproducing exactly the breadth-first frontier order
+// (levels, then frontier position, then event order) of a sequential
+// exploration. Its own admissions (explorer.seq at parallelism > 1, the
+// shared set otherwise) decide acceptance; the pool is consulted only as a
+// cache of prefetched nodes and expansions, with on-demand re-expansion
+// covering whatever the pool dropped — so the result is a pure function of
+// the root set at every parallelism level.
+type replayer struct {
+	e *explorer
+	// queue holds accepted nodes not yet consumed by the walk; head is
+	// the next to walk. Consumed slots are nilled so a walked node's
+	// memory can be reclaimed once its children are recorded.
+	queue []*node
+	head  int
+}
+
+// frontierLeft is the partial-stop frontier measure: accepted nodes the
+// walk has not consumed, counting the node being walked (or the one whose
+// acceptance was rejected).
+func (r *replayer) frontierLeft() int { return len(r.queue) - r.head + 1 }
+
+// run walks the canonical order from the synthetic root expansion to
+// completion, budget exhaustion, first violation, or interruption.
+func (r *replayer) run(ctx context.Context, roots []succ) error {
+	e, x := r.e, r.e.x
+	rootExp := expansion{succs: roots}
+	stop, err := r.walk(nil, &rootExp)
+	for err == nil && !stop && r.head < len(r.queue) {
+		nd := r.queue[r.head]
+		r.queue[r.head] = nil
+		r.head++
+		exp, cerr := r.expansionOf(ctx, nd)
+		if cerr != nil {
+			x.Status = StatusInterrupted
+			x.FrontierSize = r.frontierLeft()
+			return fmt.Errorf("checker: exploration of %s interrupted: %w", e.proto.Name(), cerr)
+		}
+		stop, err = r.walk(nd, exp)
+	}
+	return err
+}
+
+// expansionOf fetches nd's expansion from the pool when prefetched, and
+// re-expands on demand otherwise — the node was dropped by the cap, a
+// panic, or a stop. The context check comes first, before the prefetch
+// lookup, so cancellation interrupts the walk at the same canonical
+// boundary (a dequeue) whether or not the pool got ahead of it. On-demand
+// expansion only runs once the pool has drained, so it never races the
+// owners.
+func (r *replayer) expansionOf(ctx context.Context, nd *node) (*expansion, error) {
+	e := r.e
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.pool != nil {
+		_, exp, state := e.pool.WaitEntry(frontier.NodeKey{FP: nd.fp, Key: nd.ckey}, true)
+		if state == frontier.EntryExpanded {
+			return &exp, nil
+		}
+		// WaitEntry only reports a miss once the pool has drained; with
+		// the pool stopped by cancellation, the context error may have
+		// arrived while waiting.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
-	return next, false, nil
+	exp := e.expand(nd)
+	return &exp, nil
+}
+
+// resolve admits one successor against the replay's visited set and
+// resolves its materialized node: from the succ itself when the expanding
+// worker materialized it, from the pool store when the successor was
+// already in the shared set at expansion time (admitted implies stored).
+func (r *replayer) resolve(s *succ) (*succ, bool) {
+	e := r.e
+	if e.pool == nil {
+		if s.nd == nil || !e.admit(s) {
+			return nil, false
+		}
+		return s, true
+	}
+	if !e.seq.Admit(s.fp, s.key) {
+		return nil, false
+	}
+	if s.nd != nil {
+		return s, true
+	}
+	stored, _, state := e.pool.WaitEntry(frontier.NodeKey{FP: s.fp, Key: s.key}, false)
+	if state == frontier.EntryMissing {
+		// Unreachable: a successor is only generated without its node
+		// when the shared set had seen it, and every shared-set admit is
+		// immediately followed by the store.
+		panic("checker: visited successor missing from the partitioned store")
+	}
+	return stored, true
+}
+
+// walk folds one node's expansion into the exploration in canonical order
+// (the node's edges in event order). stop is set when the exploration
+// should end with the current partial result (first violation reached, or
+// budget exhausted — the latter also carries a *BudgetError).
+func (r *replayer) walk(parent *node, exp *expansion) (stop bool, err error) {
+	e, x := r.e, r.e.x
+	if exp.err != nil {
+		return false, exp.err
+	}
+	for j := range exp.succs {
+		s := &exp.succs[j]
+		if parent != nil {
+			if x.parents != nil {
+				if _, ok := x.parents[s.key]; !ok {
+					x.parents[s.key] = parentLink{parent: parent.ckey, event: s.event}
+				}
+			} else if x.parentsFP != nil {
+				if _, ok := x.parentsFP[s.fp]; !ok {
+					x.parentsFP[s.fp] = parentLinkFP{parent: parent.fp, event: s.event}
+				}
+			}
+		}
+		for _, v := range s.edgeViol {
+			x.addViolation(v, s)
+		}
+		if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
+			return true, nil
+		}
+		acc, ok := r.resolve(s)
+		if !ok {
+			continue
+		}
+		if len(x.Configs) >= e.opts.maxNodes() {
+			x.Status = StatusExhausted
+			x.FrontierSize = r.frontierLeft()
+			return true, &BudgetError{Protocol: e.proto.Name(), Nodes: e.opts.maxNodes()}
+		}
+		e.record(acc)
+		e.census.add(acc.nd, acc.stateKeys)
+		for _, v := range acc.nodeViol {
+			x.addViolation(v, acc)
+		}
+		if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
+			return true, nil
+		}
+		r.queue = append(r.queue, acc.nd)
+	}
+	return false, nil
 }
 
 // record accepts one newly discovered configuration: assigns interned state
@@ -712,11 +887,16 @@ func (e *explorer) record(s *succ) {
 }
 
 // finalize publishes the aggregate state census, the node count, and (in
-// verified mode) the collision count.
+// verified mode) the collision count — from the replay's sequential set
+// when the pool ran, so the count reflects canonical admissions only.
 func (e *explorer) finalize() {
+	e.census.close()
 	e.x.States = e.states.Snapshot()
 	e.x.NodeCount = len(e.x.Configs)
-	if e.fpVerified != nil {
+	switch {
+	case e.seq != nil && e.dedup == frontier.DedupVerified:
+		e.x.Collisions = e.seq.Collisions()
+	case e.fpVerified != nil && e.seq == nil:
 		e.x.Collisions = e.fpVerified.Collisions()
 	}
 }
@@ -783,9 +963,12 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		e.visited = frontier.NewVisitedSet()
 	}
 
-	// Level 0: one root per requested input vector, merged through the
-	// same path as every other level (no parent links, no decision edge).
-	roots := expansion{isRoot: true}
+	workers := frontier.Parallelism(opts.Parallelism)
+	e.routeFP = opts.Dedup == frontier.DedupStrings && workers > 1
+
+	// Level 0: one root per requested input vector, walked through the
+	// same path as every other node (no parent links, no decision edge).
+	roots := make([]succ, 0, len(inputVecs))
 	for _, inputs := range inputVecs {
 		if len(inputs) != n {
 			return nil, fmt.Errorf("checker: input vector %v has length %d, want %d", inputs, len(inputs), n)
@@ -806,35 +989,52 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		default:
 			start.ckey = start.key()
 			s.key = start.ckey
+			if e.routeFP {
+				start.fp = fingerprint.OfString(start.ckey)
+				s.fp = start.fp
+			}
 		}
-		s.stateKeys = e.aggregate(start)
+		s.stateKeys = e.stateKeysOf(start)
 		if opts.Problem != nil {
 			s.nodeViol = nodeViolations(*opts.Problem, start)
 		}
-		roots.succs = append(roots.succs, s)
+		roots = append(roots, s)
 	}
-	front, stop, err := e.mergeLevel([]expansion{roots})
-	for err == nil && !stop && len(front) > 0 {
-		if cerr := ctx.Err(); cerr != nil {
-			x.Status = StatusInterrupted
-			x.FrontierSize = len(front)
-			e.finalize()
-			return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), cerr)
+
+	if workers > 1 {
+		// The partitioned pool speculatively admits (shared set) and
+		// expands ahead of the replay; it may overshoot the node budget
+		// or stop early — the replay is the only authority on results.
+		e.seq = frontier.NewSeqVisited(opts.Dedup)
+		pool := frontier.NewPool(frontier.PoolOptions[*succ, expansion]{
+			Workers: workers,
+			Cap:     int64(opts.maxNodes()),
+			KeyOf:   func(s *succ) frontier.NodeKey { return frontier.NodeKey{FP: s.fp, Key: s.key} },
+			Admit:   func(s *succ) bool { return e.admit(s) },
+			Expand:  e.expandForPool,
+		})
+		e.pool = pool
+		rootPtrs := make([]*succ, len(roots))
+		for i := range roots {
+			rootPtrs[i] = &roots[i]
 		}
-		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, e.expand)
-		if mapErr != nil {
-			x.Status = StatusInterrupted
-			x.FrontierSize = len(front)
-			e.finalize()
-			return x, fmt.Errorf("checker: exploration of %s interrupted: %w", proto.Name(), mapErr)
-		}
-		front, stop, err = e.mergeLevel(exps)
+		pool.Start(ctx, rootPtrs)
+		defer pool.Close()
 	}
+	e.census = e.newCensusSink(workers)
+	defer e.census.close()
+
+	r := &replayer{e: e}
+	err := r.run(ctx, roots)
 	if err != nil {
 		var be *BudgetError
 		if errors.As(err, &be) {
 			e.finalize()
 			return x, be
+		}
+		if x.Status == StatusInterrupted {
+			e.finalize()
+			return x, err
 		}
 		// A protocol error (sim.Apply failed) aborts with no result,
 		// matching the previous explorer.
@@ -842,6 +1042,25 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 	}
 	e.finalize()
 	return x, nil
+}
+
+// expandForPool is the pool's Expand callback: it generates the node's
+// successors and routes onward every materialized one (a nil-node succ is
+// already in the shared set and needs no owner). A protocol error stops
+// the pool — the replay re-derives and reports it in canonical order.
+func (e *explorer) expandForPool(s *succ) (expansion, []*succ) {
+	exp := e.expand(s.nd)
+	if exp.err != nil {
+		e.pool.Stop()
+		return exp, nil
+	}
+	var routed []*succ
+	for j := range exp.succs {
+		if exp.succs[j].nd != nil {
+			routed = append(routed, &exp.succs[j])
+		}
+	}
+	return exp, routed
 }
 
 // BudgetError reports that exploration exceeded its node budget.

@@ -62,6 +62,41 @@ func TestBudgetExhaustionKeepsPartialResults(t *testing.T) {
 	}
 }
 
+// TestBudgetExhaustionExactAtEveryWidth sweeps the exact-MaxNodes contract
+// across parallelism widths: whether the expansion is inline (width 1) or
+// speculatively prefetched by 2, 8, or 16 pool workers, the canonical replay
+// accepts exactly MaxNodes configurations, reports Exhausted, and leaves a
+// non-empty frontier. The budget cut lands mid-space for star at two
+// failures, so the stop happens in the middle of a merge, not at a level
+// boundary.
+func TestBudgetExhaustionExactAtEveryWidth(t *testing.T) {
+	const budget = 6_000
+	for _, par := range []int{1, 2, 8, 16} {
+		x, err := CheckContext(context.Background(), protocols.Star{Procs: 3},
+			problem(taxonomy.WT, taxonomy.TC),
+			Options{MaxFailures: 2, MaxNodes: budget, Parallelism: par})
+		if x == nil {
+			t.Fatalf("width %d: exhausted exploration must still return the partial Exploration", par)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) || be.Nodes != budget {
+			t.Fatalf("width %d: err = %v, want *BudgetError with Nodes=%d", par, err, budget)
+		}
+		if x.Status != StatusExhausted {
+			t.Fatalf("width %d: status = %v, want exhausted", par, x.Status)
+		}
+		if x.NodeCount != budget {
+			t.Fatalf("width %d: NodeCount = %d, want exactly the budget %d", par, x.NodeCount, budget)
+		}
+		if len(x.Configs) != budget {
+			t.Fatalf("width %d: len(Configs) = %d, want exactly the budget %d", par, len(x.Configs), budget)
+		}
+		if x.FrontierSize == 0 {
+			t.Fatalf("width %d: exhausted mid-space but FrontierSize = 0", par)
+		}
+	}
+}
+
 func TestCompleteExplorationHasCompleteStatus(t *testing.T) {
 	x := mustCheck(t, protocols.Tree{Procs: 3}, problem(taxonomy.WT, taxonomy.TC), Options{MaxFailures: 1})
 	if x.Status != StatusComplete || x.Status.Partial() {

@@ -1,20 +1,23 @@
-// Package frontier provides the level-synchronous parallel exploration
-// machinery shared by the checker's configuration-space explorer and the
-// scheme enumerator: a deterministic parallel map over a frontier, a
-// visited-node set sharded by key hash, a concurrent string interner, and a
-// sharded aggregation map.
+// Package frontier provides the parallel exploration machinery shared by
+// the checker's configuration-space explorer and the scheme enumerator: a
+// fingerprint-partitioned asynchronous worker pool (pool.go), the
+// sequential visited set behind its canonical replay pass, the dedup
+// engines (fpset.go), a concurrent string interner, and sharded map
+// utilities.
 //
-// The central discipline is the split into a parallel expansion phase and a
-// sequential merge phase. Workers expand frontier nodes concurrently in
-// whatever order the scheduler picks, but they only *compute*: successor
-// configurations, canonical keys, violation checks, and commutative
-// (set-union) aggregations. Everything order-sensitive — visited-set
-// insertion, result interning, violation ordering, frontier construction —
-// happens afterwards in a single goroutine that walks the expansion results
-// in frontier order. The observable result is therefore a pure function of
-// the root set, independent of both the parallelism level and the
-// scheduler, which is what lets a differential test assert byte-identical
-// explorations at parallelism 1, 2, and 8.
+// The central discipline is the split into a fully asynchronous,
+// order-free speculation phase and a sequential canonical ordering phase.
+// Pool workers own static shards of the 128-bit fingerprint space and
+// exchange successor batches over bounded channels with no global barrier;
+// they only *prefetch* — admissions to the shared visited set and stored
+// expansions carry no order. Everything order-sensitive — which nodes the
+// result contains, interning, violation ordering, budget cuts — is decided
+// afterwards by a single goroutine replaying the stored results in
+// breadth-first frontier order against its own sequential visited set,
+// re-expanding on demand anything the pool dropped. The observable result
+// is therefore a pure function of the root set, independent of both the
+// parallelism level and the scheduler, which is what lets a differential
+// test assert byte-identical explorations at parallelism 1, 2, 8, and 16.
 package frontier
 
 import (

@@ -1,0 +1,510 @@
+// This file holds the fingerprint-partitioned asynchronous exploration
+// engine: a pool of workers, each owning a static shard of the 128-bit
+// digest space, exchanging successor batches over bounded per-worker
+// channels with no global barrier (in the tradition of parallel Murphi and
+// distributed TLC). The pool is a *speculative prefetcher*: it admits
+// nodes to a shared visited set and stores each accepted node together
+// with its expansion, but it imposes no order. Determinism is recovered
+// afterwards by a sequential canonical replay pass (owned by the checker
+// and scheme packages) that walks the stored results in breadth-first
+// frontier order against its own SeqVisited set, re-expanding on demand
+// anything the pool never reached. The replay is authoritative — the
+// observable result is a pure function of the root set — so the pool can
+// stop early, drop batches on cancellation, or over-speculate past a node
+// budget without ever perturbing a digest.
+//
+// Termination is a distributed quiescence count: every batch increments an
+// in-flight counter before it is enqueued (including self-sends) and
+// decrements it only after it has been fully processed, and processing a
+// batch increments for all child batches before decrementing for the
+// parent. The counter therefore reaches zero exactly when no batch exists
+// anywhere in the system, and zero is stable — that instant closes the
+// drained channel. Deadlock freedom on the bounded channels comes from the
+// routing loop: a worker blocked sending to a full peer inbox concurrently
+// drains its own inbox into a local pending queue, so in any cycle of
+// blocked senders at least one send has a receiver making room.
+package frontier
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fingerprint"
+)
+
+// NodeKey identifies an exploration node for routing and storage. FP is
+// the node's 128-bit fingerprint (under strings dedup, a routing digest
+// derived from the canonical key); Key is the canonical key string, empty
+// under pure-fingerprint dedup. Including the key makes storage exact even
+// in the astronomically unlikely event of a digest collision under
+// verified dedup: the colliding nodes get distinct entries.
+type NodeKey struct {
+	FP  fingerprint.Digest
+	Key string
+}
+
+// Owner maps a digest to one of workers statically partitioned, contiguous
+// shards of the digest space: worker i owns digests whose high 64 bits lie
+// in [i*2^64/workers, (i+1)*2^64/workers). The multiply-shift form makes
+// the assignment total and stable for any worker count without division,
+// and digest bits are uniform, so the shards balance.
+func Owner(d fingerprint.Digest, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	hi, _ := bits.Mul64(d.Hi, uint64(workers))
+	return int(hi)
+}
+
+// PoolOptions configures a Pool. All callbacks must be safe for concurrent
+// use: Admit and Expand run on whichever worker owns the successor.
+type PoolOptions[S, E any] struct {
+	// Workers is the number of owner goroutines; each owns the digest
+	// shard Owner assigns it.
+	Workers int
+	// Cap, when positive, bounds the number of accepted nodes: once
+	// reached the pool stops admitting and drains. The bound is
+	// approximate (concurrent owners may overshoot by a few nodes); the
+	// caller's replay enforces the exact budget.
+	Cap int64
+	// KeyOf returns the successor's routing and storage key.
+	KeyOf func(S) NodeKey
+	// Admit inserts the successor into the shared visited set, reporting
+	// whether it was new. Called only by the successor's owner.
+	Admit func(S) bool
+	// Expand generates a node's successors: the expansion value to store
+	// and the slice of materialized successors to route onward.
+	Expand func(S) (E, []S)
+}
+
+// EntryState reports what WaitEntry found.
+type EntryState int
+
+const (
+	// EntryMissing means the pool drained without ever accepting the key
+	// (it was discarded by the cap, a stop, or cancellation).
+	EntryMissing EntryState = iota
+	// EntryAccepted means the node was accepted and stored but its
+	// expansion never completed (stop or panic mid-expand).
+	EntryAccepted
+	// EntryExpanded means both the node and its expansion are stored.
+	EntryExpanded
+)
+
+// Pool is the asynchronous owner-partitioned exploration engine. Create
+// with NewPool, launch with Start, and read results with WaitEntry; Close
+// stops the workers and must be called exactly once after Start.
+type Pool[S, E any] struct {
+	opts   PoolOptions[S, E]
+	inbox  []chan []S
+	shards []poolShard[S, E]
+
+	// inflight counts enqueued-but-unprocessed batches; zero is stable
+	// and closes drainedCh (see the package comment).
+	inflight atomic.Int64
+	accepted atomic.Int64
+	stopped  atomic.Bool
+	drained  atomic.Bool
+	panicked atomic.Bool
+	// drainedCh is closed exactly once, at quiescence.
+	drainedCh chan struct{}
+	wg        sync.WaitGroup
+
+	// mu serializes WaitEntry's block/wake handshake; waiters counts
+	// blocked waiters so the owners' wake probe is a single atomic load
+	// when nobody waits.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+}
+
+// poolShard stores one owner's accepted entries. Only the owning worker
+// writes it; the replay goroutine reads (and takes) concurrently.
+type poolShard[S, E any] struct {
+	mu sync.RWMutex
+	m  map[NodeKey]*poolEntry[S, E] // ccvet:guardedby mu
+}
+
+// poolEntry fields are guarded by the owning shard's mutex.
+type poolEntry[S, E any] struct {
+	succ     S
+	exp      E
+	expanded bool
+}
+
+// NewPool returns an unstarted pool.
+func NewPool[S, E any](opts PoolOptions[S, E]) *Pool[S, E] {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	p := &Pool[S, E]{
+		opts:      opts,
+		inbox:     make([]chan []S, opts.Workers),
+		shards:    make([]poolShard[S, E], opts.Workers),
+		drainedCh: make(chan struct{}),
+	}
+	for i := range p.inbox {
+		p.inbox[i] = make(chan []S, 32)
+		p.shards[i].m = make(map[NodeKey]*poolEntry[S, E])
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *Pool[S, E]) owner(k NodeKey) int { return Owner(k.FP, p.opts.Workers) }
+
+// Start launches the workers and seeds the pool with the root successors,
+// routing each to its owner. A cancelled ctx stops the pool (it drains and
+// quiesces; stored entries stay readable).
+func (p *Pool[S, E]) Start(ctx context.Context, roots []S) {
+	for i := 0; i < p.opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.Stop()
+		case <-p.drainedCh:
+		}
+	}()
+	byOwner := make([][]S, p.opts.Workers)
+	for _, s := range roots {
+		o := p.owner(p.opts.KeyOf(s))
+		byOwner[o] = append(byOwner[o], s)
+	}
+	batches := int64(0)
+	for _, g := range byOwner {
+		if g != nil {
+			batches++
+		}
+	}
+	if batches == 0 {
+		p.quiesce()
+		return
+	}
+	// Count every seed batch in flight before the first send, so the
+	// counter can never touch zero while seeding is underway.
+	p.inflight.Add(batches)
+	for o, g := range byOwner {
+		if g != nil {
+			p.inbox[o] <- g
+		}
+	}
+}
+
+// Stop makes the pool stop admitting and expanding; in-flight batches are
+// discarded and the pool quiesces. Entries already stored stay readable.
+func (p *Pool[S, E]) Stop() { p.stopped.Store(true) }
+
+// Close stops the pool, waits for quiescence, and joins the workers.
+func (p *Pool[S, E]) Close() {
+	p.Stop()
+	<-p.drainedCh
+	p.wg.Wait()
+}
+
+// Drained reports whether the pool has quiesced.
+func (p *Pool[S, E]) Drained() bool { return p.drained.Load() }
+
+// Accepted returns the number of successors admitted so far.
+func (p *Pool[S, E]) Accepted() int64 { return p.accepted.Load() }
+
+// Panicked reports whether any Expand call panicked. The panic value is
+// swallowed (the pool stops and drains); the caller's replay re-expands
+// the node on demand and re-panics deterministically.
+func (p *Pool[S, E]) Panicked() bool { return p.panicked.Load() }
+
+// quiesce closes the drained channel exactly once and releases waiters.
+func (p *Pool[S, E]) quiesce() {
+	if p.drained.CompareAndSwap(false, true) {
+		close(p.drainedCh)
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// finish retires one processed batch; the worker that takes the counter to
+// zero performs the quiescence transition.
+func (p *Pool[S, E]) finish() {
+	if p.inflight.Add(-1) == 0 {
+		p.quiesce()
+	}
+}
+
+// worker is one owner goroutine: it alternates between its local pending
+// queue (batches it routed to itself, or absorbed while blocked sending)
+// and its inbox, until the pool quiesces.
+func (p *Pool[S, E]) worker(id int) {
+	defer p.wg.Done()
+	var pending [][]S
+	byOwner := make([][]S, p.opts.Workers)
+	for {
+		var batch []S
+		if n := len(pending); n > 0 {
+			batch, pending = pending[n-1], pending[:n-1]
+		} else {
+			select {
+			case batch = <-p.inbox[id]:
+			case <-p.drainedCh:
+				return
+			}
+		}
+		pending = p.process(id, batch, pending, byOwner)
+	}
+}
+
+// process accepts every successor of one batch, then retires the batch.
+// Child batches are counted in flight inside accept, before the parent's
+// finish, which is what keeps zero in-flight equivalent to quiescence.
+func (p *Pool[S, E]) process(id int, batch []S, pending [][]S, byOwner [][]S) [][]S {
+	for i := range batch {
+		if p.stopped.Load() {
+			break
+		}
+		pending = p.accept(id, batch[i], pending, byOwner)
+	}
+	p.finish()
+	return pending
+}
+
+// accept admits one routed successor: cap check, shared-set insertion,
+// entry store, expansion, expansion store, and routing of the children.
+// The store always directly follows a successful Admit with no stop check
+// between them — the replay relies on "admitted implies stored" to resolve
+// successors it rediscovers through the shared set.
+func (p *Pool[S, E]) accept(id int, s S, pending [][]S, byOwner [][]S) [][]S {
+	if c := p.opts.Cap; c > 0 && p.accepted.Load() >= c {
+		p.stopped.Store(true)
+		return pending
+	}
+	if !p.opts.Admit(s) {
+		return pending // duplicate arrival
+	}
+	p.accepted.Add(1)
+	k := p.opts.KeyOf(s)
+	ent := &poolEntry[S, E]{succ: s}
+	sh := &p.shards[id]
+	sh.mu.Lock()
+	sh.m[k] = ent
+	sh.mu.Unlock()
+	p.wake()
+	exp, routed, ok := p.expandOne(s)
+	if !ok {
+		p.panicked.Store(true)
+		p.stopped.Store(true)
+		return pending
+	}
+	sh.mu.Lock()
+	ent.exp, ent.expanded = exp, true
+	sh.mu.Unlock()
+	p.wake()
+	for _, nxt := range routed {
+		o := p.owner(p.opts.KeyOf(nxt))
+		byOwner[o] = append(byOwner[o], nxt)
+	}
+	for o, g := range byOwner {
+		if g == nil {
+			continue
+		}
+		byOwner[o] = nil
+		if o == id {
+			p.inflight.Add(1)
+			pending = append(pending, g)
+			continue
+		}
+		pending = p.route(id, o, g, pending)
+	}
+	return pending
+}
+
+// expandOne runs Expand, converting a panic into a stop signal: the value
+// is dropped here because the sequential replay re-expands the node in
+// canonical order and re-panics with a schedule-independent failure.
+func (p *Pool[S, E]) expandOne(s S) (exp E, routed []S, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	exp, routed = p.opts.Expand(s)
+	return exp, routed, true
+}
+
+// route delivers one batch to its owner's inbox. While the send blocks,
+// the sender drains its own inbox into pending — that keeps at least one
+// receiver live in any cycle of full channels. After a stop the batch is
+// dropped instead (its nodes are either re-derived by the replay or were
+// never needed).
+func (p *Pool[S, E]) route(from, to int, batch []S, pending [][]S) [][]S {
+	p.inflight.Add(1)
+	for {
+		if p.stopped.Load() {
+			p.finish()
+			return pending
+		}
+		select {
+		case p.inbox[to] <- batch:
+			return pending
+		case b := <-p.inbox[from]:
+			pending = append(pending, b)
+		}
+	}
+}
+
+// wake wakes blocked WaitEntry callers after a store. The fast path is one
+// atomic load; the handshake is race-free because a waiter registers in
+// waiters under mu before re-checking the shard, so either the storer sees
+// the registration and broadcasts, or the waiter's re-check sees the store.
+func (p *Pool[S, E]) wake() {
+	if p.waiters.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// WaitEntry returns the stored entry for k, blocking while the pool is
+// still running and the entry is absent or unexpanded. Once the pool has
+// drained it returns whatever is stored (EntryAccepted for a node whose
+// expansion never completed, EntryMissing for a key the pool never
+// accepted). take removes a found entry from the store, releasing its
+// memory; each key is taken at most once by the replay.
+func (p *Pool[S, E]) WaitEntry(k NodeKey, take bool) (succ S, exp E, state EntryState) {
+	sh := &p.shards[p.owner(k)]
+	for {
+		sh.mu.RLock()
+		ent := sh.m[k]
+		var expanded bool
+		if ent != nil {
+			succ, expanded = ent.succ, ent.expanded
+			if expanded {
+				exp = ent.exp
+			}
+		}
+		sh.mu.RUnlock()
+		if ent != nil && expanded {
+			if take {
+				sh.mu.Lock()
+				delete(sh.m, k)
+				sh.mu.Unlock()
+			}
+			return succ, exp, EntryExpanded
+		}
+		if p.drained.Load() {
+			if ent != nil {
+				if take {
+					sh.mu.Lock()
+					delete(sh.m, k)
+					sh.mu.Unlock()
+				}
+				return succ, exp, EntryAccepted
+			}
+			var zeroS S
+			var zeroE E
+			return zeroS, zeroE, EntryMissing
+		}
+		p.mu.Lock()
+		p.waiters.Add(1)
+		if !p.ready(sh, k) {
+			p.cond.Wait()
+		}
+		p.waiters.Add(-1)
+		p.mu.Unlock()
+	}
+}
+
+// ready re-checks the wait condition after registering as a waiter; see
+// wake for the handshake.
+func (p *Pool[S, E]) ready(sh *poolShard[S, E], k NodeKey) bool {
+	if p.drained.Load() {
+		return true
+	}
+	sh.mu.RLock()
+	ent := sh.m[k]
+	ok := ent != nil && ent.expanded
+	sh.mu.RUnlock()
+	return ok
+}
+
+// SeqVisited is the sequential visited set behind the canonical replay
+// pass: the same three dedup engines as the shared sets, minus the
+// sharding and locking (the replay is single-goroutine). Its admission
+// decisions — not the pool's — define which nodes the result contains, so
+// the result digests depend only on the canonical walk order.
+type SeqVisited struct {
+	mode       Dedup
+	fp         map[fingerprint.Digest]struct{}
+	keys       map[string]struct{}
+	verified   map[fingerprint.Digest][]string
+	collisions int64
+}
+
+// NewSeqVisited returns an empty set for the given dedup mode.
+func NewSeqVisited(mode Dedup) *SeqVisited {
+	v := &SeqVisited{mode: mode}
+	switch mode {
+	case DedupFingerprint:
+		v.fp = make(map[fingerprint.Digest]struct{})
+	case DedupVerified:
+		v.verified = make(map[fingerprint.Digest][]string)
+	default:
+		v.keys = make(map[string]struct{})
+	}
+	return v
+}
+
+// Admit inserts the node's dedup handle, reporting whether it was new.
+// Verified mode counts a digest already holding a different key as a
+// collision, exactly like FPVerifiedSet.Add.
+func (v *SeqVisited) Admit(fp fingerprint.Digest, key string) bool {
+	switch v.mode {
+	case DedupFingerprint:
+		if _, ok := v.fp[fp]; ok {
+			return false
+		}
+		v.fp[fp] = struct{}{}
+		return true
+	case DedupVerified:
+		keys := v.verified[fp]
+		for _, k := range keys {
+			if k == key {
+				return false
+			}
+		}
+		if len(keys) > 0 {
+			v.collisions++
+		}
+		v.verified[fp] = append(keys, key)
+		return true
+	default:
+		if _, ok := v.keys[key]; ok {
+			return false
+		}
+		v.keys[key] = struct{}{}
+		return true
+	}
+}
+
+// Len returns the number of admitted nodes.
+func (v *SeqVisited) Len() int {
+	switch v.mode {
+	case DedupFingerprint:
+		return len(v.fp)
+	case DedupVerified:
+		n := 0
+		for _, keys := range v.verified { //ccvet:ignore detrange summing lengths; order is unobservable
+			n += len(keys)
+		}
+		return n
+	default:
+		return len(v.keys)
+	}
+}
+
+// Collisions returns the number of verified fingerprint collisions.
+func (v *SeqVisited) Collisions() int64 { return v.collisions }

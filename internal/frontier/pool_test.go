@@ -1,0 +1,291 @@
+package frontier
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+)
+
+// The pool tests drive the partitioned engine over a synthetic diamond-heavy
+// DAG: node x's successors are x+1 and x+2 (bounded by n), so almost every
+// node is reachable along two paths and the shared-set dedup is exercised on
+// every expansion. The canonical accept order of a breadth-first walk over
+// this graph is the reference the pool+replay round-trip must reproduce.
+
+func toyFP(id uint64) fingerprint.Digest {
+	return fingerprint.OfString("toy:" + strconv.FormatUint(id, 10))
+}
+
+func toySuccs(id, n uint64) []uint64 {
+	var out []uint64
+	for _, s := range []uint64{id + 1, id + 2} {
+		if s < n {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// toySequentialBFS is the reference accept order: a single-threaded
+// breadth-first walk from 0 with first-arrival dedup.
+func toySequentialBFS(n uint64) []uint64 {
+	visited := map[uint64]bool{0: true}
+	order := []uint64{0}
+	queue := []uint64{0}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, s := range toySuccs(x, n) {
+			if !visited[s] {
+				visited[s] = true
+				order = append(order, s)
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}
+
+// toyPool builds a pool over the diamond DAG with a mutex-guarded shared
+// visited set and an optional per-expansion delay for slow-worker tests.
+func toyPool(workers int, n uint64, cap int64, delay time.Duration, panicAt uint64) *Pool[uint64, []uint64] {
+	var mu sync.Mutex
+	visited := map[uint64]bool{}
+	return NewPool(PoolOptions[uint64, []uint64]{
+		Workers: workers,
+		Cap:     cap,
+		KeyOf:   func(x uint64) NodeKey { return NodeKey{FP: toyFP(x)} },
+		Admit: func(x uint64) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if visited[x] {
+				return false
+			}
+			visited[x] = true
+			return true
+		},
+		Expand: func(x uint64) ([]uint64, []uint64) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if panicAt != 0 && x == panicAt {
+				panic("injected expand panic")
+			}
+			s := toySuccs(x, n)
+			return s, s
+		},
+	})
+}
+
+// replayToy performs the canonical reorder pass the checker and scheme run:
+// a sequential BFS against its own visited set, consuming pool entries via
+// WaitEntry and re-expanding on demand whatever the pool dropped.
+func replayToy(p *Pool[uint64, []uint64], n uint64) []uint64 {
+	seen := map[uint64]bool{0: true}
+	order := []uint64{0}
+	queue := []uint64{0}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		succs, exp, state := p.WaitEntry(NodeKey{FP: toyFP(x)}, true)
+		_ = succs
+		if state != EntryExpanded {
+			exp = toySuccs(x, n)
+		}
+		for _, s := range exp {
+			if !seen[s] {
+				seen[s] = true
+				order = append(order, s)
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}
+
+func equalOrder(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPoolRoundTripMatchesSequential pins the determinism contract at the
+// engine level: at every width, routing through the partitioned pool plus
+// the canonical reorder pass yields exactly the sequential BFS accept order.
+func TestPoolRoundTripMatchesSequential(t *testing.T) {
+	const n = 5000
+	want := toySequentialBFS(n)
+	if len(want) != n {
+		t.Fatalf("reference walk covered %d of %d nodes", len(want), n)
+	}
+	for _, workers := range []int{1, 2, 8, 16} {
+		p := toyPool(workers, n, 0, 0, 0)
+		p.Start(context.Background(), []uint64{0})
+		got := replayToy(p, n)
+		p.Close()
+		if !equalOrder(got, want) {
+			t.Errorf("width %d: accept order diverges from sequential BFS (%d vs %d nodes)", workers, len(got), len(want))
+		}
+		if !p.Drained() {
+			t.Errorf("width %d: pool not drained after Close", workers)
+		}
+		if p.Panicked() {
+			t.Errorf("width %d: spurious panic flag", workers)
+		}
+	}
+}
+
+// TestPoolQuiescesWithSlowWorkers injects a per-expansion delay so batches
+// pile up in flight across the routing channels, then checks the quiescence
+// count still converges: the pool drains on its own, with every reachable
+// node accepted and expanded.
+func TestPoolQuiescesWithSlowWorkers(t *testing.T) {
+	const n = 300
+	p := toyPool(8, n, 0, 500*time.Microsecond, 0)
+	p.Start(context.Background(), []uint64{0})
+	select {
+	case <-p.drainedCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("slow pool failed to quiesce")
+	}
+	if got := p.Accepted(); got != n {
+		t.Fatalf("slow pool accepted %d of %d nodes", got, n)
+	}
+	for id := uint64(0); id < n; id++ {
+		if _, _, state := p.WaitEntry(NodeKey{FP: toyFP(id)}, false); state != EntryExpanded {
+			t.Fatalf("node %d: state = %v after quiescence, want expanded", id, state)
+		}
+	}
+	p.Close()
+}
+
+// TestPoolPanicMidExpandDrains kills one expansion with a panic and checks
+// the containment contract: the pool flags the panic, stops, and still
+// quiesces (Close returns); the panicking node is stored as accepted-but-
+// never-expanded, so the caller's replay re-expands it in canonical order
+// and re-panics deterministically.
+func TestPoolPanicMidExpandDrains(t *testing.T) {
+	const n, poison = 2000, 700
+	p := toyPool(8, n, 0, 0, poison)
+	p.Start(context.Background(), []uint64{0})
+	// No Stop or Close yet: the panic itself must stop the pool and the
+	// quiescence count must still converge with batches in flight.
+	select {
+	case <-p.drainedCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool failed to drain after a worker panic")
+	}
+	if !p.Panicked() {
+		t.Fatal("Panicked() = false after an Expand panic")
+	}
+	if _, _, state := p.WaitEntry(NodeKey{FP: toyFP(poison)}, false); state != EntryAccepted {
+		t.Fatalf("poison node state = %v, want accepted (stored, never expanded)", state)
+	}
+	// The root's expansion completed before the poison node was reached
+	// (breadth-first routing from 0), so its entry must be intact.
+	if _, _, state := p.WaitEntry(NodeKey{FP: toyFP(0)}, false); state != EntryExpanded {
+		t.Fatalf("root state = %v after panic drain, want expanded", state)
+	}
+	p.Close()
+}
+
+// TestPoolCancellationMidRouteDrains cancels the context while batches are
+// in flight; the pool must drop them and quiesce rather than deadlock on a
+// full channel, and entries stored before the stop stay readable.
+func TestPoolCancellationMidRouteDrains(t *testing.T) {
+	const n = 100_000
+	ctx, cancel := context.WithCancel(context.Background())
+	p := toyPool(4, n, 0, 10*time.Microsecond, 0)
+	p.Start(ctx, []uint64{0})
+	for p.Accepted() < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-p.drainedCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool failed to quiesce after cancellation")
+	}
+	if got := p.Accepted(); got < 50 || got >= n {
+		t.Fatalf("cancelled pool accepted %d nodes, want a partial prefix", got)
+	}
+	if _, _, state := p.WaitEntry(NodeKey{FP: toyFP(0)}, false); state == EntryMissing {
+		t.Fatal("root entry lost on cancellation")
+	}
+	p.Close()
+}
+
+// TestPoolCapBoundsAcceptance checks the speculative budget: acceptance
+// stops at Cap with at most one overshoot per worker (the check-then-admit
+// window), and the pool still quiesces.
+func TestPoolCapBoundsAcceptance(t *testing.T) {
+	const n, cap, workers = 100_000, 500, 8
+	p := toyPool(workers, n, cap, 0, 0)
+	p.Start(context.Background(), []uint64{0})
+	select {
+	case <-p.drainedCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("capped pool failed to quiesce")
+	}
+	got := p.Accepted()
+	if got < cap || got > cap+workers {
+		t.Fatalf("Accepted() = %d, want in [%d, %d]", got, cap, cap+workers)
+	}
+	p.Close()
+}
+
+// TestPoolEmptyRootsQuiesceImmediately covers the zero-batch seed path.
+func TestPoolEmptyRootsQuiesceImmediately(t *testing.T) {
+	p := toyPool(4, 10, 0, 0, 0)
+	p.Start(context.Background(), nil)
+	select {
+	case <-p.drainedCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty pool failed to quiesce")
+	}
+	if _, _, state := p.WaitEntry(NodeKey{FP: toyFP(0)}, false); state != EntryMissing {
+		t.Fatalf("state = %v for a never-seeded key, want missing", state)
+	}
+	p.Close()
+}
+
+// TestOwnerTotalStableAndBounded pins the shard function's basic algebra:
+// assignments land in [0, workers), depend only on the digest, and cover
+// the extremes of the high-64-bit space correctly.
+func TestOwnerTotalStableAndBounded(t *testing.T) {
+	digests := make([]fingerprint.Digest, 0, 512)
+	for i := 0; i < 512; i++ {
+		digests = append(digests, toyFP(uint64(i)))
+	}
+	for _, workers := range []int{1, 2, 3, 7, 8, 16, 64} {
+		for _, d := range digests {
+			o := Owner(d, workers)
+			if o < 0 || o >= workers {
+				t.Fatalf("Owner(%v, %d) = %d out of range", d, workers, o)
+			}
+			if again := Owner(d, workers); again != o {
+				t.Fatalf("Owner(%v, %d) unstable: %d then %d", d, workers, o, again)
+			}
+		}
+		lo := fingerprint.Digest{Hi: 0, Lo: ^uint64(0)}
+		hi := fingerprint.Digest{Hi: ^uint64(0), Lo: 0}
+		if o := Owner(lo, workers); o != 0 {
+			t.Fatalf("lowest digest maps to shard %d of %d, want 0", o, workers)
+		}
+		if o := Owner(hi, workers); o != workers-1 {
+			t.Fatalf("highest digest maps to shard %d of %d, want %d", o, workers, workers-1)
+		}
+	}
+	if o := Owner(toyFP(1), 0); o != 0 {
+		t.Fatalf("Owner with 0 workers = %d, want 0", o)
+	}
+}

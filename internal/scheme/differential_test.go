@@ -11,7 +11,7 @@ import (
 	"repro/internal/sim"
 )
 
-var diffParallelism = []int{1, 2, 8}
+var diffParallelism = []int{1, 2, 8, 16}
 
 // diffDedups crosses the three dedup engines into the differential matrix;
 // the string-keyed sequential run is the reference.
@@ -43,16 +43,17 @@ func enumDiffCases() []enumDiffCase {
 		{"chain", protocols.Chain{Procs: 3}, Options{}},
 		{"perverse", protocols.Perverse{}, Options{}},
 		{"ackcommit", protocols.AckCommit{Procs: 3}, Options{}},
-		// Full exchange is the densest failure-free space; a budget cap
-		// bounds the test and exercises the deterministic exhaustion stop.
-		{"fullexchange", protocols.FullExchange{Procs: 3}, Options{MaxNodes: 6000}},
+		// Full exchange is the densest failure-free space (127 nodes); a
+		// mid-space budget exercises the deterministic exhaustion stop, so
+		// the budget-exhausted partial is part of the differential matrix.
+		{"fullexchange", protocols.FullExchange{Procs: 3}, Options{MaxNodes: 60}},
 		{"haltingcommit", protocols.HaltingCommit{Procs: 3}, Options{}},
 	}
 }
 
 // TestEnumerateDifferential asserts that enumerating every library
 // protocol's failure-free executions (all-ones inputs) with every dedup
-// engine at parallelism 1, 2, and 8 yields byte-identical Enumerations:
+// engine at parallelism 1, 2, 8, and 16 yields byte-identical Enumerations:
 // the pattern set, visited count, frontier, and status.
 func TestEnumerateDifferential(t *testing.T) {
 	for _, tc := range enumDiffCases() {

@@ -108,8 +108,9 @@ type Options struct {
 	// sim.DefaultMaxNodes, the budget shared with checker.Options).
 	// Enumeration fails rather than silently truncating.
 	MaxNodes int
-	// Parallelism is the number of worker goroutines expanding each
-	// frontier level (0 = GOMAXPROCS). The resulting Enumeration is
+	// Parallelism is the number of owner workers the partitioned engine
+	// shards the digest space across (0 = GOMAXPROCS; 1 = fully
+	// sequential, no pool at all). The resulting Enumeration is
 	// byte-identical at any setting; parallelism only changes wall-clock
 	// time.
 	Parallelism int
@@ -310,8 +311,11 @@ func Enumerate(proto sim.Protocol, inputs []sim.Bit, opts Options) (*Set, error)
 }
 
 // enumSucc is one successor generated while expanding a frontier node. nd is
-// nil when the successor was already visited before this level (it may still
-// be a within-level duplicate, which the merge detects).
+// nil when the successor was already in the shared visited set when the
+// expansion ran — in which case the set's admit-implies-stored invariant
+// lets the canonical replay fetch the materialized node from the pool.
+// Under strings dedup at parallelism > 1, fp carries a routing digest of
+// the canonical key so the partitioned pool can shard successors.
 type enumSucc struct {
 	key string
 	fp  fingerprint.Digest
@@ -327,8 +331,9 @@ type enumExpansion struct {
 	err     error
 }
 
-// enumerator carries one enumeration's dedup machinery across workers and
-// the merge, mirroring the checker's three engines.
+// enumerator carries one enumeration's dedup machinery across the pool's
+// owner workers and the canonical replay, mirroring the checker's three
+// engines.
 type enumerator struct {
 	proto      sim.Protocol
 	dedup      frontier.Dedup
@@ -336,6 +341,13 @@ type enumerator struct {
 	fpVisited  *frontier.FPVisitedSet // fingerprint dedup
 	fpVerified *frontier.FPVerifiedSet
 	pr         *sim.Predictor // fingerprint dedup only
+	// pool is the asynchronous partitioned prefetch engine (nil at
+	// parallelism 1); seq is the replay's sequential visited set, whose
+	// admissions define the result when the pool runs.
+	pool *frontier.Pool[*enumSucc, enumExpansion]
+	seq  *frontier.SeqVisited
+	// routeFP marks strings dedup at parallelism > 1 (see enumSucc.fp).
+	routeFP bool
 }
 
 func newEnumerator(proto sim.Protocol, dedup frontier.Dedup) *enumerator {
@@ -378,9 +390,9 @@ func (e *enumerator) admit(s *enumSucc) bool {
 	}
 }
 
-// admitRoot marks the initial node visited.
-func (e *enumerator) admitRoot(nd *node) {
-	s := enumSucc{}
+// rootSucc wraps the initial node as a successor with its dedup handles.
+func (e *enumerator) rootSucc(nd *node) enumSucc {
+	s := enumSucc{nd: nd}
 	switch e.dedup {
 	case frontier.DedupFingerprint:
 		s.fp = nd.fp()
@@ -388,8 +400,53 @@ func (e *enumerator) admitRoot(nd *node) {
 		s.key, s.fp = nd.key(), nd.fp()
 	default:
 		s.key = nd.key()
+		if e.routeFP {
+			s.fp = fingerprint.OfString(s.key)
+		}
 	}
-	e.admit(&s)
+	return s
+}
+
+// resolve admits one successor against the replay's visited set and
+// resolves its materialized node: from the succ itself when the expanding
+// worker materialized it, from the pool store otherwise (a shared-set
+// admit is always immediately followed by the store).
+func (e *enumerator) resolve(s *enumSucc) (*enumSucc, bool) {
+	if e.pool == nil {
+		if s.nd == nil || !e.admit(s) {
+			return nil, false
+		}
+		return s, true
+	}
+	if !e.seq.Admit(s.fp, s.key) {
+		return nil, false
+	}
+	if s.nd != nil {
+		return s, true
+	}
+	stored, _, state := e.pool.WaitEntry(frontier.NodeKey{FP: s.fp, Key: s.key}, false)
+	if state == frontier.EntryMissing {
+		panic("scheme: visited successor missing from the partitioned store")
+	}
+	return stored, true
+}
+
+// expandForPool is the pool's Expand callback: generate successors and
+// route onward every materialized one. A protocol error stops the pool —
+// the replay re-derives and reports it in canonical order.
+func (e *enumerator) expandForPool(s *enumSucc) (enumExpansion, []*enumSucc) {
+	exp := e.expand(s.nd)
+	if exp.err != nil {
+		e.pool.Stop()
+		return exp, nil
+	}
+	var routed []*enumSucc
+	for j := range exp.succs {
+		if exp.succs[j].nd != nil {
+			routed = append(routed, &exp.succs[j])
+		}
+	}
+	return exp, routed
 }
 
 // predictSeen derives the fingerprint that ev's successor node would have
@@ -476,6 +533,9 @@ func (e *enumerator) expand(nd *node) enumExpansion {
 			s.key, s.fp = nxt.key(), nxt.fp()
 		default:
 			s.key = nxt.key()
+			if e.routeFP {
+				s.fp = fingerprint.OfString(s.key)
+			}
 		}
 		if !e.seen(&s) {
 			s.nd = nxt
@@ -490,10 +550,14 @@ func (e *enumerator) expand(nd *node) enumExpansion {
 // every pattern completed so far, with Status and Frontier set — alongside a
 // non-nil error.
 //
-// The walk is a level-synchronous breadth-first search: each frontier level
-// is expanded by Options.Parallelism workers and merged sequentially in
-// frontier order, so the Enumeration (patterns, Visited, Frontier, Status)
-// is byte-identical at every parallelism level. See internal/frontier.
+// The walk is fingerprint-partitioned and asynchronous: Options.Parallelism
+// owner workers each hold a static shard of the digest space and expand
+// with no global barrier (frontier.Pool), while a sequential canonical
+// replay consumes the stored expansions in breadth-first frontier order —
+// re-expanding on demand whatever the pool dropped — and alone decides
+// acceptance and the budget, so the Enumeration (patterns, Visited,
+// Frontier, Status) is byte-identical at every parallelism level. See
+// internal/frontier.
 func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, opts Options) (*Enumeration, error) {
 	if len(inputs) != proto.N() {
 		return nil, fmt.Errorf("scheme: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
@@ -517,52 +581,97 @@ func EnumerateContext(ctx context.Context, proto sim.Protocol, inputs []sim.Bit,
 		en.Frontier = 1
 		return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
 	}
-	e.admitRoot(start)
+	workers := frontier.Parallelism(opts.Parallelism)
+	e.routeFP = opts.Dedup == frontier.DedupStrings && workers > 1
+	root := e.rootSucc(start)
+	if workers > 1 {
+		// The partitioned pool speculatively admits (shared set) and
+		// expands ahead of the replay; the replay below is the only
+		// authority on acceptance and the budget.
+		e.seq = frontier.NewSeqVisited(opts.Dedup)
+		pool := frontier.NewPool(frontier.PoolOptions[*enumSucc, enumExpansion]{
+			Workers: workers,
+			Cap:     int64(opts.maxNodes()),
+			KeyOf:   func(s *enumSucc) frontier.NodeKey { return frontier.NodeKey{FP: s.fp, Key: s.key} },
+			Admit:   func(s *enumSucc) bool { return e.admit(s) },
+			Expand:  e.expandForPool,
+		})
+		e.pool = pool
+		pool.Start(ctx, []*enumSucc{&root})
+		defer pool.Close()
+		e.seq.Admit(root.fp, root.key)
+	} else {
+		e.admit(&root)
+	}
+
+	// Canonical replay: a FIFO walk over accepted nodes reproducing the
+	// breadth-first frontier order of a sequential enumeration. queued
+	// slots are zeroed once consumed so walked nodes can be reclaimed.
+	type queued struct {
+		nd *node
+		k  frontier.NodeKey
+	}
 	accepted := 1
-	front := []*node{start}
-	for len(front) > 0 {
+	queue := []queued{{nd: start, k: frontier.NodeKey{FP: root.fp, Key: root.key}}}
+	head := 0
+	for head < len(queue) {
+		q := queue[head]
+		queue[head] = queued{}
+		head++
+		// The context check precedes the prefetch lookup so cancellation
+		// interrupts the walk at the same canonical boundary (a dequeue)
+		// whether or not the pool got ahead of it.
 		if err := ctx.Err(); err != nil {
 			en.Status = StatusInterrupted
 			en.Visited = accepted
-			en.Frontier = len(front)
+			en.Frontier = len(queue) - head + 1
 			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), err)
 		}
-		exps, mapErr := frontier.Map(ctx, opts.Parallelism, front, e.expand)
-		if mapErr != nil {
-			en.Status = StatusInterrupted
-			en.Visited = accepted
-			en.Frontier = len(front)
-			return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), mapErr)
-		}
-		var next []*node
-		for i := range exps {
-			exp := &exps[i]
-			if exp.err != nil {
-				return nil, exp.err
+		var exp *enumExpansion
+		if e.pool != nil {
+			if _, pexp, state := e.pool.WaitEntry(q.k, true); state == frontier.EntryExpanded {
+				exp = &pexp
 			}
-			if exp.maximal != nil {
-				en.Set.Add(exp.maximal)
+		}
+		if exp == nil {
+			// The pool never expanded this node (cap, panic, or a stop —
+			// a cancellation that raced the lookup surfaces here).
+			if err := ctx.Err(); err != nil {
+				en.Status = StatusInterrupted
+				en.Visited = accepted
+				en.Frontier = len(queue) - head + 1
+				return en, fmt.Errorf("scheme: enumeration of %s interrupted: %w", proto.Name(), err)
+			}
+			fresh := e.expand(q.nd)
+			exp = &fresh
+		}
+		if exp.err != nil {
+			return nil, exp.err
+		}
+		if exp.maximal != nil {
+			en.Set.Add(exp.maximal)
+			continue
+		}
+		for j := range exp.succs {
+			acc, ok := e.resolve(&exp.succs[j])
+			if !ok {
 				continue
 			}
-			for j := range exp.succs {
-				s := &exp.succs[j]
-				if s.nd == nil || !e.admit(s) {
-					continue
-				}
-				if accepted >= opts.maxNodes() {
-					en.Status = StatusExhausted
-					en.Visited = accepted
-					en.Frontier = len(next) + 1
-					return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
-				}
-				accepted++
-				next = append(next, s.nd)
+			if accepted >= opts.maxNodes() {
+				en.Status = StatusExhausted
+				en.Visited = accepted
+				en.Frontier = len(queue) - head + 1
+				return en, &BudgetError{Protocol: proto.Name(), Nodes: opts.maxNodes()}
 			}
+			accepted++
+			queue = append(queue, queued{nd: acc.nd, k: frontier.NodeKey{FP: acc.fp, Key: acc.key}})
 		}
-		front = next
 	}
 	en.Visited = accepted
-	if e.fpVerified != nil {
+	switch {
+	case e.seq != nil && opts.Dedup == frontier.DedupVerified:
+		en.Collisions = e.seq.Collisions()
+	case e.fpVerified != nil && e.seq == nil:
 		en.Collisions = e.fpVerified.Collisions()
 	}
 	return en, nil
