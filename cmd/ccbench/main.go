@@ -59,6 +59,26 @@ type Result struct {
 	NodesPerSec   float64 `json:"nodesPerSec"`
 	AllocsPerNode float64 `json:"allocsPerNode"`
 	BytesPerNode  float64 `json:"bytesPerNode"`
+	// Reduction names the state-space reduction the row measured; empty
+	// means none (baselines written before reductions existed have no
+	// field at all and compare as unreduced rows).
+	Reduction string `json:"reduction,omitempty"`
+	// AmpleAvg is the average ample-set size (ample successor edges per
+	// ample expansion) of a reduced run.
+	AmpleAvg float64 `json:"ampleAvg,omitempty"`
+	// ProvisoFallbacks, SymmetryPrunes, and ElisionPrunes mirror the
+	// exploration's ReductionStats for the fastest repeat.
+	ProvisoFallbacks int   `json:"provisoFallbacks,omitempty"`
+	SymmetryPrunes   int64 `json:"symmetryPrunes,omitempty"`
+	ElisionPrunes    int64 `json:"elisionPrunes,omitempty"`
+	// ReductionFactor is unreduced nodes / reduced nodes, filled when the
+	// same invocation also measured the protocol at -reduce none.
+	ReductionFactor float64 `json:"reductionFactor,omitempty"`
+	// ReplayShare is the fraction of wall time the sequential canonical
+	// replay pass was running (its pool-blocked wait included in
+	// ReplayBlockedShare): the Amdahl ceiling on parallel speedup.
+	ReplayShare        float64 `json:"replayShare,omitempty"`
+	ReplayBlockedShare float64 `json:"replayBlockedShare,omitempty"`
 }
 
 // File is the on-disk shape of BENCH_explore.json. GOMAXPROCS records the
@@ -84,6 +104,7 @@ func run() int {
 		maxFail    = flag.Int("maxfail", 2, "maximum injected failures")
 		parallel   = flag.String("parallel", "1,2,4,8,16", "comma-separated worker counts to measure")
 		repeat     = flag.Int("repeat", 3, "runs per configuration; the fastest is reported")
+		reduceList = flag.String("reduce", "none", "comma-separated state-space reductions to measure (none, ample, symmetry, both); a none row in the same run provides the reduction-factor reference")
 		dedupName  = flag.String("dedup", "fingerprint", "visited-set engine: fingerprint, verified, or strings")
 		out        = flag.String("o", "BENCH_explore.json", "output file (- for stdout only)")
 		against    = flag.String("against", "", "baseline BENCH_explore.json to compare against")
@@ -136,25 +157,45 @@ func run() int {
 		Dedup:      dedup.String(),
 		Repeat:     *repeat,
 	}
+	reductions, err := parseReductions(*reduceList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		return 1
+	}
+	noneNodes := map[string]int{} // unreduced node count per protocol, for ReductionFactor
 	for _, proto := range protos {
-		wantNodes := -1
-		for _, par := range levels {
-			res, err := measure(proto, *maxFail, par, *repeat, dedup)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ccbench:", err)
-				return 1
+		for _, red := range reductions {
+			wantNodes := -1
+			for _, par := range levels {
+				res, err := measure(proto, *maxFail, par, *repeat, dedup, red)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ccbench:", err)
+					return 1
+				}
+				if wantNodes == -1 {
+					wantNodes = res.Nodes
+				} else if res.Nodes != wantNodes {
+					fmt.Fprintf(os.Stderr, "ccbench: determinism breach: parallelism %d explored %d nodes, parallelism %d explored %d\n",
+						levels[0], wantNodes, par, res.Nodes)
+					return 1
+				}
+				if red == consensus.ReduceNone {
+					noneNodes[res.Protocol] = res.Nodes
+				} else if full, ok := noneNodes[res.Protocol]; ok && res.Nodes > 0 {
+					res.ReductionFactor = float64(full) / float64(res.Nodes)
+				}
+				line := fmt.Sprintf("%-16s maxfail=%d parallel=%d  %8d nodes  %8.0f ms  %10.0f nodes/sec  %6.1f allocs/node  %7.0f B/node  replay %3.0f%%",
+					res.Protocol, res.MaxFailures, res.Parallelism, res.Nodes, res.WallMs, res.NodesPerSec,
+					res.AllocsPerNode, res.BytesPerNode, res.ReplayShare*100)
+				if red != consensus.ReduceNone {
+					line += fmt.Sprintf("  reduce=%s ample-avg=%.2f", res.Reduction, res.AmpleAvg)
+					if res.ReductionFactor > 0 {
+						line += fmt.Sprintf(" factor=%.1fx", res.ReductionFactor)
+					}
+				}
+				fmt.Println(line)
+				f.Results = append(f.Results, res)
 			}
-			if wantNodes == -1 {
-				wantNodes = res.Nodes
-			} else if res.Nodes != wantNodes {
-				fmt.Fprintf(os.Stderr, "ccbench: determinism breach: parallelism %d explored %d nodes, parallelism %d explored %d\n",
-					levels[0], wantNodes, par, res.Nodes)
-				return 1
-			}
-			fmt.Printf("%-16s maxfail=%d parallel=%d  %8d nodes  %8.0f ms  %10.0f nodes/sec  %6.1f allocs/node  %7.0f B/node\n",
-				res.Protocol, res.MaxFailures, res.Parallelism, res.Nodes, res.WallMs, res.NodesPerSec,
-				res.AllocsPerNode, res.BytesPerNode)
-			f.Results = append(f.Results, res)
 		}
 	}
 
@@ -206,11 +247,12 @@ func checkSpeedup(f File, min float64) int {
 	type group struct {
 		proto   string
 		maxFail int
+		reduce  string
 	}
 	base := make(map[group]Result)
 	best := make(map[group]Result)
 	for _, r := range f.Results {
-		g := group{r.Protocol, r.MaxFailures}
+		g := group{r.Protocol, r.MaxFailures, r.Reduction}
 		if r.Parallelism == 1 {
 			base[g] = r
 		} else if r.Parallelism <= f.GOMAXPROCS && r.Parallelism > best[g].Parallelism {
@@ -221,7 +263,7 @@ func checkSpeedup(f File, min float64) int {
 	if !enforce {
 		// One core: report against the highest level measured at all.
 		for _, r := range f.Results {
-			g := group{r.Protocol, r.MaxFailures}
+			g := group{r.Protocol, r.MaxFailures, r.Reduction}
 			if r.Parallelism > best[g].Parallelism {
 				best[g] = r
 			}
@@ -235,7 +277,10 @@ func checkSpeedup(f File, min float64) int {
 		if groups[i].proto != groups[j].proto {
 			return groups[i].proto < groups[j].proto
 		}
-		return groups[i].maxFail < groups[j].maxFail
+		if groups[i].maxFail != groups[j].maxFail {
+			return groups[i].maxFail < groups[j].maxFail
+		}
+		return groups[i].reduce < groups[j].reduce
 	})
 	failed := false
 	for _, g := range groups {
@@ -280,6 +325,33 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseReductions parses the -reduce list. A none entry is moved to the
+// front so its node counts are available as the reduction-factor reference
+// for the reduced rows of the same invocation.
+func parseReductions(s string) ([]consensus.Reduction, error) {
+	var out []consensus.Reduction
+	seen := map[consensus.Reduction]bool{}
+	for _, part := range strings.Split(s, ",") {
+		r, err := consensus.ParseReduction(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if r == consensus.ReduceNone {
+			out = append([]consensus.Reduction{r}, out...)
+		} else {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-reduce names no reductions")
+	}
+	return out, nil
+}
+
 func parseDedup(s string) (consensus.Dedup, error) {
 	switch s {
 	case "fingerprint":
@@ -292,19 +364,29 @@ func parseDedup(s string) (consensus.Dedup, error) {
 	return 0, fmt.Errorf("bad -dedup %q (want fingerprint, verified, or strings)", s)
 }
 
-func measure(proto consensus.Protocol, maxFail, par, repeat int, dedup consensus.Dedup) (Result, error) {
+func measure(proto consensus.Protocol, maxFail, par, repeat int, dedup consensus.Dedup, red consensus.Reduction) (Result, error) {
 	best := Result{
 		Protocol:    proto.Name(),
 		N:           proto.N(),
 		MaxFailures: maxFail,
 		Parallelism: par,
 	}
+	if red != consensus.ReduceNone {
+		best.Reduction = red.String()
+	}
 	var before, after runtime.MemStats
 	for i := 0; i < repeat; i++ {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		x, err := consensus.Explore(proto, consensus.CheckOptions{MaxFailures: maxFail, Parallelism: par, Dedup: dedup})
+		opts := consensus.CheckOptions{
+			MaxFailures: maxFail,
+			Parallelism: par,
+			Dedup:       dedup,
+			Reduction:   red,
+			Clock:       func() time.Duration { return time.Since(start) },
+		}
+		x, err := consensus.Explore(proto, opts)
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
@@ -321,9 +403,31 @@ func measure(proto consensus.Protocol, maxFail, par, repeat int, dedup consensus
 			best.NodesPerSec = float64(x.NodeCount) / wall.Seconds()
 			best.AllocsPerNode = float64(after.Mallocs-before.Mallocs) / float64(x.NodeCount)
 			best.BytesPerNode = float64(after.TotalAlloc-before.TotalAlloc) / float64(x.NodeCount)
+			if wall > 0 {
+				best.ReplayShare = float64(x.ReplayWall) / float64(wall)
+				best.ReplayBlockedShare = float64(x.ReplayBlocked) / float64(wall)
+			}
+			rs := x.Reduction
+			if rs.AmpleNodes > 0 {
+				best.AmpleAvg = float64(rs.AmpleEvents) / float64(rs.AmpleNodes)
+			}
+			best.ProvisoFallbacks = rs.ProvisoFallbacks
+			best.SymmetryPrunes = rs.SymmetryPrunes
+			best.ElisionPrunes = rs.ElisionPrunes
 		}
 	}
 	return best, nil
+}
+
+// rowKey identifies a result row for baseline matching. Unreduced rows keep
+// the pre-reduction key shape, so baselines written before the -reduce flag
+// existed still match; reduced rows get a distinct suffix.
+func rowKey(r Result) string {
+	key := fmt.Sprintf("%s/f%d/p%d", r.Protocol, r.MaxFailures, r.Parallelism)
+	if r.Reduction != "" && r.Reduction != "none" {
+		key += "/" + r.Reduction
+	}
+	return key
 }
 
 // compare checks every current result against the matching baseline row
@@ -345,11 +449,11 @@ func compare(cur File, path string, tolerance, allocTol float64) int {
 	}
 	baseline := make(map[string]Result)
 	for _, r := range base.Results {
-		baseline[fmt.Sprintf("%s/f%d/p%d", r.Protocol, r.MaxFailures, r.Parallelism)] = r
+		baseline[rowKey(r)] = r
 	}
 	regressed := false
 	for _, r := range cur.Results {
-		key := fmt.Sprintf("%s/f%d/p%d", r.Protocol, r.MaxFailures, r.Parallelism)
+		key := rowKey(r)
 		b, ok := baseline[key]
 		if !ok {
 			fmt.Printf("%s: no baseline row, skipping comparison\n", key)

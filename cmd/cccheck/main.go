@@ -44,6 +44,7 @@ func run() int {
 		maxNodes  = flag.Int("maxnodes", 0, "node budget (0 = default)")
 		parallel  = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS); results are identical at any setting")
 		timeout   = flag.Duration("timeout", 0, "exploration wall-clock budget (0 = none); on expiry partial results are reported")
+		reduce    = flag.String("reduce", "none", "state-space reduction: none, ample, symmetry, or both (reduced runs keep the verdict; node counts describe the reduced graph)")
 		trace     = flag.Bool("trace", false, "print the event trace to the first violation")
 		safety    = flag.Bool("safety", false, "run the Theorem 2 safe-state analysis")
 		replay    = flag.String("replay", "", "replay a ccchaos trace file and re-assert its violation")
@@ -72,7 +73,17 @@ func run() int {
 		defer cancel()
 	}
 
-	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, Parallelism: *parallel, TrackTraces: *trace}
+	reduction, err := consensus.ParseReduction(*reduce)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 1
+	}
+	if *safety && reduction != consensus.ReduceNone {
+		fmt.Fprintln(os.Stderr, "cccheck: -safety needs the full state census; run it with -reduce none")
+		return 1
+	}
+
+	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, Parallelism: *parallel, TrackTraces: *trace, Reduction: reduction}
 	x, err := consensus.CheckContext(ctx, proto, prob, opts)
 	if err != nil && (x == nil || !x.Status.Partial()) {
 		fmt.Fprintln(os.Stderr, "cccheck:", err)
@@ -81,6 +92,11 @@ func run() int {
 
 	fmt.Printf("%s vs %s: %d configurations, %d states, %d terminal\n",
 		proto.Name(), prob.Name(), x.NodeCount, len(x.States), x.Terminals)
+	if reduction != consensus.ReduceNone {
+		rs := x.Reduction
+		fmt.Printf("reduction %s: %d ample + %d full expansions, %d proviso fallbacks, %d symmetry-pruned + %d elision-pruned successors\n",
+			reduction, rs.AmpleNodes, rs.FullNodes, rs.ProvisoFallbacks, rs.SymmetryPrunes, rs.ElisionPrunes)
+	}
 	if x.Status.Partial() {
 		fmt.Printf("PARTIAL (%s): %d nodes visited, %d frontier nodes unexpanded; results below cover the visited prefix only\n",
 			x.Status, x.NodeCount, x.FrontierSize)

@@ -11,6 +11,8 @@
 //	ccexp -deep         # add the N=4 failure-free solver checks to E1–E3
 //	ccexp -parallel 4   # explore with 4 workers (identical results)
 //	ccexp -timeout 30s  # bound the wall clock; partial reports, exit 3
+//	ccexp -reduce both  # reduced conformance passes; with -deep, also
+//	                    # the star(4) one-failure cell (infeasible unreduced)
 //
 // Exit codes follow the cccheck convention: 0 all ok, 1 a measurement
 // failed, 3 the timeout expired and the reports cover a prefix only.
@@ -38,8 +40,15 @@ func run() int {
 		deep     = flag.Bool("deep", false, "add the N=4 failure-free solver checks to E1–E3 (ignored with -quick)")
 		parallel = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS); results are identical at any setting")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry partial reports are printed and the exit code is 3")
+		reduce   = flag.String("reduce", "none", "state-space reduction for the conformance passes: none, ample, symmetry, both; verdicts are unchanged, and -deep additionally runs the star(4) one-failure cell")
 	)
 	flag.Parse()
+
+	red, err := consensus.ParseReduction(*reduce)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccexp: %v\n", err)
+		return 1
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -48,7 +57,7 @@ func run() int {
 		defer cancel()
 	}
 
-	opts := consensus.ExperimentOptions{Quick: *quick, Deep: *deep, Parallelism: *parallel, Context: ctx}
+	opts := consensus.ExperimentOptions{Quick: *quick, Deep: *deep, Parallelism: *parallel, Context: ctx, Reduction: red}
 	runners := map[string]func(experiments.Options) experiments.Report{
 		"E1": experiments.E1Figure1Tree,
 		"E2": experiments.E2Figure2Star,

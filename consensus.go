@@ -150,6 +150,24 @@ const (
 	DedupStrings = frontier.DedupStrings
 )
 
+// Reduction selects state-space reductions for exhaustive exploration
+// (CheckOptions.Reduction): ample-set partial-order reduction, processor-
+// symmetry canonicalization, or both. Reduced runs preserve the
+// conformance verdict and terminal decision structure while exploring far
+// fewer interleavings; see DESIGN.md §8.
+type Reduction = checker.Reduction
+
+// Reductions.
+const (
+	ReduceNone     = checker.ReduceNone
+	ReduceAmple    = checker.ReduceAmple
+	ReduceSymmetry = checker.ReduceSymmetry
+	ReduceBoth     = checker.ReduceBoth
+)
+
+// ParseReduction parses a -reduce flag value (none, ample, symmetry, both).
+func ParseReduction(s string) (Reduction, error) { return checker.ParseReduction(s) }
+
 // Checker types.
 type (
 	// CheckOptions configures exhaustive exploration.

@@ -42,6 +42,7 @@ var wallClockPackages = []string{
 	"internal/taxonomy",
 	"internal/chaos",
 	"internal/frontier",
+	"internal/symmetry",
 }
 
 // wallClockFiles restricts coverage to named files for packages that are

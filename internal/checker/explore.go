@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/fingerprint"
 	"repro/internal/frontier"
@@ -76,6 +77,19 @@ type Options struct {
 	// in speed and in the astronomically unlikely event of a 128-bit
 	// collision.
 	Dedup frontier.Dedup
+	// Reduction selects state-space reductions (ample-set partial-order
+	// reduction and/or symmetry canonicalization; see Reduction). The
+	// default explores every interleaving. Reduced runs keep the
+	// conformance verdict and terminal decision structure of the full
+	// space while visiting far fewer nodes; see DESIGN.md §8 for what is
+	// and is not preserved.
+	Reduction Reduction
+	// Clock, when non-nil, samples monotonic elapsed time for the
+	// replay-share instrumentation (Exploration.ReplayWall/ReplayBlocked).
+	// The checker itself never reads wall clocks — determinism-critical
+	// code cannot branch on time — so callers that want the measurement
+	// inject one (ccbench passes time.Since of its start).
+	Clock func() time.Duration
 }
 
 func (o Options) maxNodes() int {
@@ -210,6 +224,16 @@ type Exploration struct {
 	// under frontier.DedupVerified, and genuinely expected to stay 0 —
 	// a nonzero value means a 2^-128-probability event, or a broken hash).
 	Collisions int64
+	// Reduction holds the deterministic reduction counters (zero-valued
+	// for unreduced runs apart from FullNodes/FullEvents).
+	Reduction ReductionStats
+	// ReplayWall and ReplayBlocked measure the sequential canonical
+	// replay when Options.Clock was set: total wall time of the replay
+	// loop, and the portion spent blocked waiting on the prefetch pool.
+	// Their difference over the exploration's wall time is the replay's
+	// Amdahl share. Timing only — never part of the deterministic result.
+	ReplayWall    time.Duration
+	ReplayBlocked time.Duration
 
 	// parents records trace links keyed by canonical node key (strings and
 	// verified dedup); parentsFP records them keyed by node fingerprint
@@ -392,17 +416,31 @@ type succ struct {
 	// invariant lets the replay fetch the materialized node from the pool.
 	// Under fingerprint dedup a nil nd additionally means the successor was
 	// never materialized at all: its fingerprint was derived from the
-	// parent's and found already visited.
+	// parent's and found already visited. Under a canonicalizing reduction
+	// with the pool, nd is always set (see expandEvents): the stored class
+	// representative is race-chosen and may be a different sibling, so the
+	// replay must never substitute it for the canonical-order successor.
 	nd        *node
 	stateKeys []string
 	terminal  bool
 	nodeViol  []taxonomy.Violation
+	// permuted marks a successor whose dedup handle was canonicalized
+	// away from its own frame by a non-identity automorphism; the replay
+	// counts rejected permuted successors as symmetry prunes.
+	permuted bool
+	// elided marks a successor whose dedup handle was computed with dead
+	// letters erased (sim.Config.WithoutDeadBuffers); the replay counts
+	// rejected elided successors as elision prunes.
+	elided bool
 }
 
-// expansion is one frontier node's worth of generated edges.
+// expansion is one frontier node's worth of generated edges. reduced marks
+// an ample-set expansion (a strict subset of the enabled events); the
+// replay substitutes the full expansion when the cycle proviso demands it.
 type expansion struct {
-	succs []succ
-	err   error
+	succs   []succ
+	err     error
+	reduced bool
 }
 
 // eventScratch pools per-expansion event slices so enumerating enabled
@@ -452,6 +490,17 @@ type explorer struct {
 	// path's successor fingerprints cost map probes instead of protocol
 	// callbacks plus state hashing. Fingerprint dedup only.
 	predictor *sim.Predictor
+	// ample enables ample-set partial-order reduction in expand; elide
+	// enables dead-letter elision in the canonical dedup handle (both are
+	// switched by the ample reduction modes); symPerms holds the
+	// protocol's non-identity topology automorphisms when symmetry
+	// canonicalization is on (empty = no usable symmetry). All resolved
+	// once by initReduction.
+	ample    bool
+	elide    bool
+	symPerms []sim.ProcPerm
+	// clock is Options.Clock (nil = no replay timing).
+	clock func() time.Duration
 }
 
 // seen reports whether the successor's dedup handle was already visited
@@ -541,28 +590,48 @@ func (e *explorer) stateKey(nd *node, p int) string {
 	return e.interner.Intern(nd.cfg.States[p].Key())
 }
 
-// expand generates all successors of one frontier node. Runs on a pool
+// expand generates the successors of one frontier node — the ample subset
+// when ample reduction applies, all of them otherwise. Runs on a pool
 // owner (or on the replay goroutine, for nodes the pool never reached): it
 // must not touch e.x, and its only writes go through the commutative
 // interner/state/key-cache aggregates.
 func (e *explorer) expand(nd *node) expansion {
+	return e.expandEvents(nd, e.ample)
+}
+
+// expandFull generates every successor regardless of the ample setting;
+// the replay calls it when the cycle proviso rejects a reduced expansion.
+func (e *explorer) expandFull(nd *node) expansion {
+	return e.expandEvents(nd, false)
+}
+
+func (e *explorer) expandEvents(nd *node, tryAmple bool) expansion {
 	var out expansion
 	scratch := eventScratch.Get().(*[]sim.Event)
 	defer func() {
 		*scratch = (*scratch)[:0]
 		eventScratch.Put(scratch)
 	}()
-	events := sim.AppendEnabled((*scratch)[:0], nd.cfg)
 	failedCount := 0
 	for p := 0; p < e.n; p++ {
 		if nd.cfg.Faulty(sim.ProcID(p)) {
 			failedCount++
 		}
 	}
-	if failedCount < e.maxFail {
-		for p := 0; p < e.n; p++ {
-			if e.failAllowed[p] && !nd.cfg.Faulty(sim.ProcID(p)) {
-				events = append(events, sim.Event{Proc: sim.ProcID(p), Type: sim.Fail})
+	events := (*scratch)[:0]
+	if tryAmple {
+		if p, ok := ampleProc(nd.cfg); ok {
+			events = e.appendAmpleEvents(events, p, failedCount)
+			out.reduced = true
+		}
+	}
+	if !out.reduced {
+		events = sim.AppendEnabled(events, nd.cfg)
+		if failedCount < e.maxFail {
+			for p := 0; p < e.n; p++ {
+				if e.failAllowed[p] && !nd.cfg.Faulty(sim.ProcID(p)) {
+					events = append(events, sim.Event{Proc: sim.ProcID(p), Type: sim.Fail})
+				}
 			}
 		}
 	}
@@ -573,8 +642,9 @@ func (e *explorer) expand(nd *node) expansion {
 	// successors — the bulk of all edges in a dense state space. It is
 	// sound only when nothing but the fingerprint is needed per seen edge:
 	// fingerprint dedup, no inline conformance checking (edge violations
-	// need the materialized successor).
-	fast := e.dedup == frontier.DedupFingerprint && e.opts.Problem == nil
+	// need the materialized successor), no symmetry (the incremental
+	// fingerprint is the successor's own frame, not its canonical handle).
+	fast := e.dedup == frontier.DedupFingerprint && e.opts.Problem == nil && !e.canonicalizing()
 	for _, ev := range events {
 		var cfg *sim.Config
 		var err error
@@ -609,10 +679,22 @@ func (e *explorer) expand(nd *node) expansion {
 				s.fp = nxt.fp
 			}
 		}
+		if e.canonicalizing() {
+			e.canonicalizeSucc(nxt, &s)
+		}
 		if e.opts.Problem != nil {
 			s.edgeViol = decisionEdgeViolations(*e.opts.Problem, nd, nxt)
 		}
-		if !e.seen(&s) {
+		// Under a canonicalizing reduction one dedup handle covers several
+		// genuinely different configurations (dead-letter and orbit
+		// siblings). The pool's shared set fills in race order, so letting a
+		// shared-set hit drop the materialization would leave the replay to
+		// fetch whichever sibling won the speculative race — its frame,
+		// buffers, and input vector would then leak into the census and the
+		// recorded configurations nondeterministically. With the pool,
+		// canonicalizing expansions therefore always materialize, and the
+		// replay always walks the canonical-order successor's own node.
+		if (e.pool != nil && e.canonicalizing()) || !e.seen(&s) {
 			s.nd = nxt
 			s.terminal = cfg.Quiescent()
 			s.stateKeys = e.stateKeysOf(nxt)
@@ -735,9 +817,17 @@ type replayer struct {
 func (r *replayer) frontierLeft() int { return len(r.queue) - r.head + 1 }
 
 // run walks the canonical order from the synthetic root expansion to
-// completion, budget exhaustion, first violation, or interruption.
+// completion, budget exhaustion, first violation, or interruption. It also
+// enforces the ample cycle proviso — a reduced expansion with an
+// already-visited successor is re-expanded in full before walking — and
+// counts the reduction statistics, both purely from the canonical order so
+// reduced results stay byte-identical at every parallelism level.
 func (r *replayer) run(ctx context.Context, roots []succ) error {
 	e, x := r.e, r.e.x
+	if e.clock != nil {
+		start := e.clock()
+		defer func() { x.ReplayWall = e.clock() - start }()
+	}
 	rootExp := expansion{succs: roots}
 	stop, err := r.walk(nil, &rootExp)
 	for err == nil && !stop && r.head < len(r.queue) {
@@ -750,6 +840,20 @@ func (r *replayer) run(ctx context.Context, roots []succ) error {
 			x.FrontierSize = r.frontierLeft()
 			return fmt.Errorf("checker: exploration of %s interrupted: %w", e.proto.Name(), cerr)
 		}
+		if exp.reduced && r.provisoHit(exp) {
+			x.Reduction.ProvisoFallbacks++
+			full := e.expandFull(nd)
+			exp = &full
+		}
+		if exp.err == nil {
+			if exp.reduced {
+				x.Reduction.AmpleNodes++
+				x.Reduction.AmpleEvents += int64(len(exp.succs))
+			} else {
+				x.Reduction.FullNodes++
+				x.Reduction.FullEvents += int64(len(exp.succs))
+			}
+		}
 		stop, err = r.walk(nd, exp)
 	}
 	return err
@@ -759,17 +863,25 @@ func (r *replayer) run(ctx context.Context, roots []succ) error {
 // re-expands on demand otherwise — the node was dropped by the cap, a
 // panic, or a stop. The context check comes first, before the prefetch
 // lookup, so cancellation interrupts the walk at the same canonical
-// boundary (a dequeue) whether or not the pool got ahead of it. On-demand
-// expansion only runs once the pool has drained, so it never races the
-// owners.
+// boundary (a dequeue) whether or not the pool got ahead of it.
+//
+// Under a canonicalizing reduction a prefetched expansion is only reused
+// when the pool's stored representative is content-identical to the
+// canonical-order node (sameNode): the store keeps whichever sibling of the
+// canonical class won the speculative race, and an expansion computed from
+// a different sibling would leak that sibling's frame into the walk. The
+// mismatch path re-expands on the replay goroutine while owners may still
+// be running; that is safe because expansion reads only the immutable
+// parent node and concurrent-safe interners, and under canonicalization it
+// never consults the racing shared set (succs always materialize).
 func (r *replayer) expansionOf(ctx context.Context, nd *node) (*expansion, error) {
 	e := r.e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if e.pool != nil {
-		_, exp, state := e.pool.WaitEntry(frontier.NodeKey{FP: nd.fp, Key: nd.ckey}, true)
-		if state == frontier.EntryExpanded {
+		stored, exp, state := r.waitEntry(frontier.NodeKey{FP: nd.fp, Key: nd.ckey}, true)
+		if state == frontier.EntryExpanded && r.reusable(stored, nd) {
 			return &exp, nil
 		}
 		// WaitEntry only reports a miss once the pool has drained; with
@@ -783,32 +895,113 @@ func (r *replayer) expansionOf(ctx context.Context, nd *node) (*expansion, error
 	return &exp, nil
 }
 
+// waitEntry is the pool's WaitEntry with the blocked time folded into the
+// replay-share instrumentation when a clock was injected.
+func (r *replayer) waitEntry(k frontier.NodeKey, take bool) (*succ, expansion, frontier.EntryState) {
+	if r.e.clock == nil {
+		return r.e.pool.WaitEntry(k, take)
+	}
+	t0 := r.e.clock()
+	s, exp, st := r.e.pool.WaitEntry(k, take)
+	r.e.x.ReplayBlocked += r.e.clock() - t0
+	return s, exp, st
+}
+
+// countPrune attributes a rejected successor to the canonicalization that
+// rewrote its handle: symmetry when a non-identity automorphism won (it
+// strictly improved on the already-erased identity handle), dead-letter
+// elision otherwise.
+func (r *replayer) countPrune(s *succ) {
+	switch {
+	case s.permuted:
+		r.e.x.Reduction.SymmetryPrunes++
+	case s.elided:
+		r.e.x.Reduction.ElisionPrunes++
+	}
+}
+
+// reusable reports whether a prefetched expansion — computed by a pool
+// owner from the store's representative for nd's dedup handle — can stand
+// in for the expansion of the canonical-order node nd. Expansion is a pure
+// function of the source node's full content including the channel
+// sequence counters, which the dedup handle deliberately excludes: two
+// handle-equal nodes can disagree on the identities future messages would
+// get, and which one the speculative store kept is a race. Under a
+// canonicalizing reduction the stored node may further be a different
+// class sibling entirely (other frame, other dead letters, other inputs),
+// so the full own-frame content is compared; otherwise handle equality
+// already pins the content (exactly under the key-bearing engines, modulo
+// digest collision under fingerprint dedup) and only the counters need
+// checking. A mismatch makes the caller re-expand from nd on demand.
+func (r *replayer) reusable(stored *succ, nd *node) bool {
+	if stored == nil || stored.nd == nil {
+		return false
+	}
+	if stored.nd == nd {
+		return true
+	}
+	if r.e.canonicalizing() {
+		return sameNode(stored.nd, nd)
+	}
+	return stored.nd.cfg.SameChannelSeqs(nd.cfg)
+}
+
 // resolve admits one successor against the replay's visited set and
 // resolves its materialized node: from the succ itself when the expanding
-// worker materialized it, from the pool store when the successor was
-// already in the shared set at expansion time (admitted implies stored).
-func (r *replayer) resolve(s *succ) (*succ, bool) {
+// worker materialized it, re-derived from the walked parent when the
+// successor was already in the racy shared set at expansion time. The
+// store's admitted-implies-stored representative is NOT adopted: it is
+// content-equal by handle but its channel sequence counters may have
+// drifted (and under canonicalization it may be a different class sibling
+// entirely), and which representative the store kept is a race — the
+// canonical replay must record the node the parallelism-1 walk would have.
+// Rejected successors whose handle was rewritten by a canonicalization
+// count as symmetry or elision prunes.
+func (r *replayer) resolve(parent *node, s *succ) (*succ, bool, error) {
 	e := r.e
 	if e.pool == nil {
 		if s.nd == nil || !e.admit(s) {
-			return nil, false
+			r.countPrune(s)
+			return nil, false, nil
 		}
-		return s, true
+		return s, true, nil
 	}
 	if !e.seq.Admit(s.fp, s.key) {
-		return nil, false
+		r.countPrune(s)
+		return nil, false, nil
 	}
-	if s.nd != nil {
-		return s, true
+	if s.nd == nil {
+		if err := r.materialize(parent, s); err != nil {
+			return nil, false, err
+		}
 	}
-	stored, _, state := e.pool.WaitEntry(frontier.NodeKey{FP: s.fp, Key: s.key}, false)
-	if state == frontier.EntryMissing {
-		// Unreachable: a successor is only generated without its node
-		// when the shared set had seen it, and every shared-set admit is
-		// immediately followed by the store.
-		panic("checker: visited successor missing from the partitioned store")
+	return s, true, nil
+}
+
+// materialize builds the accepted successor's node from the walked parent —
+// the same derivation expandEvents performs, applied to the canonical-order
+// parent so the node's content (including channel sequence counters) is a
+// pure function of the canonical walk. Only reached with the pool, for
+// accepted successors whose expansion found the handle already in the
+// shared set; roots are always materialized.
+func (r *replayer) materialize(parent *node, s *succ) error {
+	e := r.e
+	if parent == nil {
+		panic("checker: unmaterialized root successor")
 	}
-	return stored, true
+	cfg, _, err := sim.Apply(e.proto, parent.cfg, s.event)
+	if err != nil {
+		return fmt.Errorf("checker: exploring %s: %w", e.proto.Name(), err)
+	}
+	nxt := &node{cfg: cfg, ledger: updateLedger(parent.ledger, cfg), inputs: parent.inputs, vec: parent.vec}
+	nxt.fp, nxt.ckey = s.fp, s.key
+	s.nd = nxt
+	s.terminal = cfg.Quiescent()
+	s.stateKeys = e.stateKeysOf(nxt)
+	if e.opts.Problem != nil {
+		s.nodeViol = nodeViolations(*e.opts.Problem, nxt)
+	}
+	return nil
 }
 
 // walk folds one node's expansion into the exploration in canonical order
@@ -839,7 +1032,10 @@ func (r *replayer) walk(parent *node, exp *expansion) (stop bool, err error) {
 		if e.opts.StopAtFirstViolation && len(x.Violations) > 0 {
 			return true, nil
 		}
-		acc, ok := r.resolve(s)
+		acc, ok, rerr := r.resolve(parent, s)
+		if rerr != nil {
+			return false, rerr
+		}
 		if !ok {
 			continue
 		}
@@ -875,9 +1071,13 @@ func (e *explorer) record(s *succ) {
 		}
 		idx[p] = id
 	}
+	// The ledger is aliased, not copied: updateLedger builds a fresh slice
+	// per node and nothing mutates one after construction, so the record
+	// can share it. (Dropping the copy removed a per-node allocation from
+	// the replay pass, the sequential Amdahl bottleneck.)
 	x.Configs = append(x.Configs, ConfigRecord{
 		StateIdx:  idx,
-		Ledger:    append([]sim.Decision(nil), s.nd.ledger...),
+		Ledger:    s.nd.ledger,
 		InputsVec: s.nd.vec,
 		Terminal:  s.terminal,
 	})
@@ -962,6 +1162,8 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 	default:
 		e.visited = frontier.NewVisitedSet()
 	}
+	e.initReduction()
+	e.clock = opts.Clock
 
 	workers := frontier.Parallelism(opts.Parallelism)
 	e.routeFP = opts.Dedup == frontier.DedupStrings && workers > 1
@@ -979,9 +1181,6 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		case frontier.DedupFingerprint:
 			start.fp = nodeFP(start)
 			s.fp = start.fp
-			if x.rootKeys != nil {
-				x.rootKeys[start.fp] = start.key()
-			}
 		case frontier.DedupVerified:
 			start.ckey = start.key()
 			start.fp = nodeFP(start)
@@ -992,6 +1191,18 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 			if e.routeFP {
 				start.fp = fingerprint.OfString(start.ckey)
 				s.fp = start.fp
+			}
+		}
+		if e.canonicalizing() {
+			// Symmetric input vectors collapse to one explored root; the
+			// replay's admission keeps the first.
+			e.canonicalizeSucc(start, &s)
+		}
+		if x.rootKeys != nil {
+			// First-wins: under symmetry two roots can share a canonical
+			// fingerprint, and the admitted one is the first.
+			if _, ok := x.rootKeys[start.fp]; !ok {
+				x.rootKeys[start.fp] = start.key()
 			}
 		}
 		s.stateKeys = e.stateKeysOf(start)

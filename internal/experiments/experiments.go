@@ -66,6 +66,18 @@ type Options struct {
 	// Parallelism is the worker count for exhaustive explorations
 	// (0 = GOMAXPROCS). Results are byte-identical at any setting.
 	Parallelism int
+	// Reduction selects a state-space reduction for the conformance
+	// passes of E1–E3 (ample-set partial-order reduction, symmetry
+	// canonicalization, or both). Reductions preserve verdicts, so the
+	// pass/fail outcomes are unchanged; the configuration counts in the
+	// measured lines shrink to the reduced space. With Deep set, a
+	// non-none reduction additionally unlocks the star(4) MaxFailures=1
+	// lattice cell in E2, which is infeasible unreduced (it exceeds the
+	// 4M-node budget) but completes under ReduceBoth. The safety-report
+	// passes (E2's Corollary 6 scan, E7) always run unreduced: Safety()
+	// inspects every accessible state, and a reduced run only retains
+	// orbit representatives.
+	Reduction checker.Reduction
 	// Context, when non-nil, bounds the exhaustive passes: on
 	// cancellation or deadline the running experiment returns a Partial
 	// report and the remaining passes are skipped, mirroring the
@@ -110,24 +122,42 @@ func unanimity(t taxonomy.Termination, c taxonomy.Consistency) taxonomy.Problem 
 	return taxonomy.Problem{Rule: taxonomy.UnanimityRule{}, Termination: t, Consistency: c}
 }
 
-// deepCheck runs the Deep-mode N=4 exhaustive conformance pass. It is
-// failure-free: at N=4 even a single injected failure pushes these spaces
-// past the node budget (star(4) and chain(4) both exceed 4M nodes at
-// MaxFailures=1), while the failure-free space stays exhaustive over all
-// 16 input vectors.
-func deepCheck(r Report, proto sim.Protocol, p taxonomy.Problem, opts Options) Report {
-	x, err := checker.CheckContext(opts.ctx(), proto, p, checker.Options{MaxFailures: 0, Parallelism: opts.Parallelism})
+// deepCheck runs a Deep-mode N=4 exhaustive conformance pass at the given
+// failure budget. The standard cells are failure-free: at N=4 even a
+// single injected failure pushes these spaces past the node budget
+// unreduced (star(4) and chain(4) both exceed 4M nodes at MaxFailures=1),
+// while the failure-free space stays exhaustive over all 16 input vectors.
+// With a reduction enabled, E2 additionally calls this with maxFail=1 —
+// the reduced star(4) space completes within the budget (≈475k
+// configurations under ReduceBoth), making that lattice cell checkable
+// for the first time.
+func deepCheck(r Report, proto sim.Protocol, p taxonomy.Problem, maxFail int, opts Options) Report {
+	x, err := checker.CheckContext(opts.ctx(), proto, p, checker.Options{
+		MaxFailures: maxFail, Parallelism: opts.Parallelism, Reduction: opts.Reduction,
+	})
 	if err != nil {
 		return fail(r, err)
+	}
+	failDesc := "failure-free"
+	if maxFail > 0 {
+		failDesc = fmt.Sprintf("≤%d-failure", maxFail)
 	}
 	if !x.Conforms() {
 		r.OK = false
 		r.Measured = append(r.Measured, fmt.Sprintf("deep: %s violated: %s", p.Name(), x.Violations[0].String()))
 	} else {
-		r.Measured = append(r.Measured, fmt.Sprintf("deep: %s conforms to %s over %d failure-free configurations (all %d input vectors)",
-			proto.Name(), p.Name(), x.NodeCount, 1<<proto.N()))
+		r.Measured = append(r.Measured, fmt.Sprintf("deep: %s conforms to %s over %d %s configurations (all %d input vectors%s)",
+			proto.Name(), p.Name(), x.NodeCount, failDesc, 1<<proto.N(), reductionNote(opts)))
 	}
 	return r
+}
+
+// reductionNote annotates a measured line with the active reduction.
+func reductionNote(opts Options) string {
+	if opts.Reduction == checker.ReduceNone {
+		return ""
+	}
+	return fmt.Sprintf(", reduce=%v", opts.Reduction)
 }
 
 func ones(n int) []sim.Bit {
@@ -172,7 +202,7 @@ func E1Figure1Tree(opts Options) Report {
 
 	if !opts.Quick {
 		x, err := checker.CheckContext(opts.ctx(), protocols.Tree{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
-			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
+			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism, Reduction: opts.Reduction})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -180,10 +210,10 @@ func E1Figure1Tree(opts Options) Report {
 			r.OK = false
 			r.Measured = append(r.Measured, "WT-TC violated: "+x.Violations[0].String())
 		} else {
-			r.Measured = append(r.Measured, fmt.Sprintf("tree(3) conforms to WT-TC over %d configurations (≤2 failures, all inputs)", x.NodeCount))
+			r.Measured = append(r.Measured, fmt.Sprintf("tree(3) conforms to WT-TC over %d configurations (≤2 failures, all inputs%s)", x.NodeCount, reductionNote(opts)))
 		}
 		if opts.Deep {
-			r = deepCheck(r, protocols.Tree{Procs: 4}, unanimity(taxonomy.WT, taxonomy.TC), opts)
+			r = deepCheck(r, protocols.Tree{Procs: 4}, unanimity(taxonomy.WT, taxonomy.TC), 0, opts)
 		}
 	}
 
@@ -216,7 +246,7 @@ func E2Figure2Star(opts Options) Report {
 		return r
 	}
 	x, err := checker.CheckContext(opts.ctx(), protocols.Star{Procs: 3}, unanimity(taxonomy.HT, taxonomy.IC),
-		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
+		checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism, Reduction: opts.Reduction})
 	if err != nil {
 		return fail(r, err)
 	}
@@ -224,10 +254,16 @@ func E2Figure2Star(opts Options) Report {
 		r.OK = false
 		r.Measured = append(r.Measured, "HT-IC violated: "+x.Violations[0].String())
 	} else {
-		r.Measured = append(r.Measured, fmt.Sprintf("star(3) conforms to HT-IC over %d configurations", x.NodeCount))
+		r.Measured = append(r.Measured, fmt.Sprintf("star(3) conforms to HT-IC over %d configurations%s", x.NodeCount, reductionNote(opts)))
 	}
 	if opts.Deep {
-		r = deepCheck(r, protocols.Star{Procs: 4}, unanimity(taxonomy.HT, taxonomy.IC), opts)
+		r = deepCheck(r, protocols.Star{Procs: 4}, unanimity(taxonomy.HT, taxonomy.IC), 0, opts)
+		if opts.Reduction != checker.ReduceNone {
+			// The previously-infeasible lattice cell: star(4) with one
+			// injected failure exceeds the 4M-node budget unreduced, but
+			// the reduced quotient completes.
+			r = deepCheck(r, protocols.Star{Procs: 4}, unanimity(taxonomy.HT, taxonomy.IC), 1, opts)
+		}
 	}
 
 	xTC, err := checker.CheckContext(opts.ctx(), protocols.Star{Procs: 3}, unanimity(taxonomy.WT, taxonomy.TC),
@@ -280,7 +316,7 @@ func E3Figure3Chain(opts Options) Report {
 
 	if !opts.Quick {
 		x, err := checker.CheckContext(opts.ctx(), protocols.Chain{Procs: 3}, unanimity(taxonomy.WT, taxonomy.IC),
-			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism})
+			checker.Options{MaxFailures: 2, Parallelism: opts.Parallelism, Reduction: opts.Reduction})
 		if err != nil {
 			return fail(r, err)
 		}
@@ -288,10 +324,10 @@ func E3Figure3Chain(opts Options) Report {
 			r.OK = false
 			r.Measured = append(r.Measured, "WT-IC violated: "+x.Violations[0].String())
 		} else {
-			r.Measured = append(r.Measured, fmt.Sprintf("chain(3) conforms to WT-IC over %d configurations", x.NodeCount))
+			r.Measured = append(r.Measured, fmt.Sprintf("chain(3) conforms to WT-IC over %d configurations%s", x.NodeCount, reductionNote(opts)))
 		}
 		if opts.Deep {
-			r = deepCheck(r, protocols.Chain{Procs: 4}, unanimity(taxonomy.WT, taxonomy.IC), opts)
+			r = deepCheck(r, protocols.Chain{Procs: 4}, unanimity(taxonomy.WT, taxonomy.IC), 0, opts)
 		}
 	}
 

@@ -65,6 +65,16 @@ func (d Digest) Mixed(salt uint64) Digest {
 	return Digest{Lo: lo, Hi: hi}
 }
 
+// Less orders digests lexicographically by (Hi, Lo) — the same order their
+// String renderings sort in. Symmetry canonicalization uses it to pick the
+// orbit-minimal fingerprint as a state's canonical dedup handle.
+func (d Digest) Less(o Digest) bool {
+	if d.Hi != o.Hi {
+		return d.Hi < o.Hi
+	}
+	return d.Lo < o.Lo
+}
+
 // String renders the digest as 32 hex digits.
 func (d Digest) String() string {
 	buf := make([]byte, 0, 32)

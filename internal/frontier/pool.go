@@ -490,6 +490,28 @@ func (v *SeqVisited) Admit(fp fingerprint.Digest, key string) bool {
 	}
 }
 
+// Seen reports whether the node's dedup handle has already been admitted,
+// without admitting it. The explorer's ample-set cycle proviso uses it to
+// pre-scan a reduced expansion's successors against the canonical visited
+// set before walking them.
+func (v *SeqVisited) Seen(fp fingerprint.Digest, key string) bool {
+	switch v.mode {
+	case DedupFingerprint:
+		_, ok := v.fp[fp]
+		return ok
+	case DedupVerified:
+		for _, k := range v.verified[fp] {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	default:
+		_, ok := v.keys[key]
+		return ok
+	}
+}
+
 // Len returns the number of admitted nodes.
 func (v *SeqVisited) Len() int {
 	switch v.mode {

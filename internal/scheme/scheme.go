@@ -7,6 +7,24 @@
 // Protocol-level reduction is scheme containment: if the scheme of a
 // protocol for P2 equals the scheme of some protocol for P1, then that
 // protocol solves P1 "up to a renaming of states and padding of messages".
+//
+// Enumeration deliberately does NOT reuse the checker's state-space
+// reductions (internal/checker, Options.Reduction). Those reductions are
+// sound for properties of reachable configurations: ample sets drop
+// interleavings whose endpoints commute, dead-letter elision identifies
+// configurations that differ only in undeliverable messages, and symmetry
+// folds each processor orbit onto one representative. A scheme is not a
+// property of configurations — it is the set of distinct causal patterns,
+// and two executions reaching the same configuration along different
+// delivery orders can carry different patterns. An ample set that explores
+// only one of two commuting deliveries would silently drop the pattern of
+// the other order; orbit-folding would conflate patterns that differ only
+// by a processor relabeling, which the paper's scheme equality does not
+// allow (patterns name positions, and e.g. the perverse protocol's four
+// patterns are distinguished by which fixed processors message each
+// other). Scheme nodes therefore dedup on (configuration, pattern,
+// knowledge) exactly, and the only safe pruning is that exact-duplicate
+// join of interleavings with identical causal histories.
 package scheme
 
 import (

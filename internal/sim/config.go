@@ -201,6 +201,65 @@ func (c *Config) Clone() *Config {
 	return out
 }
 
+// WithoutDeadBuffers returns a derived configuration whose dead letters are
+// erased: the buffers of failed and halted processors become empty. Such
+// processors are never again in a receiving state (Halted takes no further
+// steps and may only fail; Failed is absorbing), so their buffered messages
+// can never be delivered and no event reads them — they are inert. The
+// erased view is a sound dedup handle: two configurations that differ only
+// in dead letters are bisimilar, and because a channel toward a dead
+// processor never carries a deliverable message again, the sequence-counter
+// drift the erased history hides can never resurface in a live buffer.
+//
+// The second result reports whether anything was erased; when nothing was,
+// the receiver itself is returned unchanged and unaliased state is not
+// allocated. The derived configuration shares the receiver's states,
+// inputs, and live buffers, carries no fingerprint cache, and must be used
+// only for Key/Fingerprint computation, never stepped.
+func (c *Config) WithoutDeadBuffers() (*Config, bool) {
+	erase := false
+	for p, s := range c.States {
+		if len(c.Buffers[p]) > 0 {
+			if k := s.Kind(); k == Failed || k == Halted {
+				erase = true
+				break
+			}
+		}
+	}
+	if !erase {
+		return c, false
+	}
+	out := &Config{
+		States:  c.States,
+		Buffers: make([]Buffer, len(c.Buffers)),
+		Inputs:  c.Inputs,
+	}
+	for p, s := range c.States {
+		if k := s.Kind(); k != Failed && k != Halted {
+			out.Buffers[p] = c.Buffers[p]
+		}
+	}
+	return out, true
+}
+
+// SameChannelSeqs reports whether two configurations carry identical
+// per-channel sequence counters. Key and Fingerprint deliberately exclude
+// the counters, so content-equal configurations can still disagree on the
+// identities future messages would get; callers that want to reuse work
+// computed from one configuration on behalf of another (the canonical
+// replay's prefetch check) must compare the counters explicitly.
+func (c *Config) SameChannelSeqs(d *Config) bool {
+	if len(c.seq) != len(d.seq) {
+		return false
+	}
+	for i := range c.seq {
+		if c.seq[i] != d.seq[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // nextSeq allocates the next sequence number from→to.
 func (c *Config) nextSeq(from, to ProcID) int {
 	i := int(from)*c.N() + int(to)

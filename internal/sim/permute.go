@@ -1,0 +1,98 @@
+package sim
+
+import "sort"
+
+// ProcPerm is a permutation of processor identities: perm[p] is the
+// identity p maps to. Symmetry reduction applies topology automorphisms as
+// ProcPerms to relabel configurations without changing their behaviour.
+type ProcPerm []ProcID
+
+// Valid reports whether perm is a permutation of 0..n-1.
+func (perm ProcPerm) Valid(n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, q := range perm {
+		if int(q) < 0 || int(q) >= n || seen[q] {
+			return false
+		}
+		seen[q] = true
+	}
+	return true
+}
+
+// IsIdentity reports whether perm maps every processor to itself.
+func (perm ProcPerm) IsIdentity() bool {
+	for p, q := range perm {
+		if ProcID(p) != q {
+			return false
+		}
+	}
+	return true
+}
+
+// Permuter is implemented by protocol states that support processor
+// relabeling. PermuteProcs returns the state as it would be if every
+// processor identity p were renamed to perm[p]; for a state owned by
+// processor p the result is owned by perm[p]. Implementations must be pure
+// and must compose: permuting by π then by σ equals permuting by σ∘π.
+type Permuter interface {
+	PermuteProcs(perm ProcPerm) State
+}
+
+// PermuteMessage relabels a message's endpoints, preserving the sequence
+// number and payload (library payloads carry no processor identities), and
+// re-memoizes the key and digest under the new endpoints.
+func PermuteMessage(m Message, perm ProcPerm) Message {
+	return Message{
+		ID:      MsgID{From: perm[m.ID.From], To: perm[m.ID.To], Seq: m.ID.Seq},
+		Payload: m.Payload,
+		Notice:  m.Notice,
+	}.Memoized()
+}
+
+// PermuteConfig relabels a configuration by a processor permutation: the
+// state, input, and buffer of processor p move to position perm[p], with
+// every processor identity inside states and messages rewritten. The
+// result is a fresh configuration suitable for Key and Fingerprint; the
+// per-channel sequence counters are not carried over (they are excluded
+// from both, and a permuted configuration is never executed). It returns
+// ok=false when some state does not implement Permuter.
+//
+// When perm is an automorphism of the protocol's topology, the result is
+// behaviourally equivalent to c — reachable iff c is reachable under the
+// permuted input vector — which is what makes orbit-minimal canonical
+// handles a sound dedup key.
+func PermuteConfig(c *Config, perm ProcPerm) (*Config, bool) {
+	n := c.N()
+	out := &Config{
+		States:  make([]State, n),
+		Buffers: make([]Buffer, n),
+		Inputs:  make([]Bit, n),
+	}
+	for p := 0; p < n; p++ {
+		q := perm[p]
+		pm, ok := c.States[p].(Permuter)
+		if !ok {
+			return nil, false
+		}
+		out.States[q] = pm.PermuteProcs(perm)
+		out.Inputs[q] = c.Inputs[p]
+		if buf := c.Buffers[p]; len(buf) > 0 {
+			nb := make(Buffer, 0, len(buf))
+			for _, m := range buf {
+				nb = append(nb, PermuteMessage(m, perm))
+			}
+			sort.Slice(nb, func(i, j int) bool { return nb[i].Key() < nb[j].Key() })
+			out.Buffers[q] = nb
+		}
+	}
+	return out, true
+}
+
+// PermuteProcs implements Permuter for failed states: ⊥(p) relabels to
+// ⊥(perm[p]).
+func (s failedState) PermuteProcs(perm ProcPerm) State {
+	return FailedStateFor(perm[s.p])
+}

@@ -1,0 +1,152 @@
+package symmetry
+
+import (
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/sim"
+)
+
+// TestGroupOrders pins the automorphism group order of every library
+// topology (ForProtocol omits the identity, so the expected counts are
+// |G|−1): S_N for fullexchange, S_{N−1} fixing the coordinator for star,
+// the iterated wreath product of order 2^(internal nodes) for complete
+// binary trees, the trivial group for chains, and nil past maxGroup.
+func TestGroupOrders(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto sim.Protocol
+		want  int
+	}{
+		{"fullexchange-3", protocols.FullExchange{Procs: 3}, 5},   // 3!-1
+		{"fullexchange-4", protocols.FullExchange{Procs: 4}, 23},  // 4!-1
+		{"fullexchange-6", protocols.FullExchange{Procs: 6}, 719}, // 6!-1, at maxGroup
+		{"fullexchange-7", protocols.FullExchange{Procs: 7}, 0},   // 7! > maxGroup
+		{"star-3", protocols.Star{Procs: 3}, 1},                   // 2!-1
+		{"star-5", protocols.Star{Procs: 5}, 23},                  // 4!-1
+		{"star-8", protocols.Star{Procs: 8}, 0},                   // 7! > maxGroup
+		{"tree-3", protocols.Tree{Procs: 3}, 1},                   // one sibling swap
+		{"tree-7", protocols.Tree{Procs: 7}, 7},                   // 2^3-1
+		{"tree-15", protocols.Tree{Procs: 15}, 127},               // 2^7-1
+		{"chain-3", protocols.Chain{Procs: 3}, 0},
+		{"chain-5", protocols.Chain{Procs: 5}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ForProtocol(tc.proto)
+			if len(got) != tc.want {
+				t.Fatalf("ForProtocol(%s): %d non-identity automorphisms, want %d", tc.name, len(got), tc.want)
+			}
+		})
+	}
+}
+
+// procsOf returns the processor count of the library protocols under test.
+func procsOf(proto sim.Protocol) int {
+	switch p := proto.(type) {
+	case protocols.Tree:
+		return p.Procs
+	case protocols.Star:
+		return p.Procs
+	case protocols.FullExchange:
+		return p.Procs
+	case protocols.Chain:
+		return p.Procs
+	}
+	return 0
+}
+
+// TestGroupClosure checks the group axioms on every returned set: each
+// element is a valid non-identity permutation, and the set plus identity is
+// closed under composition and inverse.
+func TestGroupClosure(t *testing.T) {
+	protos := []sim.Protocol{
+		protocols.FullExchange{Procs: 3},
+		protocols.FullExchange{Procs: 4},
+		protocols.Star{Procs: 5},
+		protocols.Tree{Procs: 7},
+		protocols.Tree{Procs: 15},
+	}
+	for _, proto := range protos {
+		n := procsOf(proto)
+		perms := ForProtocol(proto)
+		if len(perms) == 0 {
+			t.Fatalf("%s: expected a non-trivial group", proto.Name())
+		}
+		elems := map[string]struct{}{permKey(Identity(n)): {}}
+		for _, p := range perms {
+			if !p.Valid(n) {
+				t.Fatalf("%s: invalid permutation %v", proto.Name(), p)
+			}
+			if p.IsIdentity() {
+				t.Fatalf("%s: identity returned in the group", proto.Name())
+			}
+			elems[permKey(p)] = struct{}{}
+		}
+		if len(elems) != len(perms)+1 {
+			t.Fatalf("%s: duplicate group elements", proto.Name())
+		}
+		all := append([]sim.ProcPerm{Identity(n)}, perms...)
+		for _, a := range all {
+			inv := make(sim.ProcPerm, n)
+			for i, q := range a {
+				inv[q] = sim.ProcID(i)
+			}
+			if _, ok := elems[permKey(inv)]; !ok {
+				t.Fatalf("%s: inverse of %v not in group", proto.Name(), a)
+			}
+			for _, b := range all {
+				if _, ok := elems[permKey(compose(a, b))]; !ok {
+					t.Fatalf("%s: composition %v∘%v escapes the group", proto.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupDeterministic pins that repeated calls enumerate the group in
+// the same order — explorations canonicalize against the slice order, so
+// order instability would break replay determinism.
+func TestGroupDeterministic(t *testing.T) {
+	protos := []sim.Protocol{
+		protocols.FullExchange{Procs: 4},
+		protocols.Star{Procs: 5},
+		protocols.Tree{Procs: 7},
+	}
+	for _, proto := range protos {
+		a, b := ForProtocol(proto), ForProtocol(proto)
+		if len(a) != len(b) {
+			t.Fatalf("%s: group size unstable", proto.Name())
+		}
+		for i := range a {
+			if permKey(a[i]) != permKey(b[i]) {
+				t.Fatalf("%s: element %d order unstable: %v vs %v", proto.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestStarFixesCoordinator asserts that no star automorphism moves the
+// coordinator p0.
+func TestStarFixesCoordinator(t *testing.T) {
+	for _, p := range ForProtocol(protocols.Star{Procs: 5}) {
+		if p[0] != 0 {
+			t.Fatalf("star automorphism moves the coordinator: %v", p)
+		}
+	}
+}
+
+// TestTreePreservesEdges asserts that every tree automorphism maps the
+// heap-layout parent relation onto itself: π(parent(p)) == parent(π(p)).
+func TestTreePreservesEdges(t *testing.T) {
+	for _, n := range []int{3, 7, 15} {
+		for _, perm := range ForProtocol(protocols.Tree{Procs: n}) {
+			for p := 1; p < n; p++ {
+				parent := (p - 1) / 2
+				if perm[parent] != sim.ProcID((int(perm[p])-1)/2) {
+					t.Fatalf("tree-%d automorphism %v breaks edge %d→%d", n, perm, parent, p)
+				}
+			}
+		}
+	}
+}
