@@ -20,9 +20,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +51,10 @@ func run() int {
 		traceDir  = flag.String("trace-dir", "", "directory for violation traces (empty = don't write)")
 		inputsArg = flag.String("inputs", "", "fixed input vector like 101 (empty = random per run)")
 		verbose   = flag.Bool("v", false, "print every failure, not just the first five")
+		adversary = flag.String("adversary", "uniform", "scheduling adversary: uniform, delay, or adaptive")
+		omitBudg  = flag.Int("omission-budget", 0, "maximum omission faults per run (0 = none): the adversary may suppress up to this many buffered deliveries")
+		mobileOm  = flag.Int("mobile-omissions", 0, "cap on simultaneously omission-faulty processors (0 = unbounded); the faulty set moves as deliveries succeed")
+		jsonOut   = flag.Bool("json", false, "print the sweep report as JSON (per-run and aggregate injection accounting) instead of text")
 	)
 	flag.Parse()
 
@@ -63,12 +69,15 @@ func run() int {
 		return 1
 	}
 	opts := consensus.ChaosOptions{
-		Runs:        *runs,
-		Seed:        *seed,
-		Parallel:    *parallel,
-		MaxFailures: *maxFail,
-		MaxSteps:    *maxSteps,
-		Minimize:    *minimize,
+		Runs:            *runs,
+		Seed:            *seed,
+		Parallel:        *parallel,
+		MaxFailures:     *maxFail,
+		MaxSteps:        *maxSteps,
+		Minimize:        *minimize,
+		Adversary:       *adversary,
+		OmissionBudget:  *omitBudg,
+		MobileOmissions: *mobileOm,
 	}
 	if *inputsArg != "" {
 		in, err := consensus.ParseInputs(*inputsArg)
@@ -96,21 +105,28 @@ func run() int {
 		return 1
 	}
 
-	fmt.Printf("%s vs %s: %d runs, seed %d (%s)\n", rep.Proto, rep.Problem.Name(), rep.Runs, rep.Seed, rep.Status)
-	fmt.Printf("  passed %d, violated %d, panicked %d, unresolved %d, aborted %d\n",
-		rep.Passed, rep.Violated, rep.Panicked, rep.Unresolved, rep.Aborted)
-	fmt.Printf("  failure injections: %d planned, %d fired, %d unfired\n",
-		rep.InjectionsPlanned, rep.InjectionsFired, rep.InjectionsUnfired)
+	quiet := *jsonOut
+	if !quiet {
+		fmt.Printf("%s vs %s: %d runs, seed %d (%s)\n", rep.Proto, rep.Problem.Name(), rep.Runs, rep.Seed, rep.Status)
+		fmt.Printf("  passed %d, violated %d, panicked %d, unresolved %d, aborted %d\n",
+			rep.Passed, rep.Violated, rep.Panicked, rep.Unresolved, rep.Aborted)
+		fmt.Printf("  failure injections: %d planned, %d fired, %d unfired\n",
+			rep.InjectionsPlanned, rep.InjectionsFired, rep.InjectionsUnfired)
+		if rep.Adversary != consensus.ChaosAdversaryUniform || rep.OmissionBudget > 0 {
+			fmt.Printf("  adversary %s, omission budget %d (mobile cap %d), %d omission(s) injected\n",
+				rep.Adversary, rep.OmissionBudget, rep.MobileOmissions, rep.Omissions)
+		}
+	}
 
 	written := 0
 	for i, f := range rep.Failures {
-		if *verbose || i < 5 {
+		if !quiet && (*verbose || i < 5) {
 			fmt.Printf("  run %d (seed %d, inputs %s): %s\n", f.RunIndex, f.Seed, renderInputs(f.Inputs), f.Violations[0])
 			if f.Outcome == consensus.ChaosOutcomeViolated {
 				fmt.Printf("    schedule: %d events (shrunk from %d, %d candidates tried)\n",
 					len(f.Schedule), f.OriginalSteps, f.ShrinkCandidates)
 			}
-		} else if i == 5 {
+		} else if !quiet && i == 5 {
 			fmt.Printf("  … and %d more failures (use -v to list all)\n", len(rep.Failures)-5)
 		}
 		if *traceDir != "" {
@@ -120,26 +136,94 @@ func run() int {
 				return 1
 			}
 			written++
-			if *verbose || i < 5 {
+			if !quiet && (*verbose || i < 5) {
 				fmt.Printf("    trace: %s\n", path)
 			}
 		}
 	}
-	if written > 0 {
+	if !quiet && written > 0 {
 		fmt.Printf("  %d trace(s) written to %s (replay with: cccheck -replay <file>)\n", written, *traceDir)
+	}
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "ccchaos:", err)
+			return 1
+		}
 	}
 
 	switch {
 	case rep.Status == consensus.ChaosStatusInterrupted:
-		fmt.Println("INTERRUPTED: partial results above")
+		if !quiet {
+			fmt.Println("INTERRUPTED: partial results above")
+		}
 		return 3
 	case !rep.Clean():
-		fmt.Printf("VIOLATES: %d failing run(s)\n", len(rep.Failures))
+		if !quiet {
+			fmt.Printf("VIOLATES: %d failing run(s)\n", len(rep.Failures))
+		}
 		return 2
 	default:
-		fmt.Println("OK: no violations found")
+		if !quiet {
+			fmt.Println("OK: no violations found")
+		}
 		return 0
 	}
+}
+
+// jsonReport is the machine-readable sweep summary: the aggregate injection
+// accounting plus one entry per run, so consumers can tell which runs
+// actually exercised their planned faults (injections_unfired per run, not
+// just in the aggregate).
+type jsonReport struct {
+	Proto             string                   `json:"proto"`
+	Problem           string                   `json:"problem"`
+	Seed              int64                    `json:"seed"`
+	Runs              int                      `json:"runs"`
+	Adversary         string                   `json:"adversary"`
+	OmissionBudget    int                      `json:"omission_budget,omitempty"`
+	MobileOmissions   int                      `json:"mobile_omissions,omitempty"`
+	Status            string                   `json:"status"`
+	Passed            int                      `json:"passed"`
+	Violated          int                      `json:"violated"`
+	Panicked          int                      `json:"panicked"`
+	Unresolved        int                      `json:"unresolved"`
+	Aborted           int                      `json:"aborted"`
+	InjectionsPlanned int                      `json:"injections_planned"`
+	InjectionsFired   int                      `json:"injections_fired"`
+	InjectionsUnfired int                      `json:"injections_unfired"`
+	Omissions         int                      `json:"omissions"`
+	Failures          int                      `json:"failures"`
+	RunStats          []consensus.ChaosRunStat `json:"run_stats"`
+}
+
+func emitJSON(w io.Writer, rep *consensus.ChaosReport) error {
+	out := jsonReport{
+		Proto:             rep.Proto,
+		Problem:           rep.Problem.Name(),
+		Seed:              rep.Seed,
+		Runs:              rep.Runs,
+		Adversary:         rep.Adversary,
+		OmissionBudget:    rep.OmissionBudget,
+		MobileOmissions:   rep.MobileOmissions,
+		Status:            rep.Status.String(),
+		Passed:            rep.Passed,
+		Violated:          rep.Violated,
+		Panicked:          rep.Panicked,
+		Unresolved:        rep.Unresolved,
+		Aborted:           rep.Aborted,
+		InjectionsPlanned: rep.InjectionsPlanned,
+		InjectionsFired:   rep.InjectionsFired,
+		InjectionsUnfired: rep.InjectionsUnfired,
+		Omissions:         rep.Omissions,
+		Failures:          len(rep.Failures),
+		RunStats:          rep.RunStats,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
 }
 
 // writeTrace serializes one failure into the trace directory with a

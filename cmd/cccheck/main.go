@@ -48,6 +48,8 @@ func run() int {
 		trace     = flag.Bool("trace", false, "print the event trace to the first violation")
 		safety    = flag.Bool("safety", false, "run the Theorem 2 safe-state analysis")
 		replay    = flag.String("replay", "", "replay a ccchaos trace file and re-assert its violation")
+		omitBudg  = flag.Int("omission-budget", 0, "maximum omission faults per run (0 = none): the adversary may suppress up to this many buffered deliveries")
+		mobileOm  = flag.Int("mobile-omissions", 0, "cap on simultaneously omission-faulty processors (0 = unbounded); the faulty set moves as deliveries succeed")
 	)
 	flag.Parse()
 
@@ -83,7 +85,15 @@ func run() int {
 		return 1
 	}
 
-	opts := consensus.CheckOptions{MaxFailures: *maxFail, MaxNodes: *maxNodes, Parallelism: *parallel, TrackTraces: *trace, Reduction: reduction}
+	if *omitBudg > 0 && reduction != consensus.ReduceNone {
+		fmt.Fprintln(os.Stderr, "cccheck: note: state-space reductions are disabled under omission budgets (see DESIGN.md §8); exploring the full graph")
+	}
+
+	opts := consensus.CheckOptions{
+		MaxFailures: *maxFail, MaxNodes: *maxNodes, Parallelism: *parallel,
+		TrackTraces: *trace, Reduction: reduction,
+		OmissionBudget: *omitBudg, MobileOmissions: *mobileOm,
+	}
 	x, err := consensus.CheckContext(ctx, proto, prob, opts)
 	if err != nil && (x == nil || !x.Status.Partial()) {
 		fmt.Fprintln(os.Stderr, "cccheck:", err)
@@ -92,6 +102,9 @@ func run() int {
 
 	fmt.Printf("%s vs %s: %d configurations, %d states, %d terminal\n",
 		proto.Name(), prob.Name(), x.NodeCount, len(x.States), x.Terminals)
+	if *omitBudg > 0 {
+		fmt.Printf("omission budget %d, mobile cap %d\n", *omitBudg, *mobileOm)
+	}
 	if reduction != consensus.ReduceNone {
 		rs := x.Reduction
 		fmt.Printf("reduction %s: %d ample + %d full expansions, %d proviso fallbacks, %d symmetry-pruned + %d elision-pruned successors\n",

@@ -19,7 +19,9 @@
 // stalls, connection resets) layered above the sockets. Every link-fault
 // decision is a pure function of (link seed, link, interval), so two soaks
 // with the same -seed inject byte-identical link schedules; -print-faults
-// renders that schedule without running anything so the claim is diffable.
+// renders the whole fault schedule — crash steps, omission suppressions
+// (-omit-rate, -omit-max-seq), and link faults — without running anything,
+// so the claim is diffable.
 //
 // Usage:
 //
@@ -94,6 +96,8 @@ type soakFlags struct {
 	jsonPath           string
 	sample             float64
 	crashHorizon       int
+	omitRate           float64
+	omitMaxSeq         int
 
 	// Distributed mode.
 	serve       bool
@@ -133,6 +137,8 @@ func run() int {
 		jsonPath  = flag.String("json", "", "write a machine-readable soak summary to this file (\"-\" = stdout)")
 		sample    = flag.Float64("conform-sample", 1, "fraction of runs whose traces are conformance-replayed (seeded per run; 1 = all)")
 		crashHor  = flag.Int("crash-horizon", 0, "fold planned crash steps into [0,H) so injections land inside short large-N runs (0 = as planned)")
+		omitRate  = flag.Float64("omit-rate", 0, "per-message probability the receiver omission-suppresses a delivery (permanent loss, recorded as an Omit event the conformance replay validates)")
+		omitSeq   = flag.Int("omit-max-seq", 0, "only omit messages with sequence number at most this, keeping each run's omission schedule finite and printable (0 = no bound)")
 		verbose   = flag.Bool("v", false, "print every failing run, not just the first five")
 
 		serve       = flag.Bool("serve", false, "coordinator mode: run the soak across -joins joiner processes over TCP")
@@ -146,7 +152,7 @@ func run() int {
 		resetRate   = flag.Float64("reset-rate", 0, "per-(link,interval) probability the connection is reset")
 		partIvals   = flag.Int("partition-intervals", 8, "link faults only fire in the first this-many intervals, so every schedule heals")
 		isolateArg  = flag.String("isolate", "", "comma-separated host ids permanently partitioned from the rest (teeth check: the soak must fail)")
-		printFaults = flag.Bool("print-faults", false, "print every planned run's link-fault schedule and exit (pure; nothing runs)")
+		printFaults = flag.Bool("print-faults", false, "print every planned run's fault schedule — crashes, omissions, link faults — and exit (pure; nothing runs)")
 	)
 	flag.Parse()
 
@@ -161,6 +167,7 @@ func run() int {
 		heartbeat: *heartbeat, detect: *detect, deadline: *deadline, timeout: *timeout,
 		noDedup: *noDedup, verbose: *verbose, traceDir: *traceDir,
 		jsonPath: *jsonPath, sample: *sample, crashHorizon: *crashHor,
+		omitRate: *omitRate, omitMaxSeq: *omitSeq,
 		serve: *serve, joinAddr: *joinAddr, joins: *joins, listen: *listen, spawn: *spawn,
 		partInt: *partInt, severRate: *severRate, stallRate: *stallRate, resetRate: *resetRate,
 		partIvals: *partIvals, isolate: isolate, printFaults: *printFaults,
@@ -232,7 +239,7 @@ func run() int {
 	}
 
 	if f.printFaults {
-		return dumpFaultSchedules(f, plans)
+		return dumpFaultSchedules(f, nProcs, plans)
 	}
 	if f.serve {
 		return runServe(ctx, f, proto, prob, plans)
@@ -259,13 +266,7 @@ func runInMemory(ctx context.Context, f soakFlags, proto consensus.Protocol, pro
 			defer wg.Done()
 			for i := range idxCh {
 				outcomes[i] = executeRun(ctx, proto, prob, f, plans[i], consensus.LiveConfig{
-					Faults: consensus.LiveFaultPlan{
-						Seed:         plans[i].Seed,
-						DropRate:     f.drop,
-						DupRate:      f.dup,
-						MaxDelay:     f.delay,
-						DisableDedup: f.noDedup,
-					},
+					Faults:        planFaults(f, plans[i]),
 					Failures:      plans[i].Failures,
 					Heartbeat:     f.heartbeat,
 					DetectTimeout: f.detect,
@@ -304,23 +305,32 @@ func distOptions() consensus.DistOptions {
 // -seed schedule byte-identical link faults.
 func planSpec(f soakFlags, nProcs, hosts int, plan consensus.ChaosRunPlan) consensus.DistSpec {
 	return consensus.DistSpec{
-		Proto:  f.protoName,
-		N:      nProcs,
-		Inputs: plan.Inputs,
-		Owner:  consensus.DistOwner(nProcs, hosts),
-		Faults: consensus.LiveFaultPlan{
-			Seed:         plan.Seed,
-			DropRate:     f.drop,
-			DupRate:      f.dup,
-			MaxDelay:     f.delay,
-			DisableDedup: f.noDedup,
-		},
+		Proto:             f.protoName,
+		N:                 nProcs,
+		Inputs:            plan.Inputs,
+		Owner:             consensus.DistOwner(nProcs, hosts),
+		Faults:            planFaults(f, plan),
 		Links:             planLinks(f, plan),
 		PartitionInterval: f.partInt,
 		Heartbeat:         f.heartbeat,
 		DetectTimeout:     f.detect,
 		Deadline:          f.deadline,
 		Failures:          plan.Failures,
+	}
+}
+
+// planFaults derives one run's transport fault plan from its chaos plan:
+// the per-attempt drop/dup/delay hash and the per-message omission verdict
+// all key off the plan's run seed.
+func planFaults(f soakFlags, plan consensus.ChaosRunPlan) consensus.LiveFaultPlan {
+	return consensus.LiveFaultPlan{
+		Seed:         plan.Seed,
+		DropRate:     f.drop,
+		DupRate:      f.dup,
+		MaxDelay:     f.delay,
+		DisableDedup: f.noDedup,
+		OmitRate:     f.omitRate,
+		OmitMaxSeq:   f.omitMaxSeq,
 	}
 }
 
@@ -335,10 +345,12 @@ func planLinks(f soakFlags, plan consensus.ChaosRunPlan) consensus.LinkFaultPlan
 	}
 }
 
-// dumpFaultSchedules renders every planned run's link-fault schedule —
-// a pure function of the soak seed — and exits without running anything.
-// Diffing two invocations with the same -seed proves schedule identity.
-func dumpFaultSchedules(f soakFlags, plans []consensus.ChaosRunPlan) int {
+// dumpFaultSchedules renders every planned run's full fault schedule — the
+// crash injections (after -crash-horizon folding), the per-link omission
+// schedule, and the link-fault intervals — in one canonical dump, a pure
+// function of the soak seed; nothing runs. Diffing two invocations with the
+// same -seed proves schedule identity.
+func dumpFaultSchedules(f soakFlags, nProcs int, plans []consensus.ChaosRunPlan) int {
 	hosts := f.joins + 1
 	hostIDs := make([]int, hosts)
 	for h := range hostIDs {
@@ -346,6 +358,10 @@ func dumpFaultSchedules(f soakFlags, plans []consensus.ChaosRunPlan) int {
 	}
 	for i, plan := range plans {
 		fmt.Printf("run %d seed=%d linkseed=%d\n", i, plan.Seed, plan.LinkSeed)
+		for _, inj := range plan.Failures {
+			fmt.Printf("crash p%d after step %d\n", inj.Proc, inj.AfterStep)
+		}
+		fmt.Print(planFaults(f, plan).RenderOmissions(nProcs))
 		fmt.Print(planLinks(f, plan).Render(hostIDs, f.partIvals))
 	}
 	return 0
@@ -637,8 +653,8 @@ func report(outcomes []runOutcome, protoCanon string, f soakFlags, prob consensu
 		quiesced, failing, conformed, crashes)
 	fmt.Printf("  suspicions: %d false, %d link-loss\n", falseSusp, linkSusp)
 	st := transport
-	fmt.Printf("  transport: %d accepted, %d settled, %d dropped, %d duplicated\n",
-		st.Accepted, st.Settled, st.Drops, st.Dups)
+	fmt.Printf("  transport: %d accepted, %d settled, %d dropped, %d duplicated, %d omitted\n",
+		st.Accepted, st.Settled, st.Drops, st.Dups, st.Omissions)
 	if mode == "distributed" {
 		fmt.Printf("  mesh: %d frames sent (%d resent), %d dials (%d reconnects, %d resets), %d link-downs, %d severed intervals, %d frames held\n",
 			st.FramesSent, st.FramesResent, st.Dials, st.Reconnects, st.Resets,
@@ -740,6 +756,7 @@ func addTransport(a, b consensus.LiveTransportStats) consensus.LiveTransportStat
 		GarbageFrames:    a.GarbageFrames + b.GarbageFrames,
 		Drops:            a.Drops + b.Drops,
 		Dups:             a.Dups + b.Dups,
+		Omissions:        a.Omissions + b.Omissions,
 		FramesSent:       a.FramesSent + b.FramesSent,
 		FramesResent:     a.FramesResent + b.FramesResent,
 		Dials:            a.Dials + b.Dials,

@@ -89,6 +89,10 @@ type (
 	RunnerOptions = sim.RunnerOptions
 	// FailureAt schedules a fail-stop failure injection.
 	FailureAt = sim.FailureAt
+	// OmissionPolicy bounds omission faults per run: Budget suppressed
+	// deliveries total, with Mobile optionally capping how many processors
+	// may be omission-faulty at once (the mobile-faults model).
+	OmissionPolicy = sim.OmissionPolicy
 )
 
 // Pattern and scheme types (Section 3).
@@ -205,7 +209,24 @@ type (
 	ChaosTraceViolation = chaos.TraceViolation
 	// ChaosReplayResult is the outcome of re-executing a trace.
 	ChaosReplayResult = chaos.ReplayResult
+	// ChaosAdversary is a deterministic scheduling strategy driving a chaos
+	// run's event choices (uniform, delay, adaptive).
+	ChaosAdversary = chaos.Adversary
+	// ChaosRunStat is one run's injection accounting, surfaced per run in
+	// machine-readable sweep output.
+	ChaosRunStat = chaos.RunStat
 )
+
+// Chaos adversary names (ChaosOptions.Adversary, ccchaos -adversary).
+const (
+	ChaosAdversaryUniform  = chaos.AdversaryUniform
+	ChaosAdversaryDelay    = chaos.AdversaryDelay
+	ChaosAdversaryAdaptive = chaos.AdversaryAdaptive
+)
+
+// NewChaosAdversary builds a per-run adversary by name (empty = uniform);
+// exposed so CLIs can validate -adversary values before sweeping.
+func NewChaosAdversary(name string) (ChaosAdversary, error) { return chaos.NewAdversary(name) }
 
 // Live-runtime types (cmd/cclive).
 type (

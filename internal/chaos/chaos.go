@@ -50,6 +50,23 @@ type Options struct {
 	// Inputs, if non-nil, cycles through these input vectors instead of
 	// drawing random ones.
 	Inputs [][]sim.Bit
+	// Adversary names the scheduling strategy driving each run: "uniform"
+	// (or empty, the default fair scheduler), "delay", or "adaptive". See
+	// NewAdversary.
+	Adversary string
+	// OmissionBudget bounds omission faults per run: the adversary may
+	// suppress up to this many buffered deliveries. Zero disables
+	// omissions, leaving runs byte-identical to pre-omission sweeps.
+	OmissionBudget int
+	// MobileOmissions, when positive, caps how many processors may be
+	// omission-faulty simultaneously (the mobile-faults model: a
+	// processor's faulty status clears when a delivery to it succeeds, so
+	// the faulty set moves between rounds).
+	MobileOmissions int
+}
+
+func (o Options) omission() sim.OmissionPolicy {
+	return sim.OmissionPolicy{Budget: o.OmissionBudget, Mobile: o.MobileOmissions}
 }
 
 func (o Options) runs() int {
@@ -152,6 +169,25 @@ type Failure struct {
 	ShrinkCandidates int
 }
 
+// RunStat is one run's injection accounting, surfaced per run (not just in
+// the sweep aggregate) so -json consumers can tell which runs actually
+// exercised their planned faults.
+type RunStat struct {
+	// Run is the run's position in the sweep (0-based).
+	Run int `json:"run"`
+	// Seed is the per-run scheduler seed.
+	Seed int64 `json:"seed"`
+	// Outcome names the run's verdict.
+	Outcome string `json:"outcome"`
+	// InjectionsPlanned, InjectionsFired, and InjectionsUnfired account for
+	// this run's crash injections.
+	InjectionsPlanned int `json:"injections_planned"`
+	InjectionsFired   int `json:"injections_fired"`
+	InjectionsUnfired int `json:"injections_unfired"`
+	// Omissions counts deliveries the adversary omission-suppressed.
+	Omissions int `json:"omissions,omitempty"`
+}
+
 // Report is the result of a chaos sweep.
 type Report struct {
 	// Proto is the protocol's canonical name.
@@ -162,6 +198,12 @@ type Report struct {
 	Seed int64
 	// Runs is the number of planned runs.
 	Runs int
+	// Adversary names the scheduling strategy that drove the sweep
+	// ("uniform" when Options left it empty).
+	Adversary string
+	// OmissionBudget and MobileOmissions echo the sweep's omission policy.
+	OmissionBudget  int
+	MobileOmissions int
 	// Passed, Violated, Panicked, Unresolved, and Aborted partition the
 	// planned runs by outcome.
 	Passed     int
@@ -180,6 +222,11 @@ type Report struct {
 	InjectionsPlanned int
 	InjectionsFired   int
 	InjectionsUnfired int
+	// Omissions counts deliveries omission-suppressed across completed runs.
+	Omissions int
+	// RunStats is per-run injection accounting in run order, one entry per
+	// planned run (aborted runs report their plan with zero fired).
+	RunStats []RunStat
 }
 
 // Completed returns the number of runs that reached a verdict.
@@ -220,12 +267,13 @@ func linkSeed(seed int64) int64 {
 
 // runResult is one worker's verdict on one run.
 type runResult struct {
-	done    bool
-	outcome Outcome
-	failure *Failure
-	planned int
-	fired   int
-	unfired int
+	done      bool
+	outcome   Outcome
+	failure   *Failure
+	planned   int
+	fired     int
+	unfired   int
+	omissions int
 }
 
 // Run executes a chaos sweep of the protocol against the problem. The
@@ -241,6 +289,13 @@ func Run(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, opts
 		if len(in) != n {
 			return nil, fmt.Errorf("chaos: input vector %v has length %d, want %d", in, len(in), n)
 		}
+	}
+	adv, err := NewAdversary(opts.Adversary)
+	if err != nil {
+		return nil, err
+	}
+	if opts.omission().Enabled() && n > 64 {
+		return nil, fmt.Errorf("chaos: omission budgets support at most 64 processors, got %d", n)
 	}
 	runs := opts.runs()
 	maxSteps := opts.maxSteps()
@@ -266,7 +321,7 @@ func Run(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, opts
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				results[i] = execute(ctx, proto, problem, plans[i], i, maxSteps, opts.Minimize)
+				results[i] = execute(ctx, proto, problem, plans[i], i, maxSteps, opts)
 			}
 		}()
 	}
@@ -281,15 +336,34 @@ feed:
 	close(idxCh)
 	wg.Wait()
 
-	rep := &Report{Proto: proto.Name(), Problem: problem, Seed: opts.Seed, Runs: runs}
-	for _, res := range results {
+	rep := &Report{
+		Proto: proto.Name(), Problem: problem, Seed: opts.Seed, Runs: runs,
+		Adversary:       adv.Name(),
+		OmissionBudget:  opts.OmissionBudget,
+		MobileOmissions: opts.MobileOmissions,
+		RunStats:        make([]RunStat, 0, runs),
+	}
+	for i, res := range results {
 		if !res.done {
 			rep.Aborted++
+			rep.RunStats = append(rep.RunStats, RunStat{
+				Run: i, Seed: plans[i].Seed, Outcome: OutcomeAborted.String(),
+				InjectionsPlanned: len(plans[i].Failures),
+				InjectionsUnfired: len(plans[i].Failures),
+			})
 			continue
 		}
 		rep.InjectionsPlanned += res.planned
 		rep.InjectionsFired += res.fired
 		rep.InjectionsUnfired += res.unfired
+		rep.Omissions += res.omissions
+		rep.RunStats = append(rep.RunStats, RunStat{
+			Run: i, Seed: plans[i].Seed, Outcome: res.outcome.String(),
+			InjectionsPlanned: res.planned,
+			InjectionsFired:   res.fired,
+			InjectionsUnfired: res.unfired,
+			Omissions:         res.omissions,
+		})
 		switch res.outcome {
 		case OutcomePassed:
 			rep.Passed++
@@ -353,7 +427,7 @@ func PlanRuns(seed int64, runs, n, maxFail int, fixed [][]sim.Bit) []RunPlan {
 
 // execute runs one plan to a verdict. A panic anywhere in protocol code is
 // recovered and reported as a failure instead of crashing the sweep.
-func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, pl RunPlan, idx, maxSteps int, minimize bool) (res runResult) {
+func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, pl RunPlan, idx, maxSteps int, opts Options) (res runResult) {
 	res.done = true
 	res.planned = len(pl.Failures)
 	defer func() {
@@ -373,23 +447,27 @@ func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, 
 	}()
 
 	rng := rand.New(rand.NewSource(pl.Seed))
+	// Options were validated by Run, so the adversary name resolves.
+	adv, _ := NewAdversary(opts.Adversary)
 	choose := func(r *sim.Run, enabled []sim.Event) int {
 		select {
 		case <-ctx.Done():
 			return -1
 		default:
 		}
-		return rng.Intn(len(enabled))
+		return adv.Choose(rng, proto, r, enabled)
 	}
 	run, err := sim.RandomRun(proto, pl.Inputs, sim.RunnerOptions{
 		Seed:     pl.Seed,
 		MaxSteps: maxSteps,
 		Failures: pl.Failures,
+		Omission: opts.omission(),
 		Choose:   choose,
 	})
 	if run != nil {
 		res.unfired = len(run.Unfired)
 		res.fired = len(pl.Failures) - len(run.Unfired)
+		res.omissions = run.Omissions()
 	}
 
 	var violations []taxonomy.Violation
@@ -425,7 +503,7 @@ func execute(ctx context.Context, proto sim.Protocol, problem taxonomy.Problem, 
 		Schedule:      append(sim.Schedule(nil), run.Schedule...),
 		OriginalSteps: len(run.Schedule),
 	}
-	if minimize {
+	if opts.Minimize {
 		shrunk, vs, tried := Shrink(proto, pl.Inputs, f.Schedule, problem, violations[0].Kind)
 		f.Schedule = shrunk
 		f.Violations = vs

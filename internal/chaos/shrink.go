@@ -78,11 +78,11 @@ func Violates(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem 
 //
 //   - removal: drop windows of events (halving window sizes down to single
 //     events, ddmin-style), keeping any candidate that still violates. This
-//     covers both ordinary events and Fail injections — dropping a Fail
-//     event is exactly dropping the injection.
+//     covers ordinary events, Fail injections, and Omit suppressions —
+//     dropping a Fail or Omit event is exactly dropping the fault.
 //
-//   - retiming: move each Fail event to the earliest position at which the
-//     violation survives, canonicalizing when the failure is injected.
+//   - retiming: move each Fail and Omit event to the earliest position at
+//     which the violation survives, canonicalizing when the fault strikes.
 //
 // The result is 1-minimal with respect to single-event removal: deleting
 // any one event either makes the schedule inapplicable or makes the
@@ -127,10 +127,22 @@ func Shrink(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem ta
 		return shrunkAny
 	}
 
+	// faultPosSum is retiming's termination metric: the sum of the
+	// positions of all Fail and Omit events.
+	faultPosSum := func(s sim.Schedule) int {
+		sum := 0
+		for i, e := range s {
+			if e.Type == sim.Fail || e.Type == sim.Omit {
+				sum += i
+			}
+		}
+		return sum
+	}
+
 	retimePass := func() bool {
 		moved := false
 		for i := 0; i < len(cur); i++ {
-			if cur[i].Type != sim.Fail {
+			if cur[i].Type != sim.Fail && cur[i].Type != sim.Omit {
 				continue
 			}
 			for j := 0; j < i; j++ {
@@ -138,7 +150,12 @@ func Shrink(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem ta
 				e := cand[i]
 				copy(cand[j+1:i+1], cand[j:i])
 				cand[j] = e
-				if violates(cand) {
+				// Moving one fault earlier shifts any other fault in
+				// [j, i) one position later, so with several faults a
+				// move can leave the metric unchanged (two adjacent
+				// faults swapping forever). Accept only strict
+				// decreases; that is what makes the pass terminate.
+				if faultPosSum(cand) < faultPosSum(cur) && violates(cand) {
 					cur = cand
 					moved = true
 					break
@@ -148,8 +165,9 @@ func Shrink(proto sim.Protocol, inputs []sim.Bit, sched sim.Schedule, problem ta
 		return moved
 	}
 
-	// Each removal strictly shortens the schedule and each retime strictly
-	// decreases the sum of Fail positions, so the loop terminates.
+	// Each removal strictly shortens the schedule and each accepted retime
+	// strictly decreases the sum of Fail/Omit positions, so the loop
+	// terminates.
 	for {
 		removed := removePass()
 		moved := retimePass()

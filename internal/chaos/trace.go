@@ -24,9 +24,9 @@ type TraceMsg struct {
 type TraceEvent struct {
 	// Proc is the processor taking the step.
 	Proc int `json:"proc"`
-	// Type is "send", "deliver", or "fail".
+	// Type is "send", "deliver", "fail", or "omit".
 	Type string `json:"type"`
-	// Msg identifies the delivered message for "deliver" events.
+	// Msg identifies the affected message for "deliver" and "omit" events.
 	Msg *TraceMsg `json:"msg,omitempty"`
 }
 
@@ -63,6 +63,14 @@ type Trace struct {
 	MaxSteps int `json:"maxSteps"`
 	// Injections is the planned failure schedule.
 	Injections []TraceInjection `json:"injections,omitempty"`
+	// Adversary names the scheduling strategy, omitted for the uniform
+	// default; OmissionBudget/MobileOmissions echo the omission policy.
+	// Panic traces need all three to re-run the seeded scheduler
+	// faithfully; schedule traces carry them as provenance. All are zero
+	// for pre-omission sweeps, keeping those traces byte-identical.
+	Adversary       string `json:"adversary,omitempty"`
+	OmissionBudget  int    `json:"omissionBudget,omitempty"`
+	MobileOmissions int    `json:"mobileOmissions,omitempty"`
 	// Shrunk reports whether Schedule was minimized; OriginalSteps is the
 	// pre-shrink length.
 	Shrunk        bool `json:"shrunk"`
@@ -97,6 +105,12 @@ func BuildTrace(rep *Report, f *Failure, maxSteps int) *Trace {
 		Shrunk:        f.ShrinkCandidates > 0,
 		OriginalSteps: f.OriginalSteps,
 		Panic:         f.PanicValue,
+
+		OmissionBudget:  rep.OmissionBudget,
+		MobileOmissions: rep.MobileOmissions,
+	}
+	if rep.Adversary != AdversaryUniform {
+		t.Adversary = rep.Adversary
 	}
 	for _, inj := range f.Injections {
 		t.Injections = append(t.Injections, TraceInjection{Proc: int(inj.Proc), AfterStep: inj.AfterStep})
@@ -131,6 +145,10 @@ func EncodeEvent(e sim.Event) TraceEvent {
 		return TraceEvent{Proc: int(e.Proc), Type: "deliver", Msg: &TraceMsg{
 			From: int(e.Msg.From), To: int(e.Msg.To), Seq: e.Msg.Seq,
 		}}
+	case sim.Omit:
+		return TraceEvent{Proc: int(e.Proc), Type: "omit", Msg: &TraceMsg{
+			From: int(e.Msg.From), To: int(e.Msg.To), Seq: e.Msg.Seq,
+		}}
 	case sim.Fail:
 		return TraceEvent{Proc: int(e.Proc), Type: "fail"}
 	default:
@@ -150,6 +168,13 @@ func (te TraceEvent) DecodeEvent() (sim.Event, error) {
 			return sim.Event{}, errors.New("chaos: deliver event without msg")
 		}
 		return sim.Event{Proc: sim.ProcID(te.Proc), Type: sim.Deliver, Msg: sim.MsgID{
+			From: sim.ProcID(te.Msg.From), To: sim.ProcID(te.Msg.To), Seq: te.Msg.Seq,
+		}}, nil
+	case "omit":
+		if te.Msg == nil {
+			return sim.Event{}, errors.New("chaos: omit event without msg")
+		}
+		return sim.Event{Proc: sim.ProcID(te.Proc), Type: sim.Omit, Msg: sim.MsgID{
 			From: sim.ProcID(te.Msg.From), To: sim.ProcID(te.Msg.To), Seq: te.Msg.Seq,
 		}}, nil
 	default:
@@ -264,11 +289,16 @@ func replayPanic(t *Trace, proto sim.Protocol, inputs []sim.Bit) (res *ReplayRes
 		}
 	}()
 	rng := rand.New(rand.NewSource(t.RunSeed))
-	choose := func(r *sim.Run, enabled []sim.Event) int { return rng.Intn(len(enabled)) }
+	adv, advErr := NewAdversary(t.Adversary)
+	if advErr != nil {
+		return nil, fmt.Errorf("chaos: trace adversary: %w", advErr)
+	}
+	choose := func(r *sim.Run, enabled []sim.Event) int { return adv.Choose(rng, proto, r, enabled) }
 	run, runErr := sim.RandomRun(proto, inputs, sim.RunnerOptions{
 		Seed:     t.RunSeed,
 		MaxSteps: t.MaxSteps,
 		Failures: failures,
+		Omission: sim.OmissionPolicy{Budget: t.OmissionBudget, Mobile: t.MobileOmissions},
 		Choose:   choose,
 	})
 	res.Run = run

@@ -30,16 +30,16 @@ func CheckContext(ctx context.Context, proto sim.Protocol, problem taxonomy.Prob
 // decisionEdgeViolations validates the decision rule at the moment a
 // decision is made: applying one event turned some processor's ledger entry
 // from undecided to decided. A failure "has occurred" for the purposes of
-// the rule if any processor is already faulty in the pre-configuration (the
-// event itself cannot simultaneously fail a processor and decide another).
+// the rule if any processor is already faulty in the pre-configuration —
+// by crashing or by having had a delivery omission-suppressed — (the event
+// itself cannot simultaneously fail a processor and decide another).
 // Pure — safe to run on expansion workers.
 func decisionEdgeViolations(problem taxonomy.Problem, prev, next *node) []taxonomy.Violation {
 	var out []taxonomy.Violation
-	failureSeen := false
-	for p := 0; p < prev.cfg.N(); p++ {
+	failureSeen := prev.cfg.OmissionsUsed() > 0
+	for p := 0; !failureSeen && p < prev.cfg.N(); p++ {
 		if prev.cfg.Faulty(sim.ProcID(p)) {
 			failureSeen = true
-			break
 		}
 	}
 	for p := range next.ledger {
@@ -123,10 +123,14 @@ func nodeViolations(problem taxonomy.Problem, nd *node) []taxonomy.Violation {
 	}
 	// Terminal node: a maximal fair run ends here (the scheduler may
 	// inject no further failures), so the termination condition must
-	// already hold for every nonfaulty processor.
+	// already hold for every nonfaulty processor. Omission-targeted
+	// processors are exempt like crashed ones: a processor some delivery
+	// to which was suppressed is receive-omission faulty, and the
+	// termination conditions promise progress only to correct processors
+	// (taxonomy.CheckTermination applies the same exemption).
 	for p, s := range nd.cfg.States {
 		pid := sim.ProcID(p)
-		if s.Kind() == sim.Failed {
+		if s.Kind() == sim.Failed || nd.cfg.OmissionTarget(pid) {
 			continue
 		}
 		if nd.ledger[p] == sim.NoDecision {

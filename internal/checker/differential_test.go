@@ -152,6 +152,66 @@ func TestExploreDifferential(t *testing.T) {
 	}
 }
 
+// TestExploreOmissionDifferential asserts the same determinism contract
+// for omission-faulted explorations: every (dedup engine, parallelism)
+// pair must reproduce the string-keyed sequential result byte for byte —
+// verdict, node counts, and the full state census — with omission budgets
+// enabled, both for complete explorations and for budget-capped partial
+// ones (the mid-merge stop must land on the same node at any worker
+// count). Reductions are disabled under omissions (DESIGN.md §8), so
+// these rows always explore the full graph.
+func TestExploreOmissionDifferential(t *testing.T) {
+	cases := []diffCase{
+		// Complete: the whole omission-augmented space.
+		{"tree-ob2", protocols.Tree{Procs: 3}, Options{MaxFailures: 0, OmissionBudget: 2}},
+		{"tree-ob2-mobile1", protocols.Tree{Procs: 3}, Options{MaxFailures: 0, OmissionBudget: 2, MobileOmissions: 1}},
+		{"ackcommit-mf1-ob1", protocols.AckCommit{Procs: 3}, Options{MaxFailures: 1, OmissionBudget: 1}},
+		// Budget-partial: crash + omission injection blows up the space;
+		// the deterministic node-budget stop is part of the contract.
+		{"star-mf2-ob2-capped", protocols.Star{Procs: 3}, Options{MaxFailures: 2, OmissionBudget: 2, MobileOmissions: 1, MaxNodes: 6000}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prob := problem(taxonomy.WT, taxonomy.TC)
+			var baseDigest, baseErr string
+			first := true
+			for _, dedup := range []frontier.Dedup{frontier.DedupStrings, frontier.DedupFingerprint} {
+				for _, par := range []int{1, 2, 8} {
+					opts := tc.opts
+					opts.Parallelism = par
+					opts.Dedup = dedup
+					opts.Problem = &prob
+					opts.TrackTraces = true
+					x, err := ExploreContext(context.Background(), tc.proto, opts)
+					if x == nil {
+						t.Fatalf("%v/parallelism %d: nil exploration (err=%v)", dedup, par, err)
+					}
+					if x.Collisions != 0 {
+						t.Errorf("%v/parallelism %d: %d fingerprint collisions", dedup, par, x.Collisions)
+					}
+					errStr := ""
+					if err != nil {
+						errStr = err.Error()
+					}
+					d := exploreDigest(x)
+					if first {
+						baseDigest, baseErr = d, errStr
+						first = false
+						continue
+					}
+					if errStr != baseErr {
+						t.Errorf("%v/parallelism %d: err = %q, want %q", dedup, par, errStr, baseErr)
+					}
+					if d != baseDigest {
+						t.Errorf("%v/parallelism %d: omission exploration diverges from string-keyed sequential:\n%s",
+							dedup, par, firstDiff(baseDigest, d))
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestExploreDifferentialCancelled asserts that a cancelled context yields
 // identical partial results — Status, NodeCount, FrontierSize, and the full
 // digest — at every parallelism level.

@@ -38,6 +38,18 @@ type Options struct {
 	// MaxFailures bounds the number of injected failures per run.
 	// Negative means N−1 (the default); zero means failure-free.
 	MaxFailures int
+	// OmissionBudget, when positive, additionally explores omission
+	// faults: at every configuration where a delivery is enabled, the
+	// adversary may instead suppress it (sim.Omit), up to this many times
+	// per run. The budget is tracked inside the configuration, so
+	// deduplication distinguishes "same states, different budget left".
+	// Requires N ≤ 64. Zero keeps the crash-only space.
+	OmissionBudget int
+	// MobileOmissions, when positive with OmissionBudget, caps the number
+	// of simultaneously omission-faulty processors at k — the mobile
+	// omission model: the faulty set moves as suppressed processors are
+	// rehabilitated by successful deliveries.
+	MobileOmissions int
 	// FailProcs restricts which processors may be failed (nil = all).
 	FailProcs []sim.ProcID
 	// Inputs restricts the initial input vectors (nil = all 2^N).
@@ -97,6 +109,11 @@ func (o Options) maxNodes() int {
 		return sim.DefaultMaxNodes
 	}
 	return o.MaxNodes
+}
+
+// omission resolves the options' omission policy.
+func (o Options) omission() sim.OmissionPolicy {
+	return sim.OmissionPolicy{Budget: o.OmissionBudget, Mobile: o.MobileOmissions}
 }
 
 // StateInfo aggregates everything the analysis needs to know about one
@@ -1117,6 +1134,10 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 	if inputVecs == nil {
 		inputVecs = sim.AllInputs(n)
 	}
+	pol := opts.omission()
+	if pol.Enabled() && n > 64 {
+		return nil, fmt.Errorf("checker: omission budgets support at most 64 processors, got %d", n)
+	}
 	failAllowed := make([]bool, n)
 	if opts.FailProcs == nil {
 		for i := range failAllowed {
@@ -1175,7 +1196,7 @@ func ExploreContext(ctx context.Context, proto sim.Protocol, opts Options) (*Exp
 		if len(inputs) != n {
 			return nil, fmt.Errorf("checker: input vector %v has length %d, want %d", inputs, len(inputs), n)
 		}
-		start := &node{cfg: sim.NewConfig(proto, inputs), ledger: make([]sim.Decision, n), inputs: inputs, vec: inputsKey(inputs)}
+		start := &node{cfg: sim.NewConfigOmission(proto, inputs, pol), ledger: make([]sim.Decision, n), inputs: inputs, vec: inputsKey(inputs)}
 		s := succ{nd: start, terminal: start.cfg.Quiescent()}
 		switch opts.Dedup {
 		case frontier.DedupFingerprint:

@@ -301,7 +301,33 @@ func permuteLedger(ledger []sim.Decision, perm sim.ProcPerm) []sim.Decision {
 // ample modes switch on ample-set expansion and dead-letter elision, the
 // symmetry modes resolve the protocol's automorphism group (empty for
 // protocols without usable symmetry, which then canonicalize nothing).
+//
+// When an omission budget is enabled, every reduction is conservatively
+// disabled and the space explores in full (DESIGN.md §8):
+//
+//   - Ample sets: Omit(q, µ) does not commute with its target's events the
+//     way the {SendStep(p), Fail(p)} argument needs — an omission charges
+//     the shared budget and (in mobile mode) flips q's faulty bit, so
+//     deferring it past p's sending burst can reach configurations whose
+//     remaining budget differs, which are distinct nodes.
+//   - Dead-letter elision: messages addressed to failed or halted
+//     processors are no longer inert — Omit is structurally applicable to
+//     a halted processor's buffer, and applying it changes the budget
+//     accounting, so two configurations differing only in dead letters
+//     are no longer bisimilar.
+//   - Symmetry: canonical handles would have to permute the omission
+//     bitmasks along with states and buffers, which PermuteConfig does
+//     not do.
+//
+// Each could be re-enabled with a sharper argument (e.g. excluding Omit
+// targets from the ample processor's independence set, erasing dead
+// letters only when the budget is exhausted); until such a proof lands,
+// correctness wins over speed.
 func (e *explorer) initReduction() {
+	if e.opts.omission().Enabled() {
+		e.ample, e.elide, e.symPerms = false, false, nil
+		return
+	}
 	e.ample = e.opts.Reduction.ample()
 	e.elide = e.ample
 	if e.opts.Reduction.usesSymmetry() {

@@ -131,6 +131,24 @@ func (co *collector) recordDeliver(p sim.ProcID, id sim.MsgID, witness uint64) b
 	return true
 }
 
+// recordOmit admits one omission event: the adversary suppressed the
+// delivery of id to p after the transport accepted it. The event enters the
+// total order exactly like a delivery — stamped after its send via the
+// frame's Lamport witness — so conformance replay removes the message from
+// the model buffer without firing Receive. A crashed p refuses the record
+// (fail-stop: nothing happens at a crashed processor, and the model's Omit
+// is inapplicable to Failed states); the caller must then buffer normally.
+func (co *collector) recordOmit(p sim.ProcID, id sim.MsgID, witness uint64) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed[p] || co.err != nil {
+		return false
+	}
+	co.sch = append(co.sch, sim.Event{Proc: p, Type: sim.Omit, Msg: id})
+	co.tick(witness)
+	return true
+}
+
 // recordCrash injects a fail-stop failure: it appends the fail event and
 // stamps the failure notices failed(p) with the sequence numbers the
 // model's atomic fail broadcast would assign at this point in the total

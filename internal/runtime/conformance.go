@@ -53,6 +53,15 @@ func (c *Conformance) OK() bool { return len(c.Divergences) == 0 }
 //     satisfy the problem's decision rule, consistency constraint, and
 //     (when quiescent) termination condition.
 //
+// A run whose schedule carries Omit events — the injector suppressed some
+// deliveries — is judged for safety only: omissions exempt their targets
+// from the termination conditions, but they can also legitimately leave
+// *non-targeted* processors waiting forever for suppressed messages, and
+// whether a protocol terminates under an omission adversary is the
+// checker's and the chaos sweep's question, not runtime conformance's. The
+// replay, quiescence, decision, rule, and consistency checks all still
+// apply in full.
+//
 // The returned error reports setup problems only (wrong input length);
 // divergences are data, not errors.
 //
@@ -91,12 +100,25 @@ func Conform(res *Result, proto sim.Protocol, problem taxonomy.Problem) (*Confor
 				})
 			}
 		}
-		complete := res.Quiescent && run.Final().Quiescent()
+		complete := res.Quiescent && run.Final().Quiescent() && !hasOmissions(res.Schedule)
 		for _, v := range problem.Validate(run, complete) {
 			conf.Divergences = append(conf.Divergences, Divergence{Kind: v.Kind, Detail: v.Detail})
 		}
 	}
 	return conf, nil
+}
+
+// hasOmissions reports whether the schedule carries any Omit event, in
+// which case the run is judged for safety only.
+//
+//ccvet:pure
+func hasOmissions(sched sim.Schedule) bool {
+	for _, e := range sched {
+		if e.Type == sim.Omit {
+			return true
+		}
+	}
+	return false
 }
 
 // ConformStream is Conform in O(N) memory: it replays the schedule holding
@@ -148,7 +170,7 @@ func ConformStream(res *Result, proto sim.Protocol, problem taxonomy.Problem) (*
 				})
 			}
 		}
-		complete := res.Quiescent && cur.Quiescent()
+		complete := res.Quiescent && cur.Quiescent() && !hasOmissions(res.Schedule)
 		for _, v := range checker.Finish(complete) {
 			conf.Divergences = append(conf.Divergences, Divergence{Kind: v.Kind, Detail: v.Detail})
 		}

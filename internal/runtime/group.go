@@ -129,7 +129,9 @@ func StartGroup(cfg GroupConfig) (*Group, error) {
 		}
 		pid := sim.ProcID(p)
 		g.hosted = append(g.hosted, pid)
-		g.boxes[pid] = newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &g.pending, counters)
+		mb := newMailbox(int64(mix64(uint64(cfg.Faults.Seed)^uint64(p)+1)), cfg.Faults.DisableDedup, &g.pending, counters)
+		mb.omit = omitHook(cfg.Faults, pid, g.col, counters)
+		g.boxes[pid] = mb
 	}
 	g.tr = newTCPTransport(g, counters)
 	hb, dt := cfg.Heartbeat, cfg.DetectTimeout

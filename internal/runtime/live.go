@@ -139,6 +139,9 @@ func Run(ctx context.Context, proto sim.Protocol, inputs []sim.Bit, cfg Config) 
 	}
 	net := newNetwork(cfg.Faults, boxes, counters, done)
 	col := newCollector(n)
+	for p := range boxes {
+		boxes[p].omit = omitHook(cfg.Faults, sim.ProcID(p), col, counters)
+	}
 	det := newDetector(n, col, net, cfg.heartbeat(), cfg.detectTimeout())
 
 	nodes := make([]*node, n)

@@ -187,6 +187,57 @@ func TestConformCatchesLostMessage(t *testing.T) {
 	}
 }
 
+func TestLiveOmissionSoakConforms(t *testing.T) {
+	// A miniature of the cclive omission soak: seeded plans drive live runs
+	// under an omission injector (suppress-after-accept, recorded as Omit
+	// events) stacked on a lossy transport. Every trace must replay clean —
+	// Conform and ConformStream agreeing — and the injector must actually
+	// fire: each run's Omit events must match its transport counter, and
+	// the sweep as a whole must suppress at least one delivery.
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	proto := protocols.AckCommit{Procs: 4}
+	prob := problem(taxonomy.WT, taxonomy.TC)
+	plans := chaos.PlanRuns(1984, 6, proto.N(), 1, nil)
+	totalOmitted := int64(0)
+	for i, pl := range plans {
+		faults := FaultPlan{
+			Seed: pl.Seed, DropRate: 0.05, DupRate: 0.05,
+			MaxDelay: 200 * time.Microsecond, OmitRate: 0.15, OmitMaxSeq: 4,
+		}
+		res, err := Run(context.Background(), proto, pl.Inputs, fastConfig(faults, pl.Failures))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("run %d failed: %v", i, res.Err)
+		}
+		omitEvents := 0
+		for _, e := range res.Schedule {
+			if e.Type == sim.Omit {
+				omitEvents++
+			}
+		}
+		if int64(omitEvents) != res.Transport.Omissions {
+			t.Fatalf("run %d: %d Omit events in trace, transport counted %d",
+				i, omitEvents, res.Transport.Omissions)
+		}
+		totalOmitted += res.Transport.Omissions
+		conf := mustConform(t, res, proto, prob)
+		stream, err := ConformStream(res, proto, prob)
+		if err != nil {
+			t.Fatalf("run %d: ConformStream: %v", i, err)
+		}
+		if !stream.OK() || stream.Replayed != conf.Replayed {
+			t.Fatalf("run %d: streaming conformance disagrees with Conform: %v", i, stream.Divergences)
+		}
+	}
+	if totalOmitted == 0 {
+		t.Fatal("omission injector never fired across the soak")
+	}
+}
+
 func TestLiveSoakSeededPlans(t *testing.T) {
 	// A miniature of the cclive soak: chaos.PlanRuns derives seeded
 	// inputs and crash schedules, every run executes live under a lossy

@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,17 @@ type FaultPlan struct {
 	// teeth-check uses this: with duplicates admitted, live traces record
 	// double deliveries the model rejects, and the run must fail.
 	DisableDedup bool
+	// OmitRate is the probability a message is omission-suppressed at the
+	// receiver: accepted after dedup (so retransmissions of the same triple
+	// stay absorbed) but never buffered — the receive side of the omission
+	// fault class. Unlike DropRate, the loss is permanent and is recorded
+	// as an Omit event in the total order, so conformance replay validates
+	// it instead of diverging. The verdict is per message, not per attempt.
+	OmitRate float64
+	// OmitMaxSeq bounds omission suppression to messages with sequence
+	// number at most OmitMaxSeq, keeping each link's omission schedule
+	// finite and printable (-print-faults). Zero means no bound.
+	OmitMaxSeq int
 }
 
 // Salts separating the drop, duplicate, and delay decisions of one attempt.
@@ -38,6 +51,7 @@ const (
 	saltDrop uint64 = 0x9e3779b97f4a7c15
 	saltDup  uint64 = 0xbf58476d1ce4e5b9
 	saltDel  uint64 = 0x94d049bb133111eb
+	saltOmit uint64 = 0xd6e8feb86659fd93
 )
 
 // mix64 is a splitmix64 finalizer: a cheap, well-distributed hash from a
@@ -70,6 +84,56 @@ func (fp FaultPlan) drop(id sim.MsgID, attempt int) bool {
 
 func (fp FaultPlan) dup(id sim.MsgID, attempt int) bool {
 	return fp.DupRate > 0 && fp.roll(saltDup, id, attempt) < fp.DupRate
+}
+
+// omit decides whether the receiver omission-suppresses this message. The
+// decision is attempt-independent on purpose: every retransmission of one
+// triple meets the same verdict, so at-least-once delivery cannot undo an
+// omission.
+//
+//ccvet:pure
+func (fp FaultPlan) omit(id sim.MsgID) bool {
+	if fp.OmitRate <= 0 {
+		return false
+	}
+	if fp.OmitMaxSeq > 0 && id.Seq > fp.OmitMaxSeq {
+		return false
+	}
+	return fp.roll(saltOmit, id, 0) < fp.OmitRate
+}
+
+// RenderOmissions writes the plan's full omission schedule for an n-processor
+// run, one line per suppressed (from, to, seq) triple in canonical order.
+// The schedule is a pure function of the seed — two runs configured alike
+// must render byte-identical schedules — and is finite only because
+// OmitMaxSeq bounds the suppressed sequence numbers; with no bound the
+// schedule cannot be enumerated and RenderOmissions says so instead.
+//
+//ccvet:pure
+func (fp FaultPlan) RenderOmissions(n int) string {
+	if fp.OmitRate <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "omissions seed=%d rate=%g maxseq=%d\n", fp.Seed, fp.OmitRate, fp.OmitMaxSeq)
+	if fp.OmitMaxSeq <= 0 {
+		sb.WriteString("  (unbounded: set OmitMaxSeq to render the finite schedule)\n")
+		return sb.String()
+	}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			for seq := 1; seq <= fp.OmitMaxSeq; seq++ {
+				id := sim.MsgID{From: sim.ProcID(from), To: sim.ProcID(to), Seq: seq}
+				if fp.omit(id) {
+					fmt.Fprintf(&sb, "omit %d->%d seq %d\n", from, to, seq)
+				}
+			}
+		}
+	}
+	return sb.String()
 }
 
 func (fp FaultPlan) delay(id sim.MsgID, attempt int) time.Duration {
@@ -141,6 +205,9 @@ type TransportStats struct {
 	Drops int64 `json:"drops"`
 	// Dups counts seeded ack losses (duplicate retransmissions).
 	Dups int64 `json:"dups"`
+	// Omissions counts messages omission-suppressed at their receiver and
+	// recorded as Omit events in the total order.
+	Omissions int64 `json:"omissions,omitempty"`
 
 	// FramesSent counts link frames written to peer sockets.
 	FramesSent int64 `json:"framesSent,omitempty"`
@@ -167,7 +234,7 @@ type TransportStats struct {
 // transportCounters is the mutable atomic counter block behind
 // TransportStats, shared between a transport and the mailboxes it feeds.
 type transportCounters struct {
-	accepted, settled, encodeFailures, garbageFrames, drops, dups atomic.Int64
+	accepted, settled, encodeFailures, garbageFrames, drops, dups, omissions atomic.Int64
 }
 
 func (c *transportCounters) snapshot() TransportStats {
@@ -178,6 +245,7 @@ func (c *transportCounters) snapshot() TransportStats {
 		GarbageFrames:  c.garbageFrames.Load(),
 		Drops:          c.drops.Load(),
 		Dups:           c.dups.Load(),
+		Omissions:      c.omissions.Load(),
 	}
 }
 
@@ -206,6 +274,11 @@ type mailbox struct {
 	// counters is the owning transport's counter block: garbage frames
 	// discarded here are counted, never silently lost.
 	counters *transportCounters
+	// omit, when non-nil, is the receive-omission injector: consulted after
+	// dedup accepts a fresh message, a true return suppresses it —
+	// accepted, never buffered. The hook records the Omit event in the
+	// total order (or refuses, leaving the message to buffer normally).
+	omit func(m sim.Message, ts uint64) bool
 }
 
 func newMailbox(seed int64, dedupOff bool, pending *atomic.Int64, counters *transportCounters) *mailbox {
@@ -216,6 +289,27 @@ func newMailbox(seed int64, dedupOff bool, pending *atomic.Int64, counters *tran
 		notify:   make(chan struct{}, 1),
 		pending:  pending,
 		counters: counters,
+	}
+}
+
+// omitHook builds processor p's receive-omission injector for the mailbox,
+// or nil when the plan injects no omissions. The hook rolls the seeded
+// per-message verdict and, on suppression, records the Omit event in the
+// total order; a refused record (p crashed concurrently) lets the message
+// buffer normally.
+func omitHook(faults FaultPlan, p sim.ProcID, col *collector, counters *transportCounters) func(sim.Message, uint64) bool {
+	if faults.OmitRate <= 0 {
+		return nil
+	}
+	return func(m sim.Message, ts uint64) bool {
+		if !faults.omit(m.ID) {
+			return false
+		}
+		if !col.recordOmit(p, m.ID, ts) {
+			return false
+		}
+		counters.omissions.Add(1)
+		return true
 	}
 }
 
@@ -245,6 +339,13 @@ func (mb *mailbox) deliver(frame []byte, m sim.Message, ts uint64) {
 			return
 		}
 		mb.seen[id] = true
+	}
+	if mb.omit != nil && mb.omit(m, ts) {
+		// Suppressed after acceptance: dedup already marked the triple seen,
+		// so retransmissions of this message stay absorbed and the omission
+		// is permanent — the receive-omission fault, not a transient drop.
+		mb.mu.Unlock()
+		return
 	}
 	mb.msgs = append(mb.msgs, m)
 	mb.tss = append(mb.tss, ts)

@@ -150,6 +150,20 @@ type Config struct {
 	Inputs  []Bit
 	seq     []int // seq[from*n+to] = messages sent from→to so far
 
+	// Omission-fault accounting, live only when pol.Enabled(). omitsUsed
+	// counts Omit events on the path to this configuration; omitFaulty is
+	// the bitmask of currently omission-faulty processors (mobile model);
+	// omitTargets is the bitmask of processors ever targeted. All three
+	// fold into Key and Fingerprint when the policy is enabled — two
+	// configurations with equal states and buffers but different remaining
+	// budgets or faulty sets have different futures and must not
+	// deduplicate — and contribute nothing when it is disabled, so
+	// pre-omission hashes are unchanged.
+	pol         OmissionPolicy
+	omitsUsed   int
+	omitFaulty  uint64
+	omitTargets uint64
+
 	// Incremental fingerprint cache. Once Fingerprint is first called on a
 	// configuration, fp and the unmixed per-processor state digests are
 	// maintained across Apply, so successors derive their fingerprint from
@@ -179,6 +193,20 @@ func NewConfig(proto Protocol, inputs []Bit) *Config {
 	return c
 }
 
+// NewConfigOmission is NewConfig with an omission-fault policy attached:
+// the configuration enumerates Omit events (within budget) and folds its
+// omission accounting into Key and Fingerprint. A zero policy is exactly
+// NewConfig. Panics if the policy is enabled with more than 64 processors
+// (the faulty and target sets are single-word bitmasks).
+func NewConfigOmission(proto Protocol, inputs []Bit, pol OmissionPolicy) *Config {
+	if pol.Enabled() && len(inputs) > maxOmissionProcs {
+		panic("sim: omission policies support at most 64 processors")
+	}
+	c := NewConfig(proto, inputs)
+	c.pol = pol
+	return c
+}
+
 // N returns the number of processors.
 func (c *Config) N() int { return len(c.States) }
 
@@ -187,12 +215,16 @@ func (c *Config) N() int { return len(c.States) }
 // Inputs vector never changes after NewConfig and is shared outright.
 func (c *Config) Clone() *Config {
 	out := &Config{
-		States:  append([]State(nil), c.States...),
-		Buffers: make([]Buffer, len(c.Buffers)),
-		Inputs:  c.Inputs,
-		seq:     append([]int(nil), c.seq...),
-		fp:      c.fp,
-		fpOK:    c.fpOK,
+		States:      append([]State(nil), c.States...),
+		Buffers:     make([]Buffer, len(c.Buffers)),
+		Inputs:      c.Inputs,
+		seq:         append([]int(nil), c.seq...),
+		pol:         c.pol,
+		omitsUsed:   c.omitsUsed,
+		omitFaulty:  c.omitFaulty,
+		omitTargets: c.omitTargets,
+		fp:          c.fp,
+		fpOK:        c.fpOK,
 	}
 	copy(out.Buffers, c.Buffers) // buffers are persistent; Add/Remove copy
 	if c.fpOK {
@@ -230,9 +262,13 @@ func (c *Config) WithoutDeadBuffers() (*Config, bool) {
 		return c, false
 	}
 	out := &Config{
-		States:  c.States,
-		Buffers: make([]Buffer, len(c.Buffers)),
-		Inputs:  c.Inputs,
+		States:      c.States,
+		Buffers:     make([]Buffer, len(c.Buffers)),
+		Inputs:      c.Inputs,
+		pol:         c.pol,
+		omitsUsed:   c.omitsUsed,
+		omitFaulty:  c.omitFaulty,
+		omitTargets: c.omitTargets,
 	}
 	for p, s := range c.States {
 		if k := s.Kind(); k != Failed && k != Halted {
@@ -284,6 +320,9 @@ func (c *Config) initFingerprint() {
 	n := c.N()
 	c.stateD = make([]fingerprint.Digest, n)
 	fp := inputsDigest(c.Inputs).Mixed(saltInputs)
+	if c.pol.Enabled() {
+		fp = fp.Add(c.omissionTerm())
+	}
 	for p := 0; p < n; p++ {
 		d := StateDigest(c.States[p])
 		c.stateD[p] = d
@@ -377,6 +416,7 @@ func (c *Config) Key() string {
 			sb.WriteByte('0')
 		}
 	}
+	sb.Write(c.omissionKeySuffix(nil))
 	return sb.String()
 }
 

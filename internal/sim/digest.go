@@ -12,6 +12,7 @@ const (
 	saltBufferBase uint64 = 0x02_0000_0000
 	saltInputs     uint64 = 0x03_0000_0000
 	saltFailed     uint64 = 0x05_0000_0000
+	saltOmission   uint64 = 0x06_0000_0000
 )
 
 // Digester is implemented by states (and other components) that can

@@ -15,6 +15,12 @@ const (
 	SendStepEvent
 	// Fail is the event (p, f): p fails, broadcasting failure notices.
 	Fail
+	// Omit is the omission-fault event (p, µ̸): the adversary suppresses
+	// the delivery of buffered message µ to p. The message is consumed —
+	// it leaves the buffer exactly as a delivery would — but Receive never
+	// fires, so p's state is unchanged and p learns nothing. Omit events
+	// are enumerated only under an enabled OmissionPolicy.
+	Omit
 )
 
 // String names the event type.
@@ -26,6 +32,8 @@ func (t EventType) String() string {
 		return "send"
 	case Fail:
 		return "fail"
+	case Omit:
+		return "omit"
 	default:
 		return "invalid"
 	}
@@ -49,6 +57,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s sends", e.Proc)
 	case Fail:
 		return fmt.Sprintf("%s fails", e.Proc)
+	case Omit:
+		return fmt.Sprintf("%s omits %s", e.Proc, e.Msg)
 	default:
 		return "invalid event"
 	}
@@ -94,18 +104,32 @@ func Applicable(c *Config, e Event) bool {
 		}
 		_, ok := c.Buffers[e.Proc].Find(e.Msg)
 		return ok
+	case Omit:
+		// Structurally applicable whenever the message is buffered and the
+		// target has not crashed (a halted target is fine: the live runtime
+		// can suppress a delivery racing a halt, and replay must accept it).
+		// Budget and mobility constraints are enforced where events are
+		// *enumerated* (AppendEnabled), not here, for the same reason.
+		if s.Kind() == Failed {
+			return false
+		}
+		_, ok := c.Buffers[e.Proc].Find(e.Msg)
+		return ok
 	default:
 		return false
 	}
 }
 
 // Effect describes what applying one event did: the messages placed into
-// buffers (sends and failure notices) and the message consumed, if any.
-// Pattern extraction consumes effects.
+// buffers (sends and failure notices), the message consumed by a delivery,
+// and the message an omission suppressed. Pattern extraction consumes
+// effects.
 type Effect struct {
 	Event    Event
 	Sent     []Message
 	Received *Message
+	// Omitted is the message an Omit event consumed without delivering.
+	Omitted *Message
 }
 
 // Apply applies event e to configuration c, returning the successor
@@ -128,6 +152,7 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 		// our configurations, and the net effect — notices everywhere,
 		// no further sends, no restart — is identical.
 		next.setState(p, FailedStateFor(p))
+		next.noteFail(p)
 		for q := 0; q < next.N(); q++ {
 			if ProcID(q) == p {
 				continue
@@ -174,7 +199,15 @@ func Apply(proto Protocol, c *Config, e Event) (*Config, Effect, error) {
 		}
 		next.setState(p, s2)
 		next.removeMessage(p, m)
+		next.noteDeliver(p)
 		eff.Received = &m
+		return next, eff, nil
+
+	case Omit:
+		m, _ := c.Buffers[p].Find(e.Msg)
+		next.removeMessage(p, m)
+		next.noteOmit(p)
+		eff.Omitted = &m
 		return next, eff, nil
 	}
 	return nil, Effect{}, fmt.Errorf("%w: %s", ErrNotApplicable, e)
@@ -198,10 +231,11 @@ func checkTransition(from, to State) error {
 	return nil
 }
 
-// Enabled returns every applicable non-failure event of the configuration:
-// one SendStep per sending processor and one Deliver per (receiving
-// processor, buffered message) pair. Failure events are enumerated
-// separately by callers that inject failures.
+// Enabled returns every applicable non-crash event of the configuration:
+// one SendStep per sending processor, one Deliver per (receiving
+// processor, buffered message) pair, and — under an enabled omission
+// policy with budget remaining — one Omit per such pair. Crash-failure
+// events are enumerated separately by callers that inject failures.
 func Enabled(c *Config) []Event {
 	return AppendEnabled(nil, c)
 }
@@ -217,6 +251,16 @@ func AppendEnabled(dst []Event, c *Config) []Event {
 			buf := c.Buffers[p]
 			for i := range buf {
 				dst = append(dst, Event{Proc: ProcID(p), Type: Deliver, Msg: buf[i].ID})
+			}
+			// Under an enabled omission policy with budget remaining, the
+			// adversary may suppress any deliverable message instead of
+			// delivering it. Omissions targeting halted processors are not
+			// enumerated: they consume budget without changing any
+			// reachable behaviour.
+			if c.omitAllowed(ProcID(p)) {
+				for i := range buf {
+					dst = append(dst, Event{Proc: ProcID(p), Type: Omit, Msg: buf[i].ID})
+				}
 			}
 		}
 	}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/fingerprint"
+)
+
+// OmissionPolicy bounds the omission faults an execution may contain. The
+// zero value disables omissions entirely: no Omit event is ever enumerated,
+// and configurations hash exactly as they did before omissions existed.
+//
+// Budget caps the total number of Omit events in a run. Mobile, when
+// positive, additionally caps how many processors may be omission-faulty
+// *simultaneously*: a processor becomes omission-faulty when a delivery to
+// it is suppressed and is rehabilitated by its next successful delivery (or
+// by crashing), so the faulty set of size ≤ Mobile moves through the system
+// as the adversary shifts its attention — the mobile omission model of
+// Godard & Peters. Mobile = 0 with a positive Budget leaves placement
+// unconstrained (any processors, any time, Budget omissions total).
+type OmissionPolicy struct {
+	// Budget is the maximum number of Omit events per run. Zero disables
+	// omissions.
+	Budget int
+	// Mobile, when positive, caps the number of simultaneously
+	// omission-faulty processors at k; the faulty set may move between
+	// "rounds" (delivery epochs) as faulty processors are rehabilitated by
+	// successful deliveries.
+	Mobile int
+}
+
+// Enabled reports whether the policy admits any omission at all.
+func (pol OmissionPolicy) Enabled() bool { return pol.Budget > 0 }
+
+// String renders the policy for reports and flags.
+func (pol OmissionPolicy) String() string {
+	if !pol.Enabled() {
+		return "none"
+	}
+	if pol.Mobile > 0 {
+		return fmt.Sprintf("budget=%d,mobile=%d", pol.Budget, pol.Mobile)
+	}
+	return fmt.Sprintf("budget=%d", pol.Budget)
+}
+
+// maxOmissionProcs bounds N under an enabled policy: the faulty and target
+// sets are tracked as single-word bitmasks so they fold into keys and
+// fingerprints in O(1).
+const maxOmissionProcs = 64
+
+// omissionDigest fingerprints the omission-accounting triple carried by a
+// policy-enabled configuration. Callers mix the result under saltOmission
+// before folding it into a configuration fingerprint.
+//
+//ccvet:pure
+func omissionDigest(used int, faulty, targets uint64) fingerprint.Digest {
+	h := fingerprint.New()
+	h.WriteUint64(uint64(used))
+	h.WriteUint64(faulty)
+	h.WriteUint64(targets)
+	return h.Sum()
+}
+
+// omissionTerm is the configuration's current omission contribution to its
+// fingerprint. Only meaningful when the policy is enabled.
+func (c *Config) omissionTerm() fingerprint.Digest {
+	return omissionDigest(c.omitsUsed, c.omitFaulty, c.omitTargets).Mixed(saltOmission)
+}
+
+// omissionKeySuffix appends the omission-accounting suffix to a Key being
+// built. Disabled policies append nothing, so pre-omission keys are
+// byte-identical.
+func (c *Config) omissionKeySuffix(dst []byte) []byte {
+	if !c.pol.Enabled() {
+		return dst
+	}
+	dst = append(dst, "#O"...)
+	dst = strconv.AppendInt(dst, int64(c.omitsUsed), 10)
+	dst = append(dst, ':')
+	dst = strconv.AppendUint(dst, c.omitFaulty, 16)
+	dst = append(dst, ':')
+	dst = strconv.AppendUint(dst, c.omitTargets, 16)
+	return dst
+}
+
+// omitAllowed reports whether the policy permits suppressing a delivery to
+// p at this configuration: budget remaining, and — in mobile mode — either
+// p is already omission-faulty or the faulty set has room.
+func (c *Config) omitAllowed(p ProcID) bool {
+	if !c.pol.Enabled() || c.omitsUsed >= c.pol.Budget {
+		return false
+	}
+	if c.pol.Mobile > 0 {
+		bit := uint64(1) << uint(p)
+		if c.omitFaulty&bit == 0 && bits.OnesCount64(c.omitFaulty) >= c.pol.Mobile {
+			return false
+		}
+	}
+	return true
+}
+
+// noteOmit charges one omission targeting p against the configuration's
+// accounting, keeping the fingerprint cache warm.
+func (c *Config) noteOmit(p ProcID) {
+	if !c.pol.Enabled() {
+		return
+	}
+	if c.fpOK {
+		c.fp = c.fp.Sub(c.omissionTerm())
+	}
+	bit := uint64(1) << uint(p)
+	c.omitsUsed++
+	c.omitFaulty |= bit
+	c.omitTargets |= bit
+	if c.fpOK {
+		c.fp = c.fp.Add(c.omissionTerm())
+	}
+}
+
+// noteDeliver rehabilitates p after a successful delivery: in the mobile
+// model a processor is omission-faulty only between a suppressed delivery
+// and its next real one.
+func (c *Config) noteDeliver(p ProcID) {
+	c.clearOmitFaulty(p)
+}
+
+// noteFail removes a crashed processor from the omission-faulty set; crash
+// failure subsumes omission faultiness and frees the mobile slot.
+func (c *Config) noteFail(p ProcID) {
+	c.clearOmitFaulty(p)
+}
+
+func (c *Config) clearOmitFaulty(p ProcID) {
+	bit := uint64(1) << uint(p)
+	if !c.pol.Enabled() || c.omitFaulty&bit == 0 {
+		return
+	}
+	if c.fpOK {
+		c.fp = c.fp.Sub(c.omissionTerm())
+	}
+	c.omitFaulty &^= bit
+	if c.fpOK {
+		c.fp = c.fp.Add(c.omissionTerm())
+	}
+}
+
+// omissionShiftClear adjusts a predicted successor fingerprint for an
+// event that rehabilitates p (a successful delivery or a crash): the
+// omission term is swapped for one with p's faulty bit cleared. A no-op
+// when the policy is disabled or p is not omission-faulty, mirroring
+// clearOmitFaulty exactly.
+func (c *Config) omissionShiftClear(fp fingerprint.Digest, p ProcID) fingerprint.Digest {
+	bit := uint64(1) << uint(p)
+	if !c.pol.Enabled() || c.omitFaulty&bit == 0 {
+		return fp
+	}
+	return fp.Sub(c.omissionTerm()).
+		Add(omissionDigest(c.omitsUsed, c.omitFaulty&^bit, c.omitTargets).Mixed(saltOmission))
+}
+
+// omissionShiftOmit adjusts a predicted successor fingerprint for an Omit
+// targeting p, mirroring noteOmit exactly.
+func (c *Config) omissionShiftOmit(fp fingerprint.Digest, p ProcID) fingerprint.Digest {
+	if !c.pol.Enabled() {
+		return fp
+	}
+	bit := uint64(1) << uint(p)
+	return fp.Sub(c.omissionTerm()).
+		Add(omissionDigest(c.omitsUsed+1, c.omitFaulty|bit, c.omitTargets|bit).Mixed(saltOmission))
+}
+
+// Omission returns the configuration's omission policy (the zero policy
+// when omissions are disabled).
+func (c *Config) Omission() OmissionPolicy { return c.pol }
+
+// OmissionsUsed returns how many Omit events have been charged against the
+// budget on the path to this configuration.
+func (c *Config) OmissionsUsed() int { return c.omitsUsed }
+
+// OmissionFaultyProc reports whether p is currently omission-faulty: a
+// delivery to it was suppressed and no successful delivery (or crash) has
+// rehabilitated it since.
+func (c *Config) OmissionFaultyProc(p ProcID) bool {
+	return c.omitFaulty&(uint64(1)<<uint(p)) != 0
+}
+
+// OmissionTarget reports whether any delivery to p was ever suppressed on
+// the path to this configuration. Termination validators exempt such
+// processors: a receive-omission-faulty processor is faulty, and liveness
+// is only promised to correct ones.
+func (c *Config) OmissionTarget(p ProcID) bool {
+	return c.omitTargets&(uint64(1)<<uint(p)) != 0
+}

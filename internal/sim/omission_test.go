@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// bcastState is the per-processor state of bcastProto: p0 broadcasts one
+// message per send step and decides after the last; receivers decide on
+// their first real delivery.
+type bcastState struct {
+	id      ProcID
+	sent    int
+	decided Decision
+}
+
+func (s bcastState) Kind() StateKind {
+	if s.id == 0 && s.sent < 3 {
+		return Sending
+	}
+	return Receiving
+}
+
+func (s bcastState) Decided() (Decision, bool) {
+	if s.decided == NoDecision {
+		return NoDecision, false
+	}
+	return s.decided, true
+}
+func (s bcastState) Amnesic() bool { return false }
+func (s bcastState) Key() string {
+	k := "bcast{" + s.id.String() + " s" + strconv.Itoa(s.sent)
+	if s.decided != NoDecision {
+		k += " " + s.decided.String()
+	}
+	return k + "}"
+}
+
+// bcastProto is a three-processor broadcast: p0 sends to p1, then p2, then
+// p1 again — one message per send step, as the model requires — and then
+// everyone receives. The double message to p1 lets omission tests
+// rehabilitate p1 with a later successful delivery.
+type bcastProto struct{}
+
+func (bcastProto) Name() string { return "bcast" }
+func (bcastProto) N() int       { return 3 }
+func (bcastProto) Init(p ProcID, input Bit, n int) State {
+	return bcastState{id: p}
+}
+func (bcastProto) Receive(p ProcID, s State, m Message) State {
+	st := s.(bcastState)
+	if !m.Notice {
+		st.decided = Commit
+	}
+	return st
+}
+func (bcastProto) SendStep(p ProcID, s State) (State, []Envelope) {
+	st := s.(bcastState)
+	targets := []Envelope{
+		{To: 1, Payload: echoPayload("a")},
+		{To: 2, Payload: echoPayload("b")},
+		{To: 1, Payload: echoPayload("c")},
+	}
+	if st.sent >= len(targets) {
+		return st, nil
+	}
+	env := targets[st.sent]
+	st.sent++
+	if st.sent == len(targets) {
+		st.decided = Commit
+	}
+	return st, []Envelope{env}
+}
+
+// broadcastAll applies p0's three send steps to c and returns the
+// configuration with all three messages buffered.
+func broadcastAll(t *testing.T, c *Config) *Config {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		next, _, err := Apply(bcastProto{}, c, Event{Proc: 0, Type: SendStepEvent})
+		if err != nil {
+			t.Fatalf("send step %d: %v", i, err)
+		}
+		c = next
+	}
+	return c
+}
+
+// omitEvents filters the Omit events out of an enabled set.
+func omitEvents(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Type == Omit {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestOmissionDisabledHashIdentity: a configuration built with the zero
+// omission policy is byte-identical — key and fingerprint — to one built
+// without any policy, before and after steps. Pre-omission explorations
+// must not see the fault class at all.
+func TestOmissionDisabledHashIdentity(t *testing.T) {
+	proto := bcastProto{}
+	inputs := []Bit{One, One, One}
+	a := NewConfig(proto, inputs)
+	b := NewConfigOmission(proto, inputs, OmissionPolicy{})
+	if a.Key() != b.Key() {
+		t.Fatalf("zero-policy key diverges:\n  %s\nvs\n  %s", b.Key(), a.Key())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("zero-policy fingerprint diverges")
+	}
+	step := Event{Proc: 0, Type: SendStepEvent}
+	na, _, err := Apply(proto, a, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _, err := Apply(proto, b, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Key() != nb.Key() || na.Fingerprint() != nb.Fingerprint() {
+		t.Fatal("zero-policy hash identity lost after a step")
+	}
+	if strings.Contains(nb.Key(), "#O") {
+		t.Fatalf("disabled policy leaked an omission suffix into the key: %s", nb.Key())
+	}
+	if len(omitEvents(Enabled(nb))) != 0 {
+		t.Fatal("disabled policy enumerated Omit events")
+	}
+}
+
+// TestOmitEventSemantics: an Omit consumes the buffered message without
+// firing Receive, charges the budget, marks the target, and shows up in
+// the key; an exhausted budget enumerates no further Omit events.
+func TestOmitEventSemantics(t *testing.T) {
+	proto := bcastProto{}
+	c := broadcastAll(t, NewConfigOmission(proto, []Bit{One, One, One}, OmissionPolicy{Budget: 1}))
+	omits := omitEvents(Enabled(c))
+	if len(omits) != 3 {
+		t.Fatalf("enabled Omit events = %d, want 3 (one per buffered message)", len(omits))
+	}
+	var omit Event
+	for _, e := range omits {
+		if e.Proc == 1 && e.Msg.Seq == 1 {
+			omit = e
+		}
+	}
+	if omit.Type != Omit {
+		t.Fatal("no Omit targeting p1's first message")
+	}
+	before := len(c.Buffers[1])
+	next, eff, err := Apply(proto, c, omit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Omitted == nil || eff.Omitted.ID != omit.Msg {
+		t.Fatalf("effect.Omitted = %v, want %s", eff.Omitted, omit.Msg)
+	}
+	if len(next.Buffers[1]) != before-1 {
+		t.Fatal("Omit did not consume the buffered message")
+	}
+	if _, decided := next.States[1].Decided(); decided {
+		t.Fatal("Omit fired Receive: the target decided")
+	}
+	if next.OmissionsUsed() != 1 || !next.OmissionFaultyProc(1) || !next.OmissionTarget(1) {
+		t.Fatalf("omission accounting wrong: used=%d faulty=%v target=%v",
+			next.OmissionsUsed(), next.OmissionFaultyProc(1), next.OmissionTarget(1))
+	}
+	if !strings.Contains(next.Key(), "#O1:") {
+		t.Fatalf("key is missing the omission suffix: %s", next.Key())
+	}
+	if got := omitEvents(Enabled(next)); len(got) != 0 {
+		t.Fatalf("budget exhausted but %d Omit events still enumerated", len(got))
+	}
+	if c.OmissionsUsed() != 0 || c.OmissionFaultyProc(1) {
+		t.Fatal("Apply mutated the predecessor's omission accounting")
+	}
+}
+
+// TestMobileOmissionRehabilitation: with a mobile cap of one, a second
+// processor cannot be targeted while the first is omission-faulty; a
+// successful delivery (or a crash) rehabilitates the first and frees the
+// slot.
+func TestMobileOmissionRehabilitation(t *testing.T) {
+	proto := bcastProto{}
+	pol := OmissionPolicy{Budget: 2, Mobile: 1}
+	c := broadcastAll(t, NewConfigOmission(proto, []Bit{One, One, One}, pol))
+	// Omit p1's first message: p1 occupies the single mobile slot.
+	var first Event
+	for _, e := range omitEvents(Enabled(c)) {
+		if e.Proc == 1 && e.Msg.Seq == 1 {
+			first = e
+		}
+	}
+	c, _, err := Apply(proto, c, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range omitEvents(Enabled(c)) {
+		if e.Proc != 1 {
+			t.Fatalf("mobile cap 1 with p1 faulty still enumerated Omit for %s", e.Proc)
+		}
+	}
+	// Deliver p1's second message: rehabilitation moves the faulty set.
+	var deliver Event
+	for _, e := range Enabled(c) {
+		if e.Type == Deliver && e.Proc == 1 {
+			deliver = e
+		}
+	}
+	if deliver.Type != Deliver {
+		t.Fatal("no enabled delivery to p1")
+	}
+	c, _, err = Apply(proto, c, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OmissionFaultyProc(1) {
+		t.Fatal("successful delivery did not rehabilitate p1")
+	}
+	if !c.OmissionTarget(1) {
+		t.Fatal("rehabilitation erased p1's ever-targeted mark")
+	}
+	seen2 := false
+	for _, e := range omitEvents(Enabled(c)) {
+		if e.Proc == 2 {
+			seen2 = true
+		}
+	}
+	if !seen2 {
+		t.Fatal("freed mobile slot did not re-enable Omit for p2")
+	}
+
+	// Crash also frees the slot: replay the first omission, then fail p1.
+	d := broadcastAll(t, NewConfigOmission(proto, []Bit{One, One, One}, pol))
+	d, _, err = Apply(proto, d, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = Apply(proto, d, Event{Proc: 1, Type: Fail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OmissionFaultyProc(1) {
+		t.Fatal("crash did not clear p1 from the omission-faulty set")
+	}
+	seen2 = false
+	for _, e := range omitEvents(Enabled(d)) {
+		if e.Proc == 2 {
+			seen2 = true
+		}
+	}
+	if !seen2 {
+		t.Fatal("crash-freed mobile slot did not re-enable Omit for p2")
+	}
+}
+
+// TestOmissionAccountingDistinguishesConfigs: two configurations that
+// differ only in omission accounting (delivered vs omitted) must have
+// different keys and different fingerprints, or dedup would merge states
+// with different remaining adversary power.
+func TestOmissionAccountingDistinguishesConfigs(t *testing.T) {
+	proto := bcastProto{}
+	base := broadcastAll(t, NewConfigOmission(proto, []Bit{One, One, One}, OmissionPolicy{Budget: 2}))
+	var omit Event
+	for _, e := range omitEvents(Enabled(base)) {
+		if e.Proc == 1 && e.Msg.Seq == 1 {
+			omit = e
+		}
+	}
+	omitted, _, err := Apply(proto, base, omit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omitted.Key() == base.Key() {
+		t.Fatal("omission left the key unchanged")
+	}
+	if omitted.Fingerprint() == base.Fingerprint() {
+		t.Fatal("omission left the fingerprint unchanged")
+	}
+}
+
+// wideProto is a do-nothing protocol of configurable size, for the
+// omission N-bound check.
+type wideState struct{ id ProcID }
+
+func (wideState) Kind() StateKind           { return Receiving }
+func (wideState) Decided() (Decision, bool) { return NoDecision, false }
+func (wideState) Amnesic() bool             { return false }
+func (s wideState) Key() string             { return "w{" + s.id.String() + "}" }
+
+type wideProto struct{ n int }
+
+func (wideProto) Name() string                                   { return "wide" }
+func (w wideProto) N() int                                       { return w.n }
+func (wideProto) Init(p ProcID, _ Bit, _ int) State              { return wideState{id: p} }
+func (wideProto) Receive(_ ProcID, s State, _ Message) State     { return s }
+func (wideProto) SendStep(_ ProcID, s State) (State, []Envelope) { return s, nil }
+
+// TestOmissionProcBound: enabled policies track faulty sets as 64-bit
+// masks, so runs over more than 64 processors must be refused up front.
+func TestOmissionProcBound(t *testing.T) {
+	proto := wideProto{n: 65}
+	inputs := make([]Bit, 65)
+	pol := OmissionPolicy{Budget: 1}
+	if _, err := NewRunOmission(proto, inputs, pol); err == nil {
+		t.Fatal("NewRunOmission accepted 65 processors under an enabled policy")
+	}
+	if _, err := RandomRun(proto, inputs, RunnerOptions{Omission: pol}); err == nil {
+		t.Fatal("RandomRun accepted 65 processors under an enabled policy")
+	}
+	if _, err := NewRunOmission(proto, inputs, OmissionPolicy{}); err != nil {
+		t.Fatalf("zero policy must not be size-bounded: %v", err)
+	}
+}
+
+// TestRandomRunOmissionDeterminism: equal seeds and policies give equal
+// schedules, and some seed in a small window actually injects omissions.
+func TestRandomRunOmissionDeterminism(t *testing.T) {
+	proto := bcastProto{}
+	inputs := []Bit{One, One, One}
+	pol := OmissionPolicy{Budget: 2, Mobile: 1}
+	sawOmission := false
+	for seed := int64(1); seed <= 20; seed++ {
+		opts := RunnerOptions{Seed: seed, Omission: pol}
+		a, errA := RandomRun(proto, inputs, opts)
+		b, errB := RandomRun(proto, inputs, opts)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: error divergence: %v vs %v", seed, errA, errB)
+		}
+		if len(a.Schedule) != len(b.Schedule) {
+			t.Fatalf("seed %d: schedule lengths diverge", seed)
+		}
+		for i := range a.Schedule {
+			if a.Schedule[i] != b.Schedule[i] {
+				t.Fatalf("seed %d: schedules diverge at %d", seed, i)
+			}
+		}
+		if a.Omissions() > 0 {
+			sawOmission = true
+			if a.Omissions() > pol.Budget {
+				t.Fatalf("seed %d: %d omissions exceed budget %d", seed, a.Omissions(), pol.Budget)
+			}
+		}
+	}
+	if !sawOmission {
+		t.Fatal("no seed in 1..20 injected an omission; the scheduler never picks Omit events")
+	}
+}

@@ -46,7 +46,7 @@ func PredictSuccessor(proto Protocol, c *Config, e Event) (fingerprint.Digest, S
 			}
 			fp = fp.Add(m.computeDigest().Mixed(saltBufferBase + uint64(q)))
 		}
-		return fp, post, true
+		return c.omissionShiftClear(fp, p), post, true
 
 	case SendStepEvent:
 		if c.States[p].Kind() != Sending {
@@ -83,7 +83,18 @@ func PredictSuccessor(proto Protocol, c *Config, e Event) (fingerprint.Digest, S
 		}
 		fp := base.Sub(c.stateD[p].Mixed(stateSalt)).Add(StateDigest(s2).Mixed(stateSalt))
 		fp = fp.Sub(m.Digest().Mixed(saltBufferBase + uint64(p)))
-		return fp, s2, true
+		return c.omissionShiftClear(fp, p), s2, true
+
+	case Omit:
+		if c.States[p].Kind() == Failed {
+			return fingerprint.Digest{}, nil, false
+		}
+		m, ok := c.Buffers[p].Find(e.Msg)
+		if !ok {
+			return fingerprint.Digest{}, nil, false
+		}
+		fp := base.Sub(m.Digest().Mixed(saltBufferBase + uint64(p)))
+		return c.omissionShiftOmit(fp, p), c.States[p], true
 	}
 	return fingerprint.Digest{}, nil, false
 }
@@ -200,9 +211,10 @@ func (pr *Predictor) Predict(proto Protocol, c *Config, e Event) (Predicted, boo
 	stateSalt := saltStateBase + uint64(p)
 
 	switch e.Type {
-	case Fail:
-		// Failure transitions are protocol-independent and already cheap;
-		// no cache entry needed.
+	case Fail, Omit:
+		// Failure and omission transitions are protocol-independent and
+		// already cheap (no Receive/SendStep callback); no cache entry
+		// needed.
 		fp, post, ok := PredictSuccessor(proto, c, e)
 		if !ok {
 			return Predicted{}, false
@@ -257,7 +269,7 @@ func (pr *Predictor) Predict(proto Protocol, c *Config, e Event) (Predicted, boo
 		}
 		fp := base.Sub(stateD.Mixed(stateSalt)).Add(ent.postD.Mixed(stateSalt))
 		fp = fp.Sub(md.Mixed(saltBufferBase + uint64(p)))
-		return Predicted{CfgFP: fp, Decision: ent.dec, Decided: ent.decided}, true
+		return Predicted{CfgFP: c.omissionShiftClear(fp, p), Decision: ent.dec, Decided: ent.decided}, true
 	}
 	return Predicted{}, false
 }
@@ -275,9 +287,9 @@ func (pr *Predictor) Materialize(proto Protocol, c *Config, e Event) (*Config, E
 	p := e.Proc
 
 	switch e.Type {
-	case Fail:
-		// Failed-state digests are cheap (no key strings); the plain path
-		// is already allocation-lean.
+	case Fail, Omit:
+		// Failed-state digests are cheap (no key strings) and omissions
+		// touch no state at all; the plain path is already allocation-lean.
 		return Apply(proto, c, e)
 
 	case SendStepEvent:
@@ -332,6 +344,7 @@ func (pr *Predictor) Materialize(proto Protocol, c *Config, e Event) (*Config, E
 		next := c.Clone()
 		next.setStateD(p, s2, ent.postD)
 		next.removeMessage(p, m)
+		next.noteDeliver(p)
 		return next, Effect{Event: e, Received: &m}, nil
 	}
 	return Apply(proto, c, e)

@@ -32,6 +32,20 @@ func NewRun(proto Protocol, inputs []Bit) (*Run, error) {
 	return &Run{Proto: proto, Configs: []*Config{NewConfig(proto, inputs)}}, nil
 }
 
+// NewRunOmission is NewRun with an omission-fault policy on the initial
+// configuration, for replaying schedules that contain Omit events while
+// keeping the policy-aware Key/Fingerprint accounting (replay byte-identity
+// checks need it). A zero policy is exactly NewRun.
+func NewRunOmission(proto Protocol, inputs []Bit, pol OmissionPolicy) (*Run, error) {
+	if len(inputs) != proto.N() {
+		return nil, fmt.Errorf("sim: protocol %s wants %d inputs, got %d", proto.Name(), proto.N(), len(inputs))
+	}
+	if pol.Enabled() && len(inputs) > maxOmissionProcs {
+		return nil, fmt.Errorf("sim: omission policies support at most %d processors, got %d", maxOmissionProcs, len(inputs))
+	}
+	return &Run{Proto: proto, Configs: []*Config{NewConfigOmission(proto, inputs, pol)}}, nil
+}
+
 // Final returns the last configuration of the run.
 func (r *Run) Final() *Config { return r.Configs[len(r.Configs)-1] }
 
@@ -41,7 +55,8 @@ func (r *Run) Initial() *Config { return r.Configs[0] }
 // Steps returns the number of events in the run.
 func (r *Run) Steps() int { return len(r.Schedule) }
 
-// FailureFree reports whether the run contains no failure events.
+// FailureFree reports whether the run contains no crash-failure events.
+// Omission faults are counted separately; see Omissions and OmissionFaulty.
 func (r *Run) FailureFree() bool {
 	for _, e := range r.Schedule {
 		if e.Type == Fail {
@@ -49,6 +64,30 @@ func (r *Run) FailureFree() bool {
 		}
 	}
 	return true
+}
+
+// Omissions returns the number of Omit events in the run.
+func (r *Run) Omissions() int {
+	n := 0
+	for _, e := range r.Schedule {
+		if e.Type == Omit {
+			n++
+		}
+	}
+	return n
+}
+
+// OmissionFaulty reports whether some delivery to processor p was
+// suppressed by an Omit event in the run. Such a processor is
+// receive-omission faulty, and termination validators exempt it the way
+// they exempt crashed processors.
+func (r *Run) OmissionFaulty(p ProcID) bool {
+	for _, e := range r.Schedule {
+		if e.Type == Omit && e.Proc == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Nonfaulty reports whether processor p never occupies a failed state in the
@@ -141,6 +180,11 @@ type RunnerOptions struct {
 	MaxSteps int
 	// Failures injects fail-stop failures at fixed points in the run.
 	Failures []FailureAt
+	// Omission attaches an omission-fault policy to the run: within its
+	// budget, Omit events are enumerated alongside deliveries and the
+	// scheduler (or Choose) may pick them. The zero policy disables
+	// omissions.
+	Omission OmissionPolicy
 	// Choose, if non-nil, replaces the PRNG's uniform event choice: it is
 	// called with the run so far and the enabled events and must return
 	// the index of the event to apply. Returning an out-of-range index
@@ -178,7 +222,10 @@ func RandomRun(proto Protocol, inputs []Bit, opts RunnerOptions) (*Run, error) {
 	if opts.Choose == nil {
 		rng = rand.New(rand.NewSource(opts.Seed))
 	}
-	c := NewConfig(proto, inputs)
+	if opts.Omission.Enabled() && len(inputs) > maxOmissionProcs {
+		return nil, fmt.Errorf("sim: omission policies support at most %d processors, got %d", maxOmissionProcs, len(inputs))
+	}
+	c := NewConfigOmission(proto, inputs, opts.Omission)
 	run := &Run{Proto: proto, Configs: []*Config{c}}
 
 	injected := make([]bool, len(opts.Failures))

@@ -19,6 +19,13 @@ func (r *Run) Trace() []string {
 		if eff.Received != nil && !eff.Received.Notice {
 			fmt.Fprintf(&sb, " [%s]", eff.Received.Payload.Key())
 		}
+		if eff.Omitted != nil {
+			if eff.Omitted.Notice {
+				fmt.Fprintf(&sb, " [suppressed failed(%s)]", eff.Omitted.ID.From)
+			} else {
+				fmt.Fprintf(&sb, " [suppressed %s]", eff.Omitted.Payload.Key())
+			}
+		}
 		for _, m := range eff.Sent {
 			if m.Notice {
 				continue

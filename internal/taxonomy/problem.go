@@ -146,8 +146,9 @@ func (p Problem) Validate(r *sim.Run, complete bool) []Violation {
 }
 
 // validateRule checks every decision made in the run against the decision
-// rule. A failure "counts" for a decision if some processor had failed
-// before the configuration in which the decision first appears.
+// rule. A failure "counts" for a decision if some processor had failed —
+// by crashing or by having a delivery omission-suppressed — before the
+// configuration in which the decision first appears.
 func (p Problem) validateRule(r *sim.Run) []Violation {
 	var out []Violation
 	inputs := r.Initial().Inputs
@@ -155,7 +156,7 @@ func (p Problem) validateRule(r *sim.Run) []Violation {
 	anyFail := false
 	for i := range r.Configs {
 		failedBy[i] = anyFail
-		if i < len(r.Schedule) && r.Schedule[i].Type == sim.Fail {
+		if i < len(r.Schedule) && (r.Schedule[i].Type == sim.Fail || r.Schedule[i].Type == sim.Omit) {
 			anyFail = true
 		}
 	}
@@ -244,13 +245,17 @@ func CheckTC(r *sim.Run) []Violation {
 }
 
 // CheckTermination checks the given termination condition on a complete
-// (maximal) run.
+// (maximal) run. Crashed processors are exempt, and so are
+// receive-omission-faulty ones (a processor some delivery to which was
+// suppressed): the termination conditions promise progress only to correct
+// processors, and a processor starved of a message it needed is faulty in
+// the omission model even though its state never shows it.
 func CheckTermination(r *sim.Run, t Termination) []Violation {
 	var out []Violation
 	final := r.Final()
 	for proc := 0; proc < final.N(); proc++ {
 		pid := sim.ProcID(proc)
-		if !r.Nonfaulty(pid) {
+		if !r.Nonfaulty(pid) || r.OmissionFaulty(pid) {
 			continue
 		}
 		if _, ok := r.DecisionOf(pid); !ok {

@@ -27,8 +27,10 @@ type StreamChecker struct {
 	n      int
 
 	idx       int  // index of the last observed configuration
-	anyFail   bool // a Fail event preceded the current configuration
+	anyFail   bool // a Fail or Omit event preceded the current configuration
 	undecided int  // processors with no recorded first decision
+
+	omitted []bool // omitted[p]: a delivery to p was omission-suppressed
 
 	first       []sim.Decision // first decision each processor ever held
 	firstHas    []bool
@@ -50,6 +52,7 @@ func NewStreamChecker(p Problem, c *sim.Config) *StreamChecker {
 		n:           n,
 		idx:         -1,
 		undecided:   n,
+		omitted:     make([]bool, n),
 		first:       make([]sim.Decision, n),
 		firstHas:    make([]bool, n),
 		firstFailed: make([]bool, n),
@@ -63,8 +66,12 @@ func NewStreamChecker(p Problem, c *sim.Config) *StreamChecker {
 // event e to the previously observed configuration. Configurations must
 // arrive in schedule order.
 func (sc *StreamChecker) Observe(e sim.Event, next *sim.Config) {
-	if e.Type == sim.Fail {
+	switch e.Type {
+	case sim.Fail:
 		sc.anyFail = true
+	case sim.Omit:
+		sc.anyFail = true
+		sc.omitted[e.Proc] = true
 	}
 	sc.observe(next)
 }
@@ -194,7 +201,7 @@ func (sc *StreamChecker) checkTermination() []Violation {
 	for proc := 0; proc < sc.n; proc++ {
 		pid := sim.ProcID(proc)
 		s := sc.final.States[pid]
-		if s.Kind() == sim.Failed {
+		if s.Kind() == sim.Failed || sc.omitted[proc] {
 			continue
 		}
 		if !sc.firstHas[proc] {
